@@ -1,0 +1,47 @@
+// Command sdnfv-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sdnfv-experiments [-seed N] [-list] [name ...]
+//
+// With no names it runs every registered experiment in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sdnfv/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "random seed (experiments are deterministic per seed)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = experiments.Names()
+	}
+	exit := 0
+	for _, name := range names {
+		start := time.Now()
+		res, err := experiments.Run(name, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", res.Name(), time.Since(start).Seconds(), res.Render())
+	}
+	os.Exit(exit)
+}

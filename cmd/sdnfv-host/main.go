@@ -1,0 +1,160 @@
+// Command sdnfv-host runs one SDNFV NF host: the NF Manager data plane
+// with a set of demo NFs, connected to an sdnfv-ctl controller over TCP.
+// Flow-table misses are punted to the controller as PACKET_INs by the Flow
+// Controller thread (§4.1); returned FLOW_MODs are installed and traffic
+// proceeds locally. Cross-layer NF messages are forwarded upstream as
+// NF_MESSAGEs.
+//
+// Without a reachable controller the host still runs, using a
+// pre-populated local chain. A built-in traffic generator exercises the
+// path.
+//
+//	sdnfv-host -controller 127.0.0.1:6653 -packets 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"sdnfv/internal/dataplane"
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/nfs"
+	"sdnfv/internal/openflow"
+	"sdnfv/internal/packet"
+	"sdnfv/internal/traffic"
+)
+
+func main() {
+	ctlAddr := flag.String("controller", "", "controller address (empty = standalone with local rules)")
+	packets := flag.Int("packets", 10000, "packets to generate")
+	flows := flag.Int("flows", 8, "concurrent synthetic flows")
+	flag.Parse()
+
+	var (
+		mu   sync.Mutex
+		conn *openflow.Conn
+	)
+	if *ctlAddr != "" {
+		raw, err := net.DialTimeout("tcp", *ctlAddr, 5*time.Second)
+		if err != nil {
+			log.Fatalf("dial controller: %v", err)
+		}
+		defer raw.Close()
+		conn = openflow.NewConn(raw)
+		if _, err := conn.Send(openflow.Hello{}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sdnfv-host: control channel to %s up", *ctlAddr)
+	}
+
+	cfg := dataplane.Config{PoolSize: 4096, TXThreads: 1}
+	if conn != nil {
+		// The Flow Controller thread resolves misses over the wire:
+		// PACKET_IN, then FLOW_MODs until the barrier.
+		cfg.MissHandler = func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, err := conn.Send(openflow.PacketIn{Scope: scope, Key: key}); err != nil {
+				return nil, err
+			}
+			var rules []flowtable.Rule
+			for {
+				msg, _, err := conn.Recv()
+				if err != nil {
+					return nil, err
+				}
+				switch m := msg.(type) {
+				case openflow.Hello:
+					// Greeting may still be in flight; skip it.
+				case openflow.FlowMod:
+					rules = append(rules, m.Rule)
+				case openflow.Barrier:
+					return rules, nil
+				case openflow.ErrorMsg:
+					return nil, fmt.Errorf("controller error %d: %s", m.Code, m.Text)
+				}
+			}
+		}
+		cfg.MsgHandler = func(src flowtable.ServiceID, m nf.Message) {
+			mu.Lock()
+			defer mu.Unlock()
+			_, _ = conn.Send(openflow.NFMessage{Src: src, Msg: m})
+		}
+	}
+
+	host := dataplane.NewHost(cfg)
+	start := time.Now()
+	mustNF(host.AddNF(1, &nfs.Firewall{DefaultAllow: true}, 0))
+	mustNF(host.AddNF(2, &nfs.Counter{}, 0))
+	mustNF(host.AddNF(3, &nfs.Shaper{
+		RateBps: 1e9, BurstBytes: 1e6,
+		Now: func() float64 { return time.Since(start).Seconds() },
+	}, 0))
+	if conn == nil {
+		// Standalone: pre-populate the chain locally.
+		mustRule(host, flowtable.Rule{Scope: flowtable.Port(0), Match: flowtable.MatchAll,
+			Actions: []flowtable.Action{flowtable.Forward(1)}})
+		mustRule(host, flowtable.Rule{Scope: 1, Match: flowtable.MatchAll,
+			Actions: []flowtable.Action{flowtable.Forward(2)}})
+		mustRule(host, flowtable.Rule{Scope: 2, Match: flowtable.MatchAll,
+			Actions: []flowtable.Action{flowtable.Forward(3)}})
+		mustRule(host, flowtable.Rule{Scope: 3, Match: flowtable.MatchAll,
+			Actions: []flowtable.Action{flowtable.Out(1)}})
+	}
+
+	var delivered int
+	doneCh := make(chan struct{})
+	host.SetOutput(func(int, []byte, *dataplane.Desc) {
+		delivered++
+		if delivered == *packets {
+			close(doneCh)
+		}
+	})
+	if err := host.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer host.Stop()
+
+	factory := traffic.NewFactory()
+	for i := 0; i < *packets; i++ {
+		spec := traffic.Flow(i%*flows, 512, 0)
+		frame, err := factory.Frame(spec, time.Now().UnixNano())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for {
+			if err := host.Inject(0, frame); err == nil {
+				break
+			}
+			time.Sleep(5 * time.Microsecond)
+		}
+	}
+	select {
+	case <-doneCh:
+	case <-time.After(30 * time.Second):
+		log.Printf("sdnfv-host: timed out waiting for deliveries")
+	}
+	host.WaitIdle(5 * time.Second)
+
+	st := host.Stats()
+	log.Printf("sdnfv-host: rx=%d tx=%d drops=%d misses=%d rules=%d",
+		st.RxPackets, st.TxPackets, st.Drops, st.Misses, st.Table.Rules)
+	fmt.Println(host.Table().Dump())
+}
+
+func mustNF(_ *dataplane.Instance, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustRule(h *dataplane.Host, r flowtable.Rule) {
+	if _, err := h.Table().Add(r); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Quickstart: build a three-NF service chain on one SDNFV host, push
+// traffic through it, and print the counters.
+//
+// The chain is Firewall -> Counter -> Shaper, compiled from a service
+// graph exactly as the SDNFV Application would do it (§3.2–3.3), running
+// on the real concurrent data-plane engine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sdnfv/internal/dataplane"
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/graph"
+	"sdnfv/internal/nfs"
+	"sdnfv/internal/traffic"
+)
+
+const (
+	svcFirewall flowtable.ServiceID = 1
+	svcCounter  flowtable.ServiceID = 2
+	svcShaper   flowtable.ServiceID = 3
+)
+
+func main() {
+	// 1. Describe the application as a service graph.
+	g, err := graph.Chain("quickstart",
+		graph.Vertex{Service: svcFirewall, Name: "firewall", ReadOnly: true},
+		graph.Vertex{Service: svcCounter, Name: "counter", ReadOnly: true},
+		graph.Vertex{Service: svcShaper, Name: "shaper", ReadOnly: false},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(g)
+
+	// 2. Build a host, register the NFs, and install the compiled rules.
+	host := dataplane.NewHost(dataplane.Config{PoolSize: 1024, TXThreads: 1})
+	fw := &nfs.Firewall{DefaultAllow: true}
+	counter := &nfs.Counter{}
+	start := time.Now()
+	shaper := &nfs.Shaper{
+		RateBps:    50e6,
+		BurstBytes: 16e3,
+		Now:        func() float64 { return time.Since(start).Seconds() },
+	}
+	if _, err := host.AddNF(svcFirewall, fw, 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := host.AddNF(svcCounter, counter, 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := host.AddNF(svcShaper, shaper, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := host.InstallGraph(g, 0, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nflow table:")
+	fmt.Println(host.Table().Dump())
+
+	// 3. Count transmitted packets at the egress port.
+	done := make(chan struct{})
+	var out int
+	host.SetOutput(func(port int, data []byte, _ *dataplane.Desc) {
+		out++
+		if out == 2000 {
+			close(done)
+		}
+	})
+	if err := host.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer host.Stop()
+
+	// 4. Offer 2000 packets from a synthetic flow, paced under the
+	// shaper's 50 Mbps rate (bursts of 20 every 2 ms ≈ 41 Mbps).
+	factory := traffic.NewFactory()
+	spec := traffic.Flow(1, 512, 0)
+	for i := 0; i < 2000; i++ {
+		frame, err := factory.Frame(spec, time.Now().UnixNano())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for {
+			if err := host.Inject(0, frame); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Microsecond) // NIC ring momentarily full
+		}
+		if i%20 == 19 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		fmt.Println("timed out waiting for packets (shaper may be dropping)")
+	}
+	host.WaitIdle(2 * time.Second)
+
+	st := host.Stats()
+	fmt.Printf("\nrx=%d tx=%d drops=%d\n", st.RxPackets, st.TxPackets, st.Drops)
+	fmt.Printf("firewall: allowed=%d denied=%d\n", fw.Allowed(), fw.Denied())
+	fmt.Printf("counter:  %d packets, %d bytes\n", counter.Packets(), counter.Bytes())
+	fmt.Printf("shaper:   passed=%d shaped=%d\n", shaper.Passed(), shaper.Shaped())
+}

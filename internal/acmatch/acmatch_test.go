@@ -1,0 +1,128 @@
+package acmatch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicMatching(t *testing.T) {
+	m := New([]string{"he", "she", "his", "hers"})
+	got := m.Scan([]byte("ushers"))
+	// "ushers": she@4, he@4, hers@6.
+	want := []Match{{Pattern: 1, End: 4}, {Pattern: 0, End: 4}, {Pattern: 3, End: 6}}
+	if len(got) != len(want) {
+		t.Fatalf("Scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].End != want[i].End {
+			t.Errorf("match %d end = %d, want %d", i, got[i].End, want[i].End)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	m := New([]string{"UNION SELECT", "DROP TABLE"})
+	if !m.Contains([]byte("GET /?q=1 UNION SELECT pw FROM t")) {
+		t.Fatal("missed SQL injection")
+	}
+	if m.Contains([]byte("GET /index.html HTTP/1.1")) {
+		t.Fatal("false positive")
+	}
+}
+
+func TestFirst(t *testing.T) {
+	m := New([]string{"bb", "aa"})
+	got, ok := m.First([]byte("xxaayybb"))
+	if !ok || got.Pattern != 1 || got.End != 4 {
+		t.Fatalf("First = %+v ok=%v", got, ok)
+	}
+	if _, ok := m.First([]byte("zzz")); ok {
+		t.Fatal("First matched nothing")
+	}
+}
+
+func TestOverlappingPatterns(t *testing.T) {
+	m := New([]string{"abc", "bcd", "c"})
+	got := m.Scan([]byte("abcd"))
+	// c@3, abc@3, bcd@4.
+	if len(got) != 3 {
+		t.Fatalf("Scan = %v", got)
+	}
+}
+
+func TestEmptyAndEdgeCases(t *testing.T) {
+	m := New(nil)
+	if m.Contains([]byte("anything")) {
+		t.Fatal("empty matcher matched")
+	}
+	m = New([]string{"", "x"})
+	if m.NumPatterns() != 2 {
+		t.Fatalf("NumPatterns = %d", m.NumPatterns())
+	}
+	if !m.Contains([]byte("x")) {
+		t.Fatal("missed single byte pattern")
+	}
+	if m.Contains(nil) {
+		t.Fatal("matched empty input")
+	}
+	if m.Pattern(1) != "x" {
+		t.Fatalf("Pattern(1) = %q", m.Pattern(1))
+	}
+}
+
+// Property: Contains agrees with strings.Contains for every pattern.
+func TestAgainstStringsContains(t *testing.T) {
+	f := func(text []byte, p1, p2 uint8) bool {
+		pats := []string{
+			string([]byte{p1}),
+			string([]byte{p1, p2}),
+			"abc",
+		}
+		m := New(pats)
+		want := false
+		for _, p := range pats {
+			if p != "" && strings.Contains(string(text), p) {
+				want = true
+			}
+		}
+		return m.Contains(text) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every Scan match is a genuine occurrence at the claimed offset.
+func TestScanSound(t *testing.T) {
+	f := func(text []byte) bool {
+		pats := []string{"ab", "ba", "aba"}
+		m := New(pats)
+		for _, match := range m.Scan(text) {
+			p := pats[match.Pattern]
+			start := match.End - len(p)
+			if start < 0 || string(text[start:match.End]) != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkContainsHTTPPayload(b *testing.B) {
+	m := New([]string{
+		"UNION SELECT", "' OR '1'='1", "DROP TABLE", "/etc/passwd",
+		"<script>alert(", "cmd.exe", "xp_cmdshell",
+	})
+	payload := []byte("GET /products?id=42&sort=price HTTP/1.1\r\nHost: shop.example.com\r\nUser-Agent: test\r\nAccept: */*\r\n\r\n" + strings.Repeat("benign body content ", 40))
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if m.Contains(payload) {
+			b.Fatal("unexpected match")
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package app implements the SDNFV Application — the top tier of the
+// control hierarchy (Fig. 2). It owns the service-graph registry and the
+// mapping of flow classes to graphs, drives the SDN Controller (rule
+// compilation for new flows) and the NFV Orchestrator (instantiating NFs),
+// and validates cross-layer messages arriving from NF Managers before
+// they are allowed to affect other hosts (§3.4 "Cross-Layer Control").
+package app
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/graph"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/packet"
+)
+
+// GraphSelector maps a new flow to the name of the service graph that
+// should process it. Empty string selects the registry's default graph.
+type GraphSelector func(scope flowtable.ServiceID, key packet.FlowKey) string
+
+// Config tunes the application.
+type Config struct {
+	// IngressPort / EgressPort are used when compiling graphs to rules.
+	IngressPort int
+	EgressPort  int
+	// Selector routes flows to graphs; nil always selects the default.
+	Selector GraphSelector
+	// TrustNFs disables validation of cross-layer messages (trusted NFs
+	// may rewrite anything the graph allows; untrusted ones are checked
+	// against the graph's edge set, §3.4).
+	TrustNFs bool
+}
+
+// App is the SDNFV Application.
+type App struct {
+	cfg Config
+
+	mu        sync.Mutex
+	graphs    map[string]*graph.Graph
+	defGraph  string
+	msgLog    []LoggedMessage
+	policyKV  map[string]any
+	listeners []func(src flowtable.ServiceID, m nf.Message)
+}
+
+// LoggedMessage is one validated cross-layer message.
+type LoggedMessage struct {
+	Src flowtable.ServiceID
+	Msg nf.Message
+	// Accepted reports whether validation allowed the message.
+	Accepted bool
+	// Reason explains a rejection.
+	Reason string
+}
+
+// New builds an application.
+func New(cfg Config) *App {
+	return &App{
+		cfg:      cfg,
+		graphs:   make(map[string]*graph.Graph),
+		policyKV: make(map[string]any),
+	}
+}
+
+// Errors returned by App operations.
+var (
+	ErrNoGraph        = errors.New("app: no such service graph")
+	ErrGraphInvalid   = errors.New("app: service graph failed validation")
+	ErrDuplicateGraph = errors.New("app: duplicate graph name")
+)
+
+// RegisterGraph validates and registers g; the first registered graph
+// becomes the default.
+func (a *App) RegisterGraph(g *graph.Graph) error {
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrGraphInvalid, err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.graphs[g.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateGraph, g.Name)
+	}
+	a.graphs[g.Name] = g
+	if a.defGraph == "" {
+		a.defGraph = g.Name
+	}
+	return nil
+}
+
+// Graph returns the named graph ("" = default).
+func (a *App) Graph(name string) (*graph.Graph, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if name == "" {
+		name = a.defGraph
+	}
+	g, ok := a.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoGraph, name)
+	}
+	return g, nil
+}
+
+// GraphNames lists registered graphs.
+func (a *App) GraphNames() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.graphs))
+	for n := range a.graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CompileRules is the northbound RuleCompiler handed to the SDN
+// controller: it picks the graph for the flow and compiles it to host
+// rules. The compiled rules match all flows (wildcard) — the paper's
+// pre-population mode — unless exact is true, in which case they are
+// specialized to the flow's exact 5-tuple (per-flow mode).
+func (a *App) CompileRules(scope flowtable.ServiceID, key packet.FlowKey, exact bool) ([]flowtable.Rule, error) {
+	name := ""
+	if a.cfg.Selector != nil {
+		name = a.cfg.Selector(scope, key)
+	}
+	g, err := a.Graph(name)
+	if err != nil {
+		return nil, err
+	}
+	rules, err := g.Rules(a.cfg.IngressPort, a.cfg.EgressPort)
+	if err != nil {
+		return nil, err
+	}
+	if exact {
+		m := flowtable.ExactMatch(key)
+		for i := range rules {
+			rules[i].Match = m
+		}
+	}
+	return rules, nil
+}
+
+// Compiler adapts CompileRules to the controller.RuleCompiler signature
+// with the given specialization mode.
+func (a *App) Compiler(exact bool) func(flowtable.ServiceID, packet.FlowKey) ([]flowtable.Rule, error) {
+	return func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+		return a.CompileRules(scope, key, exact)
+	}
+}
+
+// Subscribe registers a listener for accepted cross-layer messages.
+func (a *App) Subscribe(fn func(src flowtable.ServiceID, m nf.Message)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.listeners = append(a.listeners, fn)
+}
+
+// HandleNFMessage validates a cross-layer message against the service
+// graphs and records it. It returns whether the message was accepted.
+// Validation enforces the §3.4 constraint that NFs may only steer flows
+// along edges defined in the original service graph.
+func (a *App) HandleNFMessage(src flowtable.ServiceID, m nf.Message) bool {
+	accepted, reason := a.validate(src, m)
+	a.mu.Lock()
+	a.msgLog = append(a.msgLog, LoggedMessage{Src: src, Msg: m, Accepted: accepted, Reason: reason})
+	if accepted && m.Kind == nf.MsgData {
+		a.policyKV[m.Key] = m.Value
+	}
+	listeners := make([]func(flowtable.ServiceID, nf.Message), len(a.listeners))
+	copy(listeners, a.listeners)
+	a.mu.Unlock()
+	if accepted {
+		for _, fn := range listeners {
+			fn(src, m)
+		}
+	}
+	return accepted
+}
+
+func (a *App) validate(src flowtable.ServiceID, m nf.Message) (bool, string) {
+	if a.cfg.TrustNFs || m.Kind == nf.MsgData {
+		return true, ""
+	}
+	a.mu.Lock()
+	graphs := make([]*graph.Graph, 0, len(a.graphs))
+	for _, g := range a.graphs {
+		graphs = append(graphs, g)
+	}
+	a.mu.Unlock()
+	switch m.Kind {
+	case nf.MsgChangeDefault:
+		// The new default S->T must be an edge in some registered graph.
+		for _, g := range graphs {
+			for _, e := range g.Out(m.S) {
+				if e.To == m.T {
+					return true, ""
+				}
+			}
+		}
+		return false, fmt.Sprintf("no graph defines edge %s->%s", m.S, m.T)
+	case nf.MsgSkipMe, nf.MsgRequestMe:
+		// S must exist in some registered graph.
+		for _, g := range graphs {
+			if _, ok := g.Vertex(m.S); ok {
+				return true, ""
+			}
+		}
+		return false, fmt.Sprintf("service %s not in any graph", m.S)
+	default:
+		return false, fmt.Sprintf("unknown message kind %d from %s", m.Kind, src)
+	}
+}
+
+// Messages returns a copy of the validated-message log.
+func (a *App) Messages() []LoggedMessage {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]LoggedMessage(nil), a.msgLog...)
+}
+
+// Policy returns the value stored for key by NF Message data, if any.
+func (a *App) Policy(key string) (any, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v, ok := a.policyKV[key]
+	return v, ok
+}

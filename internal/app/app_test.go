@@ -1,0 +1,180 @@
+package app
+
+import (
+	"errors"
+	"testing"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/graph"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/packet"
+)
+
+func testGraph(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	g, err := graph.Chain(name,
+		graph.Vertex{Service: 10, Name: "fw", ReadOnly: true},
+		graph.Vertex{Service: 11, Name: "mon", ReadOnly: false},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testKey() packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: packet.IPv4(10, 0, 0, 1), DstIP: packet.IPv4(10, 0, 0, 2),
+		SrcPort: 1000, DstPort: 80, Proto: packet.ProtoUDP,
+	}
+}
+
+func TestRegisterAndDefaultGraph(t *testing.T) {
+	a := New(Config{IngressPort: 0, EgressPort: 1})
+	if err := a.RegisterGraph(testGraph(t, "g1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RegisterGraph(testGraph(t, "g1")); !errors.Is(err, ErrDuplicateGraph) {
+		t.Fatalf("dup: %v", err)
+	}
+	g, err := a.Graph("")
+	if err != nil || g.Name != "g1" {
+		t.Fatalf("default graph = %v err=%v", g, err)
+	}
+	if _, err := a.Graph("nope"); !errors.Is(err, ErrNoGraph) {
+		t.Fatalf("unknown: %v", err)
+	}
+	if names := a.GraphNames(); len(names) != 1 || names[0] != "g1" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRegisterRejectsInvalidGraph(t *testing.T) {
+	a := New(Config{})
+	bad := graph.New("bad")
+	_ = bad.AddVertex(graph.Vertex{Service: 5})
+	_ = bad.AddEdge(graph.Source, 5, true)
+	// 5 has no default to sink -> invalid.
+	if err := a.RegisterGraph(bad); !errors.Is(err, ErrGraphInvalid) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileRulesWildcardAndExact(t *testing.T) {
+	a := New(Config{IngressPort: 0, EgressPort: 1})
+	_ = a.RegisterGraph(testGraph(t, "g1"))
+	rules, err := a.CompileRules(flowtable.Port(0), testKey(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Match.Specificity() != 0 {
+			t.Fatalf("wildcard mode produced specific match: %v", r.Match)
+		}
+	}
+	rules, err = a.CompileRules(flowtable.Port(0), testKey(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if !r.Match.IsExact() {
+			t.Fatalf("exact mode produced wildcard: %v", r.Match)
+		}
+	}
+	// The Compiler adapter matches the controller's signature.
+	rc := a.Compiler(true)
+	if _, err := rc(flowtable.Port(0), testKey()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectorPicksGraph(t *testing.T) {
+	sel := func(scope flowtable.ServiceID, key packet.FlowKey) string {
+		if key.DstPort == 80 {
+			return "web"
+		}
+		return "other"
+	}
+	a := New(Config{Selector: sel})
+	web, _ := graph.Chain("web", graph.Vertex{Service: 20})
+	other, _ := graph.Chain("other", graph.Vertex{Service: 30})
+	_ = a.RegisterGraph(web)
+	_ = a.RegisterGraph(other)
+	rules, err := a.CompileRules(flowtable.Port(0), testKey(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		for _, act := range r.Actions {
+			if act == flowtable.Forward(20) {
+				found = true
+			}
+			if act == flowtable.Forward(30) {
+				t.Fatal("selector picked the wrong graph")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("web graph not compiled")
+	}
+}
+
+func TestMessageValidation(t *testing.T) {
+	a := New(Config{})
+	_ = a.RegisterGraph(testGraph(t, "g1")) // edges: src->10->11->sink
+
+	// ChangeDefault along an existing edge: accepted.
+	if !a.HandleNFMessage(10, nf.Message{Kind: nf.MsgChangeDefault, S: 10, T: 11}) {
+		t.Fatal("valid ChangeDefault rejected")
+	}
+	// ChangeDefault along a non-edge: rejected.
+	if a.HandleNFMessage(10, nf.Message{Kind: nf.MsgChangeDefault, S: 11, T: 10}) {
+		t.Fatal("reverse edge accepted")
+	}
+	// SkipMe for a known service: accepted.
+	if !a.HandleNFMessage(11, nf.Message{Kind: nf.MsgSkipMe, S: 11}) {
+		t.Fatal("valid SkipMe rejected")
+	}
+	// RequestMe for an unknown service: rejected.
+	if a.HandleNFMessage(99, nf.Message{Kind: nf.MsgRequestMe, S: 99}) {
+		t.Fatal("unknown service accepted")
+	}
+	// Data messages always pass and update the policy store.
+	if !a.HandleNFMessage(10, nf.Message{Kind: nf.MsgData, Key: "alarm", Value: "on"}) {
+		t.Fatal("data message rejected")
+	}
+	if v, ok := a.Policy("alarm"); !ok || v != "on" {
+		t.Fatalf("policy = %v %v", v, ok)
+	}
+	log := a.Messages()
+	if len(log) != 5 {
+		t.Fatalf("log = %d entries", len(log))
+	}
+	accepted := 0
+	for _, e := range log {
+		if e.Accepted {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Fatalf("accepted = %d", accepted)
+	}
+}
+
+func TestTrustedNFsSkipValidation(t *testing.T) {
+	a := New(Config{TrustNFs: true})
+	if !a.HandleNFMessage(99, nf.Message{Kind: nf.MsgChangeDefault, S: 1, T: 2}) {
+		t.Fatal("trusted message rejected")
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	a := New(Config{TrustNFs: true})
+	var got []nf.Message
+	a.Subscribe(func(_ flowtable.ServiceID, m nf.Message) { got = append(got, m) })
+	a.HandleNFMessage(1, nf.Message{Kind: nf.MsgData, Key: "k"})
+	if len(got) != 1 {
+		t.Fatal("listener not invoked")
+	}
+}

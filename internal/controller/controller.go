@@ -1,0 +1,274 @@
+// Package controller implements the SDN controller of the SDNFV
+// architecture (Fig. 2). Like the paper's POX deployment it processes
+// control requests on a single-threaded event loop — which is exactly what
+// makes it a bottleneck when the data plane punts too much traffic to it
+// (Fig. 1, Fig. 10). A configurable per-request service time models the
+// controller's processing cost.
+//
+// The controller serves two interfaces:
+//
+//   - Southbound: an openflow.Conn server accepting NF Manager channels
+//     (PacketIn → FlowMod), see Serve.
+//   - Northbound: the SDNFV Application installs per-graph rule compilers
+//     and receives NF messages (§3.4).
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/openflow"
+	"sdnfv/internal/packet"
+)
+
+// RuleCompiler produces the flow rules to install for a new flow first
+// seen at scope. The SDNFV Application provides one (compiled from its
+// service graphs) via SetCompiler.
+type RuleCompiler func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error)
+
+// Config tunes the controller.
+type Config struct {
+	// ServiceTime is the modeled processing cost per request; the paper's
+	// measured SDN lookup is ~31 ms end-to-end with POX. Zero disables
+	// the artificial delay.
+	ServiceTime time.Duration
+	// QueueDepth bounds the single-threaded event queue; requests beyond
+	// it are rejected (the saturation behaviour of Fig. 1). Zero means
+	// 1024.
+	QueueDepth int
+}
+
+// Stats is a snapshot of controller activity.
+type Stats struct {
+	Requests uint64
+	Rejected uint64
+	FlowMods uint64
+	NFMsgs   uint64
+}
+
+// Controller is a single-threaded SDN controller.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	compiler RuleCompiler
+	onNFMsg  func(src flowtable.ServiceID, m nf.Message)
+
+	queue chan request
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	requests atomic.Uint64
+	rejected atomic.Uint64
+	flowMods atomic.Uint64
+	nfMsgs   atomic.Uint64
+}
+
+type request struct {
+	scope flowtable.ServiceID
+	key   packet.FlowKey
+	reply func(rules []flowtable.Rule, err error)
+}
+
+// New builds a controller; call Start before use.
+func New(cfg Config) *Controller {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	return &Controller{
+		cfg:   cfg,
+		queue: make(chan request, cfg.QueueDepth),
+		done:  make(chan struct{}),
+	}
+}
+
+// SetCompiler installs the northbound rule compiler.
+func (c *Controller) SetCompiler(rc RuleCompiler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.compiler = rc
+}
+
+// SetNFMessageHandler installs the northbound cross-layer message sink.
+func (c *Controller) SetNFMessageHandler(fn func(src flowtable.ServiceID, m nf.Message)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onNFMsg = fn
+}
+
+// Start launches the single-threaded event loop.
+func (c *Controller) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			select {
+			case <-c.done:
+				return
+			case req := <-c.queue:
+				c.handle(req)
+			}
+		}
+	}()
+}
+
+// Stop terminates the event loop.
+func (c *Controller) Stop() {
+	close(c.done)
+	c.wg.Wait()
+}
+
+func (c *Controller) handle(req request) {
+	if c.cfg.ServiceTime > 0 {
+		time.Sleep(c.cfg.ServiceTime)
+	}
+	c.mu.Lock()
+	rc := c.compiler
+	c.mu.Unlock()
+	if rc == nil {
+		req.reply(nil, errors.New("controller: no rule compiler installed"))
+		return
+	}
+	rules, err := rc(req.scope, req.key)
+	if err == nil {
+		c.flowMods.Add(uint64(len(rules)))
+	}
+	req.reply(rules, err)
+}
+
+// Stats returns a snapshot of counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Requests: c.requests.Load(),
+		Rejected: c.rejected.Load(),
+		FlowMods: c.flowMods.Load(),
+		NFMsgs:   c.nfMsgs.Load(),
+	}
+}
+
+// Resolve is the in-process southbound path: an NF Manager's Flow
+// Controller thread calls it on a miss and blocks for the rules (the
+// asynchrony lives in the manager, which calls this off the packet path).
+// It returns an error when the controller queue is full.
+func (c *Controller) Resolve(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+	c.requests.Add(1)
+	type result struct {
+		rules []flowtable.Rule
+		err   error
+	}
+	ch := make(chan result, 1)
+	req := request{scope: scope, key: key, reply: func(rules []flowtable.Rule, err error) {
+		ch <- result{rules, err}
+	}}
+	select {
+	case c.queue <- req:
+	default:
+		c.rejected.Add(1)
+		return nil, errors.New("controller: request queue full")
+	}
+	r := <-ch
+	return r.rules, r.err
+}
+
+// HandleNFMessage is the in-process path for cross-layer messages routed
+// via the controller (Fig. 2 step 5).
+func (c *Controller) HandleNFMessage(src flowtable.ServiceID, m nf.Message) {
+	c.nfMsgs.Add(1)
+	c.mu.Lock()
+	fn := c.onNFMsg
+	c.mu.Unlock()
+	if fn != nil {
+		fn(src, m)
+	}
+}
+
+// Serve accepts NF Manager control channels on ln and speaks the openflow
+// package's protocol: HELLO exchange, then PACKET_IN → FLOW_MOD and
+// NF_MESSAGE handling, ECHO and BARRIER support. It returns when ln is
+// closed.
+func (c *Controller) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			if err := c.serveConn(conn); err != nil {
+				// Connection errors are expected at shutdown; nothing to
+				// do beyond closing.
+				_ = err
+			}
+		}()
+	}
+}
+
+func (c *Controller) serveConn(conn net.Conn) error {
+	oc := openflow.NewConn(conn)
+	if _, err := oc.Send(openflow.Hello{}); err != nil {
+		return err
+	}
+	var sendMu sync.Mutex
+	for {
+		msg, hdr, err := oc.Recv()
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case openflow.Hello:
+			// Peer greeting; nothing to do.
+		case openflow.Echo:
+			if !m.Reply {
+				sendMu.Lock()
+				err = oc.SendXID(openflow.Echo{Reply: true, Data: m.Data}, hdr.XID)
+				sendMu.Unlock()
+				if err != nil {
+					return err
+				}
+			}
+		case openflow.Barrier:
+			sendMu.Lock()
+			err = oc.SendXID(openflow.Barrier{Reply: true}, hdr.XID)
+			sendMu.Unlock()
+			if err != nil {
+				return err
+			}
+		case openflow.PacketIn:
+			rules, rerr := c.Resolve(m.Scope, m.Key)
+			sendMu.Lock()
+			if rerr != nil {
+				err = oc.SendXID(openflow.ErrorMsg{Code: 1, Text: rerr.Error()}, hdr.XID)
+			} else {
+				for _, r := range rules {
+					if err = oc.SendXID(openflow.FlowMod{Rule: r}, hdr.XID); err != nil {
+						break
+					}
+				}
+				if err == nil {
+					err = oc.SendXID(openflow.Barrier{Reply: true}, hdr.XID)
+				}
+			}
+			sendMu.Unlock()
+			if err != nil {
+				return err
+			}
+		case openflow.NFMessage:
+			c.HandleNFMessage(m.Src, m.Msg)
+		default:
+			sendMu.Lock()
+			err = oc.SendXID(openflow.ErrorMsg{Code: 2, Text: fmt.Sprintf("unexpected %s", hdr.Type)}, hdr.XID)
+			sendMu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+	}
+}

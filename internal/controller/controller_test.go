@@ -1,0 +1,191 @@
+package controller
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/openflow"
+	"sdnfv/internal/packet"
+)
+
+func testKey() packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: packet.IPv4(10, 0, 0, 1), DstIP: packet.IPv4(10, 0, 0, 2),
+		SrcPort: 1000, DstPort: 80, Proto: packet.ProtoUDP,
+	}
+}
+
+func TestResolveInProcess(t *testing.T) {
+	c := New(Config{})
+	c.SetCompiler(func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+		return []flowtable.Rule{{
+			Scope:   scope,
+			Match:   flowtable.ExactMatch(key),
+			Actions: []flowtable.Action{flowtable.Forward(10)},
+		}}, nil
+	})
+	c.Start()
+	defer c.Stop()
+	rules, err := c.Resolve(flowtable.Port(0), testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Scope != flowtable.Port(0) {
+		t.Fatalf("rules = %v", rules)
+	}
+	st := c.Stats()
+	if st.Requests != 1 || st.FlowMods != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResolveNoCompiler(t *testing.T) {
+	c := New(Config{})
+	c.Start()
+	defer c.Stop()
+	if _, err := c.Resolve(flowtable.Port(0), testKey()); err == nil {
+		t.Fatal("resolve without compiler should fail")
+	}
+}
+
+func TestQueueOverflowRejected(t *testing.T) {
+	c := New(Config{ServiceTime: 50 * time.Millisecond, QueueDepth: 1})
+	c.SetCompiler(func(flowtable.ServiceID, packet.FlowKey) ([]flowtable.Rule, error) {
+		return nil, nil
+	})
+	c.Start()
+	defer c.Stop()
+	// Fire several concurrent requests; with depth 1 and slow service,
+	// some must be rejected.
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := c.Resolve(flowtable.Port(0), testKey())
+			errs <- err
+		}()
+	}
+	rejected := 0
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no requests rejected under overload")
+	}
+	if c.Stats().Rejected == 0 {
+		t.Fatal("rejection counter not incremented")
+	}
+}
+
+func TestNFMessageHandler(t *testing.T) {
+	c := New(Config{})
+	got := make(chan nf.Message, 1)
+	c.SetNFMessageHandler(func(src flowtable.ServiceID, m nf.Message) {
+		got <- m
+	})
+	c.HandleNFMessage(50, nf.Message{Kind: nf.MsgRequestMe, S: 50})
+	select {
+	case m := <-got:
+		if m.Kind != nf.MsgRequestMe {
+			t.Fatalf("message = %v", m)
+		}
+	default:
+		t.Fatal("handler not invoked")
+	}
+}
+
+// TestServeOverTCP exercises the full southbound wire path: HELLO,
+// PACKET_IN → FLOW_MODs + barrier, ECHO, and NF_MESSAGE.
+func TestServeOverTCP(t *testing.T) {
+	c := New(Config{})
+	c.SetCompiler(func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+		return []flowtable.Rule{
+			{Scope: scope, Match: flowtable.ExactMatch(key),
+				Actions: []flowtable.Action{flowtable.Forward(10)}},
+			{Scope: flowtable.ServiceID(10), Match: flowtable.ExactMatch(key),
+				Actions: []flowtable.Action{flowtable.Out(1)}},
+		}, nil
+	})
+	nfMsgs := make(chan nf.Message, 1)
+	c.SetNFMessageHandler(func(_ flowtable.ServiceID, m nf.Message) { nfMsgs <- m })
+	c.Start()
+	defer c.Stop()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = c.Serve(ln) }()
+
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	oc := openflow.NewConn(conn)
+
+	// Controller greets first.
+	msg, _, err := oc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(openflow.Hello); !ok {
+		t.Fatalf("greeting = %T", msg)
+	}
+	if _, err := oc.Send(openflow.Hello{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Echo.
+	if _, err := oc.Send(openflow.Echo{Data: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	msg, _, err = oc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := msg.(openflow.Echo); !ok || !e.Reply || string(e.Data) != "hi" {
+		t.Fatalf("echo reply = %+v", msg)
+	}
+
+	// PacketIn → two FlowMods then a barrier.
+	if _, err := oc.Send(openflow.PacketIn{Scope: flowtable.Port(0), Key: testKey()}); err != nil {
+		t.Fatal(err)
+	}
+	var mods int
+	for {
+		msg, _, err = oc.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := msg.(openflow.FlowMod); ok {
+			mods++
+			continue
+		}
+		if b, ok := msg.(openflow.Barrier); ok && b.Reply {
+			break
+		}
+		t.Fatalf("unexpected %T", msg)
+	}
+	if mods != 2 {
+		t.Fatalf("flow mods = %d", mods)
+	}
+
+	// NF message propagates to the northbound handler.
+	if _, err := oc.Send(openflow.NFMessage{Src: 50, Msg: nf.Message{Kind: nf.MsgSkipMe, S: 50}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-nfMsgs:
+		if m.Kind != nf.MsgSkipMe {
+			t.Fatalf("nf msg = %v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("NF message never reached the northbound handler")
+	}
+}

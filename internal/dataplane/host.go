@@ -1,0 +1,752 @@
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/graph"
+	"sdnfv/internal/mempool"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/packet"
+	"sdnfv/internal/ring"
+)
+
+// Config tunes a Host. Zero values select sensible defaults (see
+// fillDefaults).
+type Config struct {
+	// PoolSize is the number of packet buffers (the "huge page" budget).
+	PoolSize int
+	// BufSize is the byte capacity of each packet buffer.
+	BufSize int
+	// RingSize is the capacity of every descriptor ring.
+	RingSize int
+	// TXThreads is the number of TX "cores" draining NF output rings.
+	TXThreads int
+	// LoadBalancer selects the replica-selection policy.
+	LoadBalancer LBPolicy
+	// DisableLookupCache turns OFF descriptor-carried flow entries (§4.2
+	// "Caching flow table lookups"); used by the ablation benchmark.
+	DisableLookupCache bool
+	// SpinLimit is how many empty polls a thread performs before yielding.
+	SpinLimit int
+	// MissHandler, when set, is invoked by the Flow Controller thread for
+	// flow-table misses; it returns the rules to install (it may block —
+	// it runs off the critical path, as in §4.1). When nil, miss packets
+	// are dropped.
+	MissHandler func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error)
+	// MsgHandler receives cross-layer messages after local application
+	// (the hook toward the SDNFV Application, §3.4). May be nil.
+	MsgHandler func(src flowtable.ServiceID, m nf.Message)
+}
+
+func (c *Config) fillDefaults() {
+	if c.PoolSize == 0 {
+		c.PoolSize = 4096
+	}
+	if c.BufSize == 0 {
+		c.BufSize = 2048
+	}
+	if c.RingSize == 0 {
+		c.RingSize = 1024
+	}
+	if c.TXThreads == 0 {
+		c.TXThreads = 2
+	}
+	if c.SpinLimit == 0 {
+		c.SpinLimit = 256
+	}
+}
+
+// HostStats is a snapshot of host counters.
+type HostStats struct {
+	RxPackets    uint64
+	TxPackets    uint64
+	Drops        uint64
+	Misses       uint64
+	CtrlMessages uint64
+	Pool         mempool.Stats
+	Table        flowtable.Stats
+}
+
+// Host is one NF host: the NF Manager plus its NF instances.
+// Construct with NewHost, add NFs and rules, then Start. After Start the
+// packet path is lock-free: all routing state is immutable snapshots taken
+// at Start, and all inter-thread traffic flows through SPSC rings.
+type Host struct {
+	cfg   Config
+	pool  *mempool.Pool
+	table *flowtable.Table
+
+	mu        sync.Mutex
+	services  map[flowtable.ServiceID][]*Instance
+	instances []*Instance
+	started   bool
+
+	// Immutable snapshots taken at Start (lock-free reads on the fast
+	// path).
+	svcSnap  map[flowtable.ServiceID][]*Instance
+	instSnap []*Instance
+
+	// nicIn is the simulated NIC RX queue (producers serialized by
+	// injectMu; consumer: RX thread).
+	nicIn    *ring.SPSCOf[Desc]
+	injectMu sync.Mutex
+
+	// fcIn carries miss descriptors to the Flow Controller thread, one
+	// ring per producer thread.
+	fcIn []*ring.SPSCOf[Desc]
+
+	// ctrl carries cross-layer messages from NFs to the manager loop.
+	ctrl *ring.MPSC
+
+	// output receives transmitted packets. The callback must not retain
+	// data beyond the call.
+	output func(port int, data []byte, d *Desc)
+
+	// parallel-join state, indexed by buffer slot.
+	parPending []atomic.Int32
+	parBest    []atomic.Uint64
+
+	rxCount   atomic.Uint64
+	txCount   atomic.Uint64
+	dropCount atomic.Uint64
+	missCount atomic.Uint64
+	msgCount  atomic.Uint64
+
+	stop atomic.Bool
+	wg   sync.WaitGroup
+}
+
+// NewHost builds a Host from cfg.
+func NewHost(cfg Config) *Host {
+	cfg.fillDefaults()
+	h := &Host{
+		cfg:      cfg,
+		pool:     mempool.New(cfg.PoolSize, cfg.BufSize),
+		table:    flowtable.New(),
+		services: make(map[flowtable.ServiceID][]*Instance),
+		nicIn:    ring.NewSPSCOf[Desc](cfg.RingSize),
+		ctrl:     ring.NewMPSC(4096),
+	}
+	h.parPending = make([]atomic.Int32, cfg.PoolSize)
+	h.parBest = make([]atomic.Uint64, cfg.PoolSize)
+	return h
+}
+
+// Table exposes the host flow table (the NF Manager owns it; the SDN
+// controller and cross-layer messages mutate it through this handle).
+func (h *Host) Table() *flowtable.Table { return h.table }
+
+// Pool exposes the packet pool for diagnostics and tests.
+func (h *Host) Pool() *mempool.Pool { return h.pool }
+
+// SetOutput installs the transmit callback (e.g. the traffic sink). Must
+// be called before Start.
+func (h *Host) SetOutput(fn func(port int, data []byte, d *Desc)) { h.output = fn }
+
+// producer thread slot layout: 0 = RX, 1..TXThreads = TX, last = Flow
+// Controller.
+func (h *Host) producerCount() int  { return 2 + h.cfg.TXThreads }
+func (h *Host) fcProducerSlot() int { return 1 + h.cfg.TXThreads }
+
+// AddNF registers a replica of service svc running fn. priority breaks
+// action-conflict ties among parallel NFs (higher wins). Must be called
+// before Start.
+func (h *Host) AddNF(svc flowtable.ServiceID, fn nf.Function, priority uint16) (*Instance, error) {
+	if svc.IsPort() || svc == graph.Source || svc == graph.Sink {
+		return nil, fmt.Errorf("dataplane: invalid service id %s", svc)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.started {
+		return nil, errors.New("dataplane: host already started")
+	}
+	inst := &Instance{
+		Service:  svc,
+		Index:    len(h.services[svc]),
+		Priority: priority,
+		fn:       fn,
+		readOnly: fn.ReadOnly(),
+		done:     make(chan struct{}),
+	}
+	inst.ctx = nf.Context{
+		Service:  svc,
+		Instance: inst.Index,
+		Emit: func(m nf.Message) {
+			if err := h.ctrl.Push(ctrlMsg{src: svc, msg: m}); err == nil {
+				h.msgCount.Add(1)
+			}
+		},
+	}
+	h.services[svc] = append(h.services[svc], inst)
+	h.instances = append(h.instances, inst)
+	return inst, nil
+}
+
+type ctrlMsg struct {
+	src flowtable.ServiceID
+	msg nf.Message
+}
+
+// InstallGraph compiles g into rules (ingress inPort, egress outPort) and
+// installs them.
+func (h *Host) InstallGraph(g *graph.Graph, inPort, outPort int) error {
+	rules, err := g.Rules(inPort, outPort)
+	if err != nil {
+		return err
+	}
+	for _, r := range rules {
+		if _, err := h.table.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start launches the manager threads and all NF instances.
+func (h *Host) Start() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.started {
+		return errors.New("dataplane: already started")
+	}
+	h.started = true
+
+	// Snapshot routing state for lock-free fast-path reads.
+	h.svcSnap = make(map[flowtable.ServiceID][]*Instance, len(h.services))
+	for s, insts := range h.services {
+		h.svcSnap[s] = append([]*Instance(nil), insts...)
+	}
+	h.instSnap = append([]*Instance(nil), h.instances...)
+
+	producers := h.producerCount()
+	for _, inst := range h.instSnap {
+		inst.in = make([]*ring.SPSCOf[Desc], producers)
+		for p := range inst.in {
+			inst.in[p] = ring.NewSPSCOf[Desc](h.cfg.RingSize)
+		}
+		inst.out = ring.NewSPSCOf[Desc](h.cfg.RingSize)
+	}
+	for i, inst := range h.instSnap {
+		inst.txThread = i % h.cfg.TXThreads
+	}
+	h.fcIn = make([]*ring.SPSCOf[Desc], producers)
+	for p := range h.fcIn {
+		h.fcIn[p] = ring.NewSPSCOf[Desc](h.cfg.RingSize)
+	}
+
+	h.wg.Add(1)
+	go func() { defer h.wg.Done(); h.rxLoop() }()
+	for t := 0; t < h.cfg.TXThreads; t++ {
+		t := t
+		h.wg.Add(1)
+		go func() { defer h.wg.Done(); h.txLoop(t) }()
+	}
+	h.wg.Add(1)
+	go func() { defer h.wg.Done(); h.fcLoop() }()
+	for _, inst := range h.instSnap {
+		inst := inst
+		h.wg.Add(1)
+		go func() { defer h.wg.Done(); inst.run(h) }()
+	}
+	return nil
+}
+
+// Stop halts all threads and waits for them to exit. The host can be
+// started again afterwards.
+func (h *Host) Stop() {
+	h.mu.Lock()
+	if !h.started {
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	h.stop.Store(true)
+	for _, inst := range h.instSnap {
+		inst.stop.Store(true)
+	}
+	h.wg.Wait()
+	h.mu.Lock()
+	h.started = false
+	h.stop.Store(false)
+	for _, inst := range h.instSnap {
+		inst.stop.Store(false)
+		inst.done = make(chan struct{})
+	}
+	h.mu.Unlock()
+}
+
+// Stats returns a counter snapshot.
+func (h *Host) Stats() HostStats {
+	return HostStats{
+		RxPackets:    h.rxCount.Load(),
+		TxPackets:    h.txCount.Load(),
+		Drops:        h.dropCount.Load(),
+		Misses:       h.missCount.Load(),
+		CtrlMessages: h.msgCount.Load(),
+		Pool:         h.pool.Stats(),
+		Table:        h.table.Stats(),
+	}
+}
+
+// Instances returns the registered instances (tests/diagnostics).
+func (h *Host) Instances() []*Instance {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*Instance(nil), h.instances...)
+}
+
+// pause backs off an idle polling loop: spin, then yield, then sleep.
+func (h *Host) pause(idle *int) {
+	*idle++
+	switch {
+	case *idle < h.cfg.SpinLimit:
+		// busy spin
+	case *idle < h.cfg.SpinLimit*16:
+		runtime.Gosched()
+	default:
+		time.Sleep(5 * time.Microsecond)
+	}
+}
+
+// Inject delivers a raw frame into the host NIC on port (the traffic
+// generator's DMA). The frame is copied into a pool buffer; ErrExhausted
+// maps to a drop, like a NIC out of descriptors. Safe for concurrent use.
+func (h *Host) Inject(port int, frame []byte) error {
+	hd, err := h.pool.Alloc()
+	if err != nil {
+		h.dropCount.Add(1)
+		return err
+	}
+	buf, _ := h.pool.Buf(hd)
+	if len(frame) > len(buf) {
+		_ = h.pool.Release(hd)
+		return fmt.Errorf("dataplane: frame %dB exceeds buffer %dB", len(frame), len(buf))
+	}
+	copy(buf, frame)
+	_ = h.pool.SetLength(hd, len(frame))
+	d := Desc{
+		H:            hd,
+		Scope:        flowtable.Port(port),
+		ArrivalNanos: time.Now().UnixNano(),
+	}
+	if v, err := packet.Parse(buf[:len(frame)]); err == nil {
+		d.View = v
+		d.Key = v.FlowKey()
+	}
+	h.injectMu.Lock()
+	ok := h.nicIn.Enqueue(d)
+	h.injectMu.Unlock()
+	if !ok {
+		_ = h.pool.Release(hd)
+		h.dropCount.Add(1)
+		return errors.New("dataplane: NIC ring full")
+	}
+	return nil
+}
+
+// releaseDesc returns d's buffer reference.
+func (h *Host) releaseDesc(d *Desc) {
+	_ = h.pool.Release(d.H)
+}
+
+// rxLoop is the RX thread: drain the NIC ring, look up the flow, dispatch.
+func (h *Host) rxLoop() {
+	const producer = 0
+	var rr uint64
+	idle := 0
+	batch := make([]Desc, 64)
+	for !h.stop.Load() {
+		n := h.nicIn.DequeueBatch(batch)
+		if n == 0 {
+			h.pause(&idle)
+			continue
+		}
+		idle = 0
+		for i := 0; i < n; i++ {
+			d := batch[i]
+			h.rxCount.Add(1)
+			h.route(&d, producer, &rr)
+		}
+	}
+}
+
+// route resolves the flow-table entry for d's scope and dispatches it.
+func (h *Host) route(d *Desc, producer int, rr *uint64) {
+	e, err := h.table.Lookup(d.Scope, d.Key)
+	if err != nil {
+		// Flow-table miss: punt to the Flow Controller thread (§4.1).
+		h.missCount.Add(1)
+		if !h.fcIn[producer].Enqueue(*d) {
+			h.dropPacket(d)
+		}
+		return
+	}
+	h.dispatchEntry(d, e, producer, rr)
+}
+
+// dispatchEntry applies e to d: parallel fan-out or the default action.
+func (h *Host) dispatchEntry(d *Desc, e *flowtable.Entry, producer int, rr *uint64) {
+	if e.Parallel && len(e.Actions) > 1 {
+		h.fanOut(d, e, producer)
+		return
+	}
+	def, ok := e.Default()
+	if !ok {
+		h.dropPacket(d)
+		return
+	}
+	h.applyAction(d, def, producer, rr)
+}
+
+// fanOut dispatches one shared packet to every NF in a parallel action
+// list (§4.2 "Parallel Packet Processing"). Parallel rules always target
+// replica 0 of each member service: replication inside a parallel segment
+// would need per-member balancing state that the paper does not define.
+func (h *Host) fanOut(d *Desc, e *flowtable.Entry, producer int) {
+	targets := make([]*Instance, 0, len(e.Actions))
+	for _, a := range e.Actions {
+		if a.Type != flowtable.ActionForward {
+			continue
+		}
+		if insts := h.svcSnap[a.Dest]; len(insts) > 0 {
+			targets = append(targets, insts[0])
+		}
+	}
+	if len(targets) == 0 {
+		h.dropPacket(d)
+		return
+	}
+	idx := d.H.Index()
+	h.parPending[idx].Store(int32(len(targets)))
+	h.parBest[idx].Store(0)
+	if len(targets) > 1 {
+		// The descriptor already holds one reference; add the rest of the
+		// parallelization factor (§4.2).
+		_ = h.pool.Retain(d.H, len(targets)-1)
+	}
+	for _, inst := range targets {
+		cp := *d
+		cp.parallel = true
+		cp.Entry = nil
+		if !h.cfg.DisableLookupCache {
+			if me, err := h.table.Lookup(inst.Service, d.Key); err == nil {
+				cp.Entry = me
+			}
+		}
+		if !inst.offer(producer, cp) {
+			// Member queue full: account the member as done with the
+			// lowest-priority outcome so the join still completes.
+			h.parJoin(&cp, packAction(flowtable.Forward(inst.Service), 0), producer)
+		}
+	}
+}
+
+// applyAction delivers d per a (non-parallel path).
+func (h *Host) applyAction(d *Desc, a flowtable.Action, producer int, rr *uint64) {
+	switch a.Type {
+	case flowtable.ActionDrop:
+		h.dropPacket(d)
+	case flowtable.ActionOut:
+		h.transmit(d, a.Dest.PortNum())
+	case flowtable.ActionForward:
+		insts := h.svcSnap[a.Dest]
+		if len(insts) == 0 {
+			h.dropPacket(d)
+			return
+		}
+		inst := h.pick(insts, d.Key, rr)
+		nd := *d
+		nd.parallel = false
+		nd.Verb = nf.VerbDefault
+		nd.Entry = nil
+		if !h.cfg.DisableLookupCache {
+			// Look ahead: resolve the entry governing the packet at its
+			// next scope and carry it in the descriptor so the TX thread
+			// skips the hash lookup (§4.2 "Caching flow table lookups").
+			if ne, err := h.table.Lookup(a.Dest, d.Key); err == nil {
+				nd.Entry = ne
+			}
+		}
+		if !inst.offer(producer, nd) {
+			h.dropPacket(d)
+		}
+	}
+}
+
+// transmit hands the packet to the output callback and releases it.
+func (h *Host) transmit(d *Desc, port int) {
+	h.txCount.Add(1)
+	if h.output != nil {
+		if data, err := h.pool.Data(d.H); err == nil {
+			h.output(port, data, d)
+		}
+	}
+	h.releaseDesc(d)
+}
+
+// dropPacket discards d.
+func (h *Host) dropPacket(d *Desc) {
+	h.dropCount.Add(1)
+	h.releaseDesc(d)
+}
+
+// txLoop is TX thread t: drain the out rings of assigned instances,
+// resolve each NF's decision, and act on it. Thread 0 additionally applies
+// queued cross-layer messages so flow-table rewrites are serialized.
+func (h *Host) txLoop(t int) {
+	producer := 1 + t
+	var rr uint64
+	idle := 0
+	for !h.stop.Load() {
+		progressed := false
+		for _, inst := range h.instSnap {
+			if inst.txThread != t {
+				continue
+			}
+			for {
+				d, ok := inst.out.Dequeue()
+				if !ok {
+					break
+				}
+				progressed = true
+				h.completeNF(&d, inst, producer, &rr)
+			}
+		}
+		if t == 0 {
+			for {
+				m, ok := h.ctrl.Pop()
+				if !ok {
+					break
+				}
+				progressed = true
+				cm := m.(ctrlMsg)
+				h.applyMessage(cm.src, cm.msg)
+			}
+		}
+		if !progressed {
+			h.pause(&idle)
+		} else {
+			idle = 0
+		}
+	}
+}
+
+// resolveEntry returns the flow-table entry at d's current scope, using
+// the descriptor cache when enabled. Nil means the flow has no rule (a
+// miss).
+func (h *Host) resolveEntry(d *Desc) *flowtable.Entry {
+	if !h.cfg.DisableLookupCache && d.Entry != nil {
+		return d.Entry
+	}
+	if h.cfg.DisableLookupCache {
+		// Without descriptor caching the TX thread pays the full cost:
+		// re-extract the 5-tuple from the packet, then hash-lookup.
+		if data, err := h.pool.Data(d.H); err == nil {
+			if v, err := packet.Parse(data); err == nil {
+				d.Key = v.FlowKey()
+			}
+		}
+	}
+	e, err := h.table.Lookup(d.Scope, d.Key)
+	if err != nil {
+		return nil
+	}
+	return e
+}
+
+// completeNF handles a descriptor returned by an NF: resolve its verb to a
+// concrete action, then either join a parallel group or apply the action.
+func (h *Host) completeNF(d *Desc, inst *Instance, producer int, rr *uint64) {
+	var act flowtable.Action
+	switch d.Verb {
+	case nf.VerbDiscard:
+		act = flowtable.Drop()
+	case nf.VerbOut:
+		act = flowtable.Action{Type: flowtable.ActionOut, Dest: d.Dest}
+	case nf.VerbSendTo:
+		e := h.resolveEntry(d)
+		req := flowtable.Forward(d.Dest)
+		switch {
+		case d.parallel || (e != nil && e.Allows(req)):
+			act = req
+		case e != nil:
+			// Disallowed next hop: fall back to the default (§3.4 — only
+			// listed next hops are permitted).
+			if def, ok := e.Default(); ok {
+				act = def
+			} else {
+				act = flowtable.Drop()
+			}
+		default:
+			h.punt(d, producer)
+			return
+		}
+	default: // VerbDefault
+		e := h.resolveEntry(d)
+		if e == nil {
+			h.punt(d, producer)
+			return
+		}
+		if def, ok := e.Default(); ok {
+			act = def
+		} else {
+			act = flowtable.Drop()
+		}
+	}
+
+	if d.parallel {
+		h.parJoin(d, packAction(act, inst.Priority), producer)
+		return
+	}
+	d.Entry = nil
+	h.applyAction(d, act, producer, rr)
+}
+
+// punt sends a missing-rule descriptor to the Flow Controller.
+func (h *Host) punt(d *Desc, producer int) {
+	h.missCount.Add(1)
+	if !h.fcIn[producer].Enqueue(*d) {
+		h.dropPacket(d)
+	}
+}
+
+// parJoin merges one parallel member's resolved action; the last member to
+// arrive continues the packet with the merged action.
+func (h *Host) parJoin(d *Desc, packed mergedAction, producer int) {
+	idx := d.H.Index()
+	for {
+		cur := h.parBest[idx].Load()
+		if uint64(packed) <= cur {
+			break
+		}
+		if h.parBest[idx].CompareAndSwap(cur, uint64(packed)) {
+			break
+		}
+	}
+	if h.parPending[idx].Add(-1) > 0 {
+		// Another member still holds the packet; drop this reference.
+		h.releaseDesc(d)
+		return
+	}
+	merged := mergedAction(h.parBest[idx].Load())
+	if !merged.valid() {
+		h.dropPacket(d)
+		return
+	}
+	d.parallel = false
+	d.Entry = nil
+	var rr uint64
+	h.applyAction(d, merged.action(), producer, &rr)
+}
+
+// fcLoop is the Flow Controller thread (§4.1): it owns flow-table misses,
+// calls the (possibly slow) miss handler off the critical path, installs
+// returned rules, and re-routes the triggering packets.
+func (h *Host) fcLoop() {
+	idle := 0
+	var rr uint64
+	producer := h.fcProducerSlot()
+	for !h.stop.Load() {
+		progressed := false
+		for _, r := range h.fcIn {
+			for {
+				d, ok := r.Dequeue()
+				if !ok {
+					break
+				}
+				progressed = true
+				if h.cfg.MissHandler == nil {
+					h.dropPacket(&d)
+					continue
+				}
+				rules, err := h.cfg.MissHandler(d.Scope, d.Key)
+				if err != nil {
+					h.dropPacket(&d)
+					continue
+				}
+				for _, rule := range rules {
+					_, _ = h.table.Add(rule)
+				}
+				h.route(&d, producer, &rr)
+			}
+		}
+		if !progressed {
+			h.pause(&idle)
+		} else {
+			idle = 0
+		}
+	}
+}
+
+// ApplyMessage executes a cross-layer message against the local flow table
+// as if sent by src; exported for the controller/application layers, which
+// deliver validated messages downward through the same path (§3.4).
+func (h *Host) ApplyMessage(src flowtable.ServiceID, m nf.Message) {
+	h.applyMessage(src, m)
+}
+
+// applyMessage executes a cross-layer message against the local flow
+// table (§3.4), then forwards it to the SDNFV Application hook.
+func (h *Host) applyMessage(src flowtable.ServiceID, m nf.Message) {
+	switch m.Kind {
+	case nf.MsgSkipMe:
+		// NFs whose default edge leads to S bypass S: their default
+		// becomes S's own default action. The forward(S) edge stays in
+		// the action list so a later RequestMe can restore it.
+		if e := h.lookupAnyRule(m.S); e != nil {
+			if def, ok := e.Default(); ok {
+				for _, sc := range h.table.ScopesWithActionTo(m.Flows, m.S) {
+					h.table.UpdateDefault(sc, m.Flows, def, false)
+				}
+			}
+		}
+	case nf.MsgRequestMe:
+		// All nodes with an edge to S make S their default.
+		for _, sc := range h.table.ScopesWithActionTo(m.Flows, m.S) {
+			h.table.UpdateDefault(sc, m.Flows, flowtable.Forward(m.S), true)
+		}
+	case nf.MsgChangeDefault:
+		// Default rule for service S becomes T (constrained to edges
+		// already present, i.e. the original service graph). T may be a
+		// port-encoded destination (an egress link, as in Fig. 8).
+		newDef := flowtable.Forward(m.T)
+		if m.T.IsPort() {
+			newDef = flowtable.Action{Type: flowtable.ActionOut, Dest: m.T}
+		}
+		h.table.UpdateDefault(m.S, m.Flows, newDef, true)
+	case nf.MsgData:
+		// Application data: no local table effect.
+	}
+	if h.cfg.MsgHandler != nil {
+		h.cfg.MsgHandler(src, m)
+	}
+}
+
+// lookupAnyRule returns some rule scoped at s (wildcard preferred), used
+// to discover s's default action for SkipMe.
+func (h *Host) lookupAnyRule(s flowtable.ServiceID) *flowtable.Entry {
+	e, err := h.table.Lookup(s, packet.FlowKey{})
+	if err != nil {
+		return nil
+	}
+	return e
+}
+
+// WaitIdle blocks until the data plane has no packets in flight (pool
+// in-use returns to zero) or the timeout elapses.
+func (h *Host) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if h.pool.Stats().InUse == 0 {
+			return true
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return h.pool.Stats().InUse == 0
+}

@@ -1,0 +1,107 @@
+package dataplane
+
+import (
+	"sync/atomic"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/ring"
+)
+
+// Instance is one running NF "VM": a network function plus its private
+// rings. Each producer thread in the manager (the RX thread and every TX
+// thread) gets its own SPSC ring into the instance so that every ring has
+// exactly one producer and one consumer, as §4.1 requires.
+type Instance struct {
+	Service  flowtable.ServiceID
+	Index    int // replica number within the service
+	Priority uint16
+	fn       nf.Function
+	readOnly bool
+
+	// in[p] is written by producer p (0 = RX thread, 1+i = TX thread i).
+	in []*ring.SPSCOf[Desc]
+	// out is written by the NF goroutine, drained by its assigned TX
+	// thread.
+	out *ring.SPSCOf[Desc]
+	// txThread is the TX thread responsible for this instance's out ring.
+	txThread int
+
+	ctx nf.Context
+
+	rxCount   atomic.Uint64
+	dropCount atomic.Uint64 // ring-full drops into this instance
+	stop      atomic.Bool
+	done      chan struct{}
+}
+
+// Name returns the NF's name.
+func (in *Instance) Name() string { return in.fn.Name() }
+
+// ReadOnly reports the NF's read-only advertisement.
+func (in *Instance) ReadOnly() bool { return in.readOnly }
+
+// Processed returns the number of packets this instance has handled.
+func (in *Instance) Processed() uint64 { return in.rxCount.Load() }
+
+// InputDrops returns packets dropped because the instance's rings were full.
+func (in *Instance) InputDrops() uint64 { return in.dropCount.Load() }
+
+// backlog returns the total queued descriptors across input rings.
+func (in *Instance) backlog() int {
+	n := 0
+	for _, r := range in.in {
+		n += r.Len()
+	}
+	return n
+}
+
+// offer enqueues d on producer p's ring; false (and a drop count) on full.
+func (in *Instance) offer(p int, d Desc) bool {
+	if in.in[p].Enqueue(d) {
+		return true
+	}
+	in.dropCount.Add(1)
+	return false
+}
+
+// run is the NF goroutine: poll all input rings, process, hand the
+// descriptor (with the NF's decision recorded) to the out ring.
+func (in *Instance) run(h *Host) {
+	defer close(in.done)
+	pkt := nf.Packet{}
+	idle := 0
+	for !in.stop.Load() {
+		progressed := false
+		for _, r := range in.in {
+			d, ok := r.Dequeue()
+			if !ok {
+				continue
+			}
+			progressed = true
+			in.rxCount.Add(1)
+
+			pkt.Handle = d.H
+			pkt.View = &d.View
+			pkt.Key = d.Key
+			pkt.ArrivalNanos = d.ArrivalNanos
+			dec := in.fn.Process(&in.ctx, &pkt)
+
+			d.Scope = in.Service
+			d.Verb = dec.Verb
+			d.Dest = dec.Dest
+			for !in.out.Enqueue(d) {
+				if in.stop.Load() {
+					h.releaseDesc(&d)
+					return
+				}
+				h.pause(&idle)
+			}
+		}
+		if !progressed {
+			h.pause(&idle)
+		} else {
+			idle = 0
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package dataplane_test
+
+// Integration tests wiring the full SDNFV control hierarchy in-process:
+// SDNFV Application (service graphs, validation) → SDN Controller (rule
+// compilation on PACKET_IN) → NF Manager (flow table, Flow Controller
+// thread) → NFs (cross-layer messages back up). This is Fig. 2 of the
+// paper end to end.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdnfv/internal/app"
+	"sdnfv/internal/controller"
+	"sdnfv/internal/dataplane"
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/graph"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/nfs"
+	"sdnfv/internal/packet"
+	"sdnfv/internal/traffic"
+)
+
+func waitCond(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// TestFullHierarchyMissToFlow exercises: empty host table → first packet
+// misses → Flow Controller asks the controller → controller compiles the
+// app's service graph → rules installed → traffic flows; an NF's
+// cross-layer message is validated by the app.
+func TestFullHierarchyMissToFlow(t *testing.T) {
+	const (
+		svcFW  flowtable.ServiceID = 1
+		svcMon flowtable.ServiceID = 2
+	)
+	g, err := graph.Chain("it",
+		graph.Vertex{Service: svcFW, Name: "fw", ReadOnly: true},
+		graph.Vertex{Service: svcMon, Name: "mon", ReadOnly: false},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := app.New(app.Config{IngressPort: 0, EgressPort: 1})
+	if err := a.RegisterGraph(g); err != nil {
+		t.Fatal(err)
+	}
+
+	ctl := controller.New(controller.Config{})
+	ctl.SetCompiler(a.Compiler(true)) // per-flow exact rules
+	var appMsgs atomic.Int64
+	ctl.SetNFMessageHandler(func(src flowtable.ServiceID, m nf.Message) {
+		if a.HandleNFMessage(src, m) {
+			appMsgs.Add(1)
+		}
+	})
+	ctl.Start()
+	defer ctl.Stop()
+
+	cfg := dataplane.Config{
+		PoolSize:  512,
+		TXThreads: 1,
+		// The Flow Controller thread resolves misses through the real
+		// controller (in-process southbound).
+		MissHandler: ctl.Resolve,
+		MsgHandler:  ctl.HandleNFMessage,
+	}
+	h := dataplane.NewHost(cfg)
+	fw := &nfs.Firewall{DefaultAllow: true}
+	counter := &nfs.Counter{}
+	if _, err := h.AddNF(svcFW, fw, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddNF(svcMon, counter, 0); err != nil {
+		t.Fatal(err)
+	}
+	var out atomic.Int64
+	h.SetOutput(func(int, []byte, *dataplane.Desc) { out.Add(1) })
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+
+	factory := traffic.NewFactory()
+	spec := traffic.Flow(1, 256, 0)
+	frame, err := factory.Frame(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		for h.Inject(0, frame) != nil {
+			time.Sleep(5 * time.Microsecond)
+		}
+	}
+	waitCond(t, func() bool { return out.Load() == n }, "all packets delivered")
+
+	st := h.Stats()
+	if st.Misses == 0 {
+		t.Fatal("no miss ever reached the controller")
+	}
+	if counter.Packets() != n {
+		t.Fatalf("monitor saw %d, want %d", counter.Packets(), n)
+	}
+	// Rules are per-flow exact: a second flow misses again.
+	spec2 := traffic.Flow(2, 256, 0)
+	frame2, _ := factory.Frame(spec2, 0)
+	missesBefore := h.Stats().Misses
+	for h.Inject(0, frame2) != nil {
+		time.Sleep(5 * time.Microsecond)
+	}
+	waitCond(t, func() bool { return out.Load() == n+1 }, "second flow delivered")
+	if h.Stats().Misses <= missesBefore {
+		t.Fatal("second flow should have missed (exact rules)")
+	}
+	if ctl.Stats().Requests == 0 || ctl.Stats().FlowMods == 0 {
+		t.Fatalf("controller stats = %+v", ctl.Stats())
+	}
+}
+
+// TestCrossLayerMessageReachesApp verifies Fig. 2 step 5: an NF emits a
+// cross-layer message; the NF Manager applies it locally and forwards it
+// via the controller to the SDNFV Application, which validates it against
+// the registered graph.
+func TestCrossLayerMessageReachesApp(t *testing.T) {
+	const (
+		svcA flowtable.ServiceID = 1
+		svcB flowtable.ServiceID = 2
+	)
+	g := graph.New("msg")
+	_ = g.AddVertex(graph.Vertex{Service: svcA, ReadOnly: true})
+	_ = g.AddVertex(graph.Vertex{Service: svcB, ReadOnly: true})
+	_ = g.AddEdge(graph.Source, svcA, true)
+	_ = g.AddEdge(svcA, graph.Sink, true)
+	_ = g.AddEdge(svcA, svcB, false)
+	_ = g.AddEdge(svcB, graph.Sink, true)
+
+	a := app.New(app.Config{IngressPort: 0, EgressPort: 1})
+	if err := a.RegisterGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	ctl := controller.New(controller.Config{})
+	ctl.SetCompiler(a.Compiler(false))
+	var accepted, rejected atomic.Int64
+	ctl.SetNFMessageHandler(func(src flowtable.ServiceID, m nf.Message) {
+		if a.HandleNFMessage(src, m) {
+			accepted.Add(1)
+		} else {
+			rejected.Add(1)
+		}
+	})
+	ctl.Start()
+	defer ctl.Stop()
+
+	h := dataplane.NewHost(dataplane.Config{
+		PoolSize: 256, TXThreads: 1,
+		MissHandler: ctl.Resolve,
+		MsgHandler:  ctl.HandleNFMessage,
+	})
+	sent := false
+	nfA := &nf.FuncAdapter{FnName: "a", RO: true,
+		ProcessF: func(ctx *nf.Context, p *nf.Packet) nf.Decision {
+			if !sent {
+				sent = true
+				// Legal: A->B is a graph edge.
+				ctx.Send(nf.Message{Kind: nf.MsgChangeDefault,
+					Flows: flowtable.ExactMatch(p.Key), S: svcA, T: svcB})
+				// Illegal: B->A is not a graph edge; the app must log a
+				// rejection (the manager is constrained anyway).
+				ctx.Send(nf.Message{Kind: nf.MsgChangeDefault,
+					Flows: flowtable.ExactMatch(p.Key), S: svcB, T: svcA})
+			}
+			return nf.Default()
+		}}
+	nfB := &nf.FuncAdapter{FnName: "b", RO: true,
+		ProcessF: func(*nf.Context, *nf.Packet) nf.Decision { return nf.Default() }}
+	if _, err := h.AddNF(svcA, nfA, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddNF(svcB, nfB, 0); err != nil {
+		t.Fatal(err)
+	}
+	var out atomic.Int64
+	h.SetOutput(func(int, []byte, *dataplane.Desc) { out.Add(1) })
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+
+	b := packet.Builder{
+		SrcIP: packet.IPv4(10, 0, 0, 1), DstIP: packet.IPv4(10, 0, 0, 2),
+		SrcPort: 999, DstPort: 80, Proto: packet.ProtoUDP,
+	}
+	buf := make([]byte, 256)
+	n, _ := b.Build(buf, []byte("x"))
+	for h.Inject(0, buf[:n]) != nil {
+		time.Sleep(5 * time.Microsecond)
+	}
+	waitCond(t, func() bool { return out.Load() >= 1 }, "packet delivered")
+	waitCond(t, func() bool { return accepted.Load() >= 1 && rejected.Load() >= 1 },
+		"app validated both messages")
+
+	// The app's log carries the rejection reason.
+	var sawReject bool
+	for _, lm := range a.Messages() {
+		if !lm.Accepted && lm.Reason != "" {
+			sawReject = true
+		}
+	}
+	if !sawReject {
+		t.Fatal("rejection not recorded with a reason")
+	}
+}
+
+// TestParallelPriorityConflict verifies §4.2 conflict resolution by
+// instance priority: two parallel read-only NFs request different forward
+// targets; the higher-priority instance wins.
+func TestParallelPriorityConflict(t *testing.T) {
+	const (
+		svcL flowtable.ServiceID = 1
+		svcR flowtable.ServiceID = 2
+		svcX flowtable.ServiceID = 3
+		svcY flowtable.ServiceID = 4
+	)
+	h := dataplane.NewHost(dataplane.Config{PoolSize: 256, TXThreads: 1})
+	var xGot, yGot atomic.Int64
+	mk := func(dest flowtable.ServiceID) nf.Function {
+		return &nf.FuncAdapter{FnName: "par", RO: true,
+			ProcessF: func(*nf.Context, *nf.Packet) nf.Decision { return nf.SendTo(dest) }}
+	}
+	sink := func(c *atomic.Int64) nf.Function {
+		return &nf.FuncAdapter{FnName: "sink", RO: true,
+			ProcessF: func(*nf.Context, *nf.Packet) nf.Decision { c.Add(1); return nf.Default() }}
+	}
+	if _, err := h.AddNF(svcL, mk(svcX), 1); err != nil { // low priority
+		t.Fatal(err)
+	}
+	if _, err := h.AddNF(svcR, mk(svcY), 9); err != nil { // high priority
+		t.Fatal(err)
+	}
+	if _, err := h.AddNF(svcX, sink(&xGot), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddNF(svcY, sink(&yGot), 0); err != nil {
+		t.Fatal(err)
+	}
+	add := func(r flowtable.Rule) {
+		if _, err := h.Table().Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(flowtable.Rule{Scope: flowtable.Port(0), Match: flowtable.MatchAll,
+		Actions:  []flowtable.Action{flowtable.Forward(svcL), flowtable.Forward(svcR)},
+		Parallel: true})
+	for _, s := range []flowtable.ServiceID{svcL, svcR, svcX, svcY} {
+		add(flowtable.Rule{Scope: s, Match: flowtable.MatchAll,
+			Actions: []flowtable.Action{flowtable.Out(1)}})
+	}
+	var out atomic.Int64
+	h.SetOutput(func(int, []byte, *dataplane.Desc) { out.Add(1) })
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+
+	factory := traffic.NewFactory()
+	frame, _ := factory.Frame(traffic.Flow(5, 256, 0), 0)
+	const n = 20
+	for i := 0; i < n; i++ {
+		for h.Inject(0, frame) != nil {
+			time.Sleep(5 * time.Microsecond)
+		}
+	}
+	waitCond(t, func() bool { return out.Load() == n }, "joined packets delivered")
+	if yGot.Load() != n {
+		t.Fatalf("high-priority target saw %d, want %d", yGot.Load(), n)
+	}
+	if xGot.Load() != 0 {
+		t.Fatalf("low-priority target saw %d, want 0", xGot.Load())
+	}
+}
+
+// TestSkipMeAndRequestMe verifies the remaining §3.4 cross-layer messages
+// against the live engine.
+func TestSkipMeAndRequestMe(t *testing.T) {
+	const (
+		svcA flowtable.ServiceID = 1
+		svcB flowtable.ServiceID = 2
+		svcC flowtable.ServiceID = 3
+	)
+	h := dataplane.NewHost(dataplane.Config{PoolSize: 256, TXThreads: 1})
+	var bGot, cGot atomic.Int64
+	pass := func(c *atomic.Int64) nf.Function {
+		return &nf.FuncAdapter{FnName: "p", RO: true,
+			ProcessF: func(*nf.Context, *nf.Packet) nf.Decision {
+				if c != nil {
+					c.Add(1)
+				}
+				return nf.Default()
+			}}
+	}
+	if _, err := h.AddNF(svcA, pass(nil), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddNF(svcB, pass(&bGot), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddNF(svcC, pass(&cGot), 0); err != nil {
+		t.Fatal(err)
+	}
+	add := func(r flowtable.Rule) {
+		if _, err := h.Table().Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A -> B -> C -> out.
+	add(flowtable.Rule{Scope: flowtable.Port(0), Match: flowtable.MatchAll,
+		Actions: []flowtable.Action{flowtable.Forward(svcA)}})
+	add(flowtable.Rule{Scope: svcA, Match: flowtable.MatchAll,
+		Actions: []flowtable.Action{flowtable.Forward(svcB)}})
+	add(flowtable.Rule{Scope: svcB, Match: flowtable.MatchAll,
+		Actions: []flowtable.Action{flowtable.Forward(svcC)}})
+	add(flowtable.Rule{Scope: svcC, Match: flowtable.MatchAll,
+		Actions: []flowtable.Action{flowtable.Out(1)}})
+	var out atomic.Int64
+	h.SetOutput(func(int, []byte, *dataplane.Desc) { out.Add(1) })
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+
+	factory := traffic.NewFactory()
+	frame, _ := factory.Frame(traffic.Flow(6, 256, 0), 0)
+	send := func(k int) {
+		for i := 0; i < k; i++ {
+			for h.Inject(0, frame) != nil {
+				time.Sleep(5 * time.Microsecond)
+			}
+		}
+	}
+	send(5)
+	waitCond(t, func() bool { return out.Load() == 5 }, "baseline")
+	if bGot.Load() != 5 || cGot.Load() != 5 {
+		t.Fatalf("baseline counts %d/%d", bGot.Load(), cGot.Load())
+	}
+
+	// SkipMe(B): A's default forwards straight to C.
+	h.ApplyMessage(svcB, nf.Message{Kind: nf.MsgSkipMe, Flows: flowtable.MatchAll, S: svcB})
+	send(5)
+	waitCond(t, func() bool { return out.Load() == 10 }, "after SkipMe")
+	if bGot.Load() != 5 {
+		t.Fatalf("B still on path after SkipMe: %d", bGot.Load())
+	}
+	if cGot.Load() != 10 {
+		t.Fatalf("C missed traffic after SkipMe: %d", cGot.Load())
+	}
+
+	// RequestMe(B): every scope with an edge to B makes it the default
+	// again.
+	h.ApplyMessage(svcB, nf.Message{Kind: nf.MsgRequestMe, Flows: flowtable.MatchAll, S: svcB})
+	send(5)
+	waitCond(t, func() bool { return out.Load() == 15 }, "after RequestMe")
+	if bGot.Load() != 10 {
+		t.Fatalf("B not restored by RequestMe: %d", bGot.Load())
+	}
+}

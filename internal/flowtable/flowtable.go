@@ -1,0 +1,604 @@
+// Package flowtable implements the per-host flow table of the SDNFV NF
+// Manager (§3.3–3.4).
+//
+// A rule is scoped by where the packet currently is — either a NIC port
+// (for packets entering the host) or the Service ID of the NF that just
+// finished processing it. This mirrors the paper's repurposing of
+// OpenFlow's "input port" field to carry Service IDs. Each rule matches a
+// possibly-wildcarded 5-tuple and carries a list of actions:
+//
+//   - the FIRST action in the list is the default (taken when the NF
+//     returns ActionDefault);
+//   - when Parallel is set, the whole list is dispatched at once to a set
+//     of read-only NFs (§3.3);
+//   - otherwise the remaining actions are the alternative next hops the NF
+//     may select with "Send to" (§3.4).
+//
+// Lookup resolution is most-specific-match-wins: an exact 5-tuple rule
+// shadows a wildcard rule at the same scope, and among wildcard rules the
+// one with the most concrete fields (then highest priority) wins.
+package flowtable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sdnfv/internal/packet"
+)
+
+// ServiceID identifies an abstract network service (§3.2 "Service IDs").
+// IDs below 0x8000 are services; IDs at or above PortBase are NIC ports.
+type ServiceID uint16
+
+// PortBase is the first ServiceID value denoting a physical NIC port
+// rather than a network function.
+const PortBase ServiceID = 0x8000
+
+// Port returns the ServiceID encoding of NIC port n.
+func Port(n int) ServiceID { return PortBase + ServiceID(n) }
+
+// IsPort reports whether s denotes a NIC port.
+func (s ServiceID) IsPort() bool { return s >= PortBase }
+
+// PortNum returns the NIC port number for a port-typed ServiceID.
+func (s ServiceID) PortNum() int { return int(s - PortBase) }
+
+// String renders the ID as "svc:N" or "port:N".
+func (s ServiceID) String() string {
+	if s.IsPort() {
+		return fmt.Sprintf("port:%d", s.PortNum())
+	}
+	return fmt.Sprintf("svc:%d", uint16(s))
+}
+
+// ActionType is what to do with a packet next.
+type ActionType uint8
+
+// Action types, in conflict-resolution priority order (§4.2): Drop beats
+// Out beats Forward when parallel NFs disagree.
+const (
+	ActionForward ActionType = iota // deliver to a ServiceID (NF)
+	ActionOut                       // transmit out a NIC port
+	ActionDrop                      // discard
+)
+
+// Action is one entry in a rule's action list.
+type Action struct {
+	Type ActionType
+	// Dest is the target ServiceID for ActionForward, or the NIC port
+	// (Port-encoded) for ActionOut. Ignored for ActionDrop.
+	Dest ServiceID
+}
+
+// String renders the action compactly.
+func (a Action) String() string {
+	switch a.Type {
+	case ActionDrop:
+		return "drop"
+	case ActionOut:
+		return "out(" + a.Dest.String() + ")"
+	default:
+		return "fwd(" + a.Dest.String() + ")"
+	}
+}
+
+// Forward builds a forward-to-service action.
+func Forward(s ServiceID) Action { return Action{Type: ActionForward, Dest: s} }
+
+// Out builds a transmit-out-port action.
+func Out(port int) Action { return Action{Type: ActionOut, Dest: Port(port)} }
+
+// Drop builds a discard action.
+func Drop() Action { return Action{Type: ActionDrop} }
+
+// Match is a possibly-wildcarded 5-tuple. Nil fields are wildcards.
+type Match struct {
+	SrcIP   *packet.IP
+	DstIP   *packet.IP
+	SrcPort *uint16
+	DstPort *uint16
+	Proto   *uint8
+}
+
+// MatchAll is the fully wildcarded match.
+var MatchAll = Match{}
+
+// ExactMatch builds a Match that matches only k.
+func ExactMatch(k packet.FlowKey) Match {
+	src, dst := k.SrcIP, k.DstIP
+	sp, dp, pr := k.SrcPort, k.DstPort, k.Proto
+	return Match{SrcIP: &src, DstIP: &dst, SrcPort: &sp, DstPort: &dp, Proto: &pr}
+}
+
+// MatchSrcIP builds a Match on source IP only (used by e.g. the video
+// policy rules in Fig. 4 of the paper: "srcIP=B").
+func MatchSrcIP(ip packet.IP) Match { v := ip; return Match{SrcIP: &v} }
+
+// MatchDstIP builds a Match on destination IP only.
+func MatchDstIP(ip packet.IP) Match { v := ip; return Match{DstIP: &v} }
+
+// Matches reports whether k satisfies m.
+func (m Match) Matches(k packet.FlowKey) bool {
+	if m.SrcIP != nil && *m.SrcIP != k.SrcIP {
+		return false
+	}
+	if m.DstIP != nil && *m.DstIP != k.DstIP {
+		return false
+	}
+	if m.SrcPort != nil && *m.SrcPort != k.SrcPort {
+		return false
+	}
+	if m.DstPort != nil && *m.DstPort != k.DstPort {
+		return false
+	}
+	if m.Proto != nil && *m.Proto != k.Proto {
+		return false
+	}
+	return true
+}
+
+// Specificity counts concrete fields; higher wins at equal priority.
+func (m Match) Specificity() int {
+	n := 0
+	if m.SrcIP != nil {
+		n++
+	}
+	if m.DstIP != nil {
+		n++
+	}
+	if m.SrcPort != nil {
+		n++
+	}
+	if m.DstPort != nil {
+		n++
+	}
+	if m.Proto != nil {
+		n++
+	}
+	return n
+}
+
+// IsExact reports whether every field is concrete.
+func (m Match) IsExact() bool { return m.Specificity() == 5 }
+
+// exactKey converts an exact match to its FlowKey.
+func (m Match) exactKey() packet.FlowKey {
+	return packet.FlowKey{SrcIP: *m.SrcIP, DstIP: *m.DstIP, SrcPort: *m.SrcPort, DstPort: *m.DstPort, Proto: *m.Proto}
+}
+
+// String renders the match, "*" for fully wildcarded.
+func (m Match) String() string {
+	if m.Specificity() == 0 {
+		return "*"
+	}
+	var parts []string
+	if m.SrcIP != nil {
+		parts = append(parts, "srcIP="+m.SrcIP.String())
+	}
+	if m.DstIP != nil {
+		parts = append(parts, "dstIP="+m.DstIP.String())
+	}
+	if m.SrcPort != nil {
+		parts = append(parts, fmt.Sprintf("srcPort=%d", *m.SrcPort))
+	}
+	if m.DstPort != nil {
+		parts = append(parts, fmt.Sprintf("dstPort=%d", *m.DstPort))
+	}
+	if m.Proto != nil {
+		parts = append(parts, fmt.Sprintf("proto=%d", *m.Proto))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Rule is one flow-table entry.
+type Rule struct {
+	// Scope is where the packet currently is: a NIC port for fresh
+	// arrivals, or the ServiceID of the NF that just released the packet.
+	Scope ServiceID
+	// Match restricts which flows this rule applies to.
+	Match Match
+	// Actions: first is the default; see the package comment.
+	Actions []Action
+	// Parallel marks the action list as a simultaneous read-only fan-out.
+	Parallel bool
+	// Priority breaks ties among equal-specificity wildcard rules.
+	Priority int
+}
+
+// Entry is the immutable resolved form of a rule returned by lookups.
+type Entry struct {
+	Rule
+	ID uint64 // table-assigned, stable for the rule's lifetime
+}
+
+// Default returns the rule's default action (the first in the list).
+func (r Rule) Default() (Action, bool) {
+	if len(r.Actions) == 0 {
+		return Action{}, false
+	}
+	return r.Actions[0], true
+}
+
+// Allows reports whether a is one of the rule's listed next hops —
+// "Send to … is only permitted if the destination is one of the allowable
+// next hops listed in the flow table" (§3.4).
+func (r Rule) Allows(a Action) bool {
+	for _, x := range r.Actions {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returned by Table operations.
+var (
+	ErrNoMatch  = errors.New("flowtable: no matching rule")
+	ErrNoRule   = errors.New("flowtable: rule not found")
+	ErrNoAction = errors.New("flowtable: rule has no actions")
+)
+
+// Table is a per-host flow table. Lookups on the data path take a read
+// lock only; the exact-match fast path is a single map probe, keeping the
+// ~30 ns budget reported in §5.1.
+type Table struct {
+	mu     sync.RWMutex
+	nextID uint64
+	// exact[scope][flowkey] -> entry
+	exact map[ServiceID]map[packet.FlowKey]*Entry
+	// wild[scope] -> wildcard entries, kept sorted most-specific-first
+	wild map[ServiceID][]*Entry
+
+	lookups  uint64
+	misses   uint64
+	modifies uint64
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{
+		exact: make(map[ServiceID]map[packet.FlowKey]*Entry),
+		wild:  make(map[ServiceID][]*Entry),
+	}
+}
+
+// Add installs a rule and returns its stable ID. Adding an exact rule for a
+// (scope, flow) that already has one replaces it — this is how FLOW_MOD
+// updates and cross-layer messages rewrite defaults.
+func (t *Table) Add(r Rule) (uint64, error) {
+	if len(r.Actions) == 0 {
+		return 0, ErrNoAction
+	}
+	acts := make([]Action, len(r.Actions))
+	copy(acts, r.Actions)
+	r.Actions = acts
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.modifies++
+	t.nextID++
+	e := &Entry{Rule: r, ID: t.nextID}
+	if r.Match.IsExact() {
+		k := r.Match.exactKey()
+		em := t.exact[r.Scope]
+		if em == nil {
+			em = make(map[packet.FlowKey]*Entry)
+			t.exact[r.Scope] = em
+		}
+		if old, ok := em[k]; ok {
+			e.ID = old.ID // replacement keeps identity
+			t.nextID--
+		}
+		em[k] = e
+		return e.ID, nil
+	}
+	ws := t.wild[r.Scope]
+	ws = append(ws, e)
+	sort.SliceStable(ws, func(i, j int) bool {
+		si, sj := ws[i].Match.Specificity(), ws[j].Match.Specificity()
+		if si != sj {
+			return si > sj
+		}
+		return ws[i].Priority > ws[j].Priority
+	})
+	t.wild[r.Scope] = ws
+	return e.ID, nil
+}
+
+// Delete removes the rule with the given ID.
+func (t *Table) Delete(id uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.modifies++
+	for scope, em := range t.exact {
+		for k, e := range em {
+			if e.ID == id {
+				delete(em, k)
+				if len(em) == 0 {
+					delete(t.exact, scope)
+				}
+				return nil
+			}
+		}
+	}
+	for scope, ws := range t.wild {
+		for i, e := range ws {
+			if e.ID == id {
+				t.wild[scope] = append(ws[:i:i], ws[i+1:]...)
+				return nil
+			}
+		}
+	}
+	return ErrNoRule
+}
+
+// Lookup resolves the entry governing a packet at scope with flow key k.
+func (t *Table) Lookup(scope ServiceID, k packet.FlowKey) (*Entry, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.lookups++
+	if em := t.exact[scope]; em != nil {
+		if e, ok := em[k]; ok {
+			return e, nil
+		}
+	}
+	for _, e := range t.wild[scope] {
+		if e.Match.Matches(k) {
+			return e, nil
+		}
+	}
+	t.misses++
+	return nil, ErrNoMatch
+}
+
+// UpdateDefault rewrites the default (first) action of rules at scope that
+// apply to flows matching f, constrained to actions already present in the
+// rule's list when constrain is true. It returns the number of rules
+// changed or created. This is the primitive beneath ChangeDefault (§3.4).
+//
+// When f is an exact flow and the governing rule at scope is a wildcard,
+// the wildcard is left untouched and a flow-specific rule is created with
+// the new default — the per-flow specialization of the paper's Fig. 4
+// ("two additional flows ... are given distinct rules"), so other flows
+// sharing the wildcard are unaffected.
+func (t *Table) UpdateDefault(scope ServiceID, f Match, newDefault Action, constrain bool) int {
+	if f.IsExact() {
+		return t.specializeDefault(scope, f, newDefault, constrain)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.modifies++
+	n := 0
+	apply := func(e *Entry) {
+		if !overlaps(e.Match, f) {
+			return
+		}
+		if constrain && !e.Allows(newDefault) {
+			return
+		}
+		acts := []Action{newDefault}
+		for _, a := range e.Actions {
+			if a != newDefault {
+				acts = append(acts, a)
+			}
+		}
+		e.Actions = acts
+		n++
+	}
+	for _, e := range t.exact[scope] {
+		apply(e)
+	}
+	for _, e := range t.wild[scope] {
+		apply(e)
+	}
+	return n
+}
+
+// specializeDefault installs (or rewrites) the exact-flow rule for f at
+// scope so its default becomes newDefault, inheriting the remaining action
+// list from the rule currently governing the flow.
+func (t *Table) specializeDefault(scope ServiceID, f Match, newDefault Action, constrain bool) int {
+	key := f.exactKey()
+	t.mu.Lock()
+	var gov *Entry
+	if em := t.exact[scope]; em != nil {
+		gov = em[key]
+	}
+	if gov == nil {
+		for _, e := range t.wild[scope] {
+			if e.Match.Matches(key) {
+				gov = e
+				break
+			}
+		}
+	}
+	t.mu.Unlock()
+	if gov == nil {
+		return 0
+	}
+	if constrain && !gov.Allows(newDefault) {
+		return 0
+	}
+	acts := []Action{newDefault}
+	for _, a := range gov.Actions {
+		if a != newDefault {
+			acts = append(acts, a)
+		}
+	}
+	rule := Rule{
+		Scope:    scope,
+		Match:    f,
+		Actions:  acts,
+		Parallel: gov.Parallel,
+		Priority: gov.Priority,
+	}
+	if _, err := t.Add(rule); err != nil {
+		return 0
+	}
+	return 1
+}
+
+// RewriteDest replaces every action targeting old with the same-typed
+// action targeting new, across all scopes, for rules applying to flows
+// matching f. Returns the count of rules changed. This is the primitive
+// beneath SkipMe/RequestMe (§3.4).
+func (t *Table) RewriteDest(f Match, old, new Action) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.modifies++
+	n := 0
+	apply := func(e *Entry) {
+		if !overlaps(e.Match, f) {
+			return
+		}
+		changed := false
+		for i, a := range e.Actions {
+			if a == old {
+				e.Actions[i] = new
+				changed = true
+			}
+		}
+		if changed {
+			n++
+		}
+	}
+	for _, em := range t.exact {
+		for _, e := range em {
+			apply(e)
+		}
+	}
+	for _, ws := range t.wild {
+		for _, e := range ws {
+			apply(e)
+		}
+	}
+	return n
+}
+
+// ScopesWithDefault returns the scopes whose default action currently
+// targets dest for flows matching f. Used by RequestMe to find "all nodes
+// that have an edge to S".
+func (t *Table) ScopesWithActionTo(f Match, dest ServiceID) []ServiceID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := map[ServiceID]bool{}
+	consider := func(scope ServiceID, e *Entry) {
+		if seen[scope] || !overlaps(e.Match, f) {
+			return
+		}
+		for _, a := range e.Actions {
+			if a.Type == ActionForward && a.Dest == dest {
+				seen[scope] = true
+				return
+			}
+		}
+	}
+	for scope, em := range t.exact {
+		for _, e := range em {
+			consider(scope, e)
+		}
+	}
+	for scope, ws := range t.wild {
+		for _, e := range ws {
+			consider(scope, e)
+		}
+	}
+	out := make([]ServiceID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// overlaps reports whether the flow sets of a and b intersect (field-wise:
+// disjoint only if some concrete field differs).
+func overlaps(a, b Match) bool {
+	if a.SrcIP != nil && b.SrcIP != nil && *a.SrcIP != *b.SrcIP {
+		return false
+	}
+	if a.DstIP != nil && b.DstIP != nil && *a.DstIP != *b.DstIP {
+		return false
+	}
+	if a.SrcPort != nil && b.SrcPort != nil && *a.SrcPort != *b.SrcPort {
+		return false
+	}
+	if a.DstPort != nil && b.DstPort != nil && *a.DstPort != *b.DstPort {
+		return false
+	}
+	if a.Proto != nil && b.Proto != nil && *a.Proto != *b.Proto {
+		return false
+	}
+	return true
+}
+
+// Len returns the total number of installed rules.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, em := range t.exact {
+		n += len(em)
+	}
+	for _, ws := range t.wild {
+		n += len(ws)
+	}
+	return n
+}
+
+// Stats reports cumulative table activity.
+type Stats struct {
+	Lookups  uint64
+	Misses   uint64
+	Modifies uint64
+	Rules    int
+}
+
+// Stats returns a snapshot of table counters.
+func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, em := range t.exact {
+		n += len(em)
+	}
+	for _, ws := range t.wild {
+		n += len(ws)
+	}
+	return Stats{Lookups: t.lookups, Misses: t.misses, Modifies: t.modifies, Rules: n}
+}
+
+// Dump renders the table for debugging, one rule per line, grouped and
+// ordered deterministically.
+func (t *Table) Dump() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var lines []string
+	for scope, em := range t.exact {
+		for k, e := range em {
+			lines = append(lines, fmt.Sprintf("%s %s -> %s", scope, k, actionsString(e)))
+		}
+	}
+	for scope, ws := range t.wild {
+		for _, e := range ws {
+			lines = append(lines, fmt.Sprintf("%s %s -> %s", scope, e.Match, actionsString(e)))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func actionsString(e *Entry) string {
+	parts := make([]string, len(e.Actions))
+	for i, a := range e.Actions {
+		parts[i] = a.String()
+	}
+	s := "(" + strings.Join(parts, ", ") + ")"
+	if e.Parallel {
+		s += " [parallel]"
+	}
+	return s
+}

@@ -1,0 +1,381 @@
+// Package metrics provides the measurement primitives used across the
+// SDNFV reproduction: log-bucketed latency histograms with percentile and
+// CDF extraction, exponentially-weighted rate meters, and time-series
+// recorders for the paper's time-axis figures (Figs. 8, 9, 11).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram is a log-bucketed histogram of non-negative values (typically
+// nanoseconds). Buckets grow geometrically so that relative error is
+// bounded (~4%) across nine decades. The zero value is not usable; call
+// NewHistogram.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    float64
+	max    float64
+	growth float64
+	logG   float64
+}
+
+// NewHistogram returns a histogram with ~4% relative bucket error.
+func NewHistogram() *Histogram {
+	g := 1.04
+	return &Histogram{
+		counts: make([]uint64, 1+bucketFor(1e18, g)),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+		growth: g,
+		logG:   math.Log(g),
+	}
+}
+
+func bucketFor(v, g float64) int {
+	if v < 1 {
+		return 0
+	}
+	return 1 + int(math.Log(v)/math.Log(g))
+}
+
+// bucketLow returns the lower bound of bucket i.
+func (h *Histogram) bucketLow(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	return math.Exp(float64(i-1) * h.logG)
+}
+
+// Observe records v (values below 0 are clamped to 0).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := bucketFor(v, h.growth)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// ObserveDuration records d in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d.Nanoseconds())) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the arithmetic mean of observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) estimated from buckets.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			lo := h.bucketLow(i)
+			hi := h.bucketLow(i + 1)
+			v := (lo + hi) / 2
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// CDFPoint is one point on an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF extracts up to n evenly spaced CDF points.
+func (h *Histogram) CDF(n int) []CDFPoint {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]CDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		pts = append(pts, CDFPoint{Value: h.Quantile(q), Fraction: q})
+	}
+	return pts
+}
+
+// Summary renders avg/min/max in the unit produced by conv (e.g. 1e-3 for
+// ns→µs).
+func (h *Histogram) Summary(conv float64) string {
+	return fmt.Sprintf("avg=%.2f min=%.2f max=%.2f (n=%d)",
+		h.Mean()*conv, h.Min()*conv, h.Max()*conv, h.Count())
+}
+
+// Counter is a thread-safe monotonically increasing counter.
+type Counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Series is a time series of (t, value) samples; t is in seconds on the
+// experiment's clock (virtual or real).
+type Series struct {
+	Name string
+	mu   sync.Mutex
+	ts   []float64
+	vs   []float64
+}
+
+// NewSeries returns a named empty series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Append records a sample. Samples should be appended in time order.
+func (s *Series) Append(t, v float64) {
+	s.mu.Lock()
+	s.ts = append(s.ts, t)
+	s.vs = append(s.vs, v)
+	s.mu.Unlock()
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ts)
+}
+
+// Points returns copies of the sample slices.
+func (s *Series) Points() (ts, vs []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.ts...), append([]float64(nil), s.vs...)
+}
+
+// At returns the latest value at or before t (0 if none).
+func (s *Series) At(t float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.SearchFloat64s(s.ts, t)
+	if i < len(s.ts) && s.ts[i] == t {
+		return s.vs[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return s.vs[i-1]
+}
+
+// Mean returns the mean of values in [t0, t1].
+func (s *Series) Mean(t0, t1 float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum float64
+	var n int
+	for i, t := range s.ts {
+		if t >= t0 && t <= t1 {
+			sum += s.vs[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Max returns the maximum value in [t0, t1].
+func (s *Series) Max(t0, t1 float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := math.Inf(-1)
+	found := false
+	for i, t := range s.ts {
+		if t >= t0 && t <= t1 {
+			if s.vs[i] > m {
+				m = s.vs[i]
+			}
+			found = true
+		}
+	}
+	if !found {
+		return 0
+	}
+	return m
+}
+
+// Table renders a set of series sharing a time axis as an aligned text
+// table, one row per distinct time. Missing values render as "-".
+func Table(series ...*Series) string {
+	times := map[float64]bool{}
+	for _, s := range series {
+		ts, _ := s.Points()
+		for _, t := range ts {
+			times[t] = true
+		}
+	}
+	axis := make([]float64, 0, len(times))
+	for t := range times {
+		axis = append(axis, t)
+	}
+	sort.Float64s(axis)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s", "t")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, t := range axis {
+		fmt.Fprintf(&b, "%12.2f", t)
+		for _, s := range series {
+			v := s.lookupExact(t)
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, " %16s", "-")
+			} else {
+				fmt.Fprintf(&b, " %16.2f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// lookupExact returns the value at exactly t, or NaN.
+func (s *Series) lookupExact(t float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.SearchFloat64s(s.ts, t)
+	if i < len(s.ts) && s.ts[i] == t {
+		return s.vs[i]
+	}
+	return math.NaN()
+}
+
+// RateMeter tracks an event rate over a sliding window on a caller-supplied
+// clock (so it works under both real and virtual time).
+type RateMeter struct {
+	mu      sync.Mutex
+	window  float64 // seconds
+	events  []float64
+	weights []float64
+}
+
+// NewRateMeter returns a meter with the given window in seconds.
+func NewRateMeter(window float64) *RateMeter {
+	if window <= 0 {
+		window = 1
+	}
+	return &RateMeter{window: window}
+}
+
+// Mark records weight units (e.g. bytes or packets) at time t seconds.
+func (m *RateMeter) Mark(t, weight float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, t)
+	m.weights = append(m.weights, weight)
+	m.gc(t)
+}
+
+// Rate returns units/second over the window ending at t.
+func (m *RateMeter) Rate(t float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gc(t)
+	var sum float64
+	for i, et := range m.events {
+		if et > t-m.window && et <= t {
+			sum += m.weights[i]
+		}
+	}
+	return sum / m.window
+}
+
+func (m *RateMeter) gc(t float64) {
+	cut := 0
+	for cut < len(m.events) && m.events[cut] <= t-m.window {
+		cut++
+	}
+	if cut > 0 {
+		m.events = append(m.events[:0], m.events[cut:]...)
+		m.weights = append(m.weights[:0], m.weights[cut:]...)
+	}
+}

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for _, v := range []float64{10, 20, 30} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Mean()-20) > 1e-9 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 30 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	// Log buckets bound relative error ~4%.
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		want := q * 1000
+		got := h.Quantile(q)
+		if math.Abs(got-want)/want > 0.08 {
+			t.Errorf("q%.2f = %v, want ≈%v", q, got, want)
+		}
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 1000 {
+		t.Fatalf("extremes = %v %v", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	cdf := h.CDF(11)
+	if len(cdf) != 11 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	if !sort.SliceIsSorted(cdf, func(i, j int) bool { return cdf[i].Value < cdf[j].Value }) {
+		// Values must be nondecreasing with fraction (allow equal).
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Value < cdf[i-1].Value {
+				t.Fatalf("CDF not monotone: %v", cdf)
+			}
+		}
+	}
+}
+
+// Property: quantile is monotone in q and bounded by [min, max].
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Observe(float64(v))
+		}
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev || v < h.Min()-1e-9 || v > h.Max()+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(7)
+	if c.Value() != 12 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(i*i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if v := s.At(3); v != 9 {
+		t.Fatalf("At(3) = %v", v)
+	}
+	if v := s.At(3.5); v != 9 {
+		t.Fatalf("At(3.5) = %v (latest at-or-before)", v)
+	}
+	if v := s.At(-1); v != 0 {
+		t.Fatalf("At(-1) = %v", v)
+	}
+	if m := s.Mean(0, 2); math.Abs(m-(0+1+4)/3.0) > 1e-9 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := s.Max(5, 9); m != 81 {
+		t.Fatalf("Max = %v", m)
+	}
+	ts, vs := s.Points()
+	if len(ts) != 10 || len(vs) != 10 {
+		t.Fatal("points copy wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	a := NewSeries("a")
+	b := NewSeries("b")
+	a.Append(1, 10)
+	a.Append(2, 20)
+	b.Append(2, 200)
+	out := Table(a, b)
+	if out == "" {
+		t.Fatal("empty table")
+	}
+	// The t=1 row must show "-" for series b.
+	if !containsLine(out, "1.00") {
+		t.Fatalf("missing time row:\n%s", out)
+	}
+}
+
+func containsLine(s, sub string) bool {
+	return len(s) > 0 && len(sub) > 0 && (stringIndex(s, sub) >= 0)
+}
+
+func stringIndex(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestRateMeter(t *testing.T) {
+	m := NewRateMeter(2)
+	m.Mark(0.0, 100)
+	m.Mark(1.0, 100)
+	// At t=1.5 both events are in-window: 200 units / 2 s = 100/s.
+	if r := m.Rate(1.5); math.Abs(r-100) > 1e-9 {
+		t.Fatalf("rate = %v", r)
+	}
+	// At t=3 only the t=1 event remains.
+	if r := m.Rate(2.9); math.Abs(r-50) > 1e-9 {
+		t.Fatalf("rate = %v", r)
+	}
+	// Far future: empty window.
+	if r := m.Rate(100); r != 0 {
+		t.Fatalf("rate = %v", r)
+	}
+}

@@ -1,0 +1,406 @@
+// Package netem provides discrete-event models of the network elements
+// surrounding the SDNFV data plane: links with serialization and
+// propagation delay, NF processing stages, an OVS-like software switch
+// that punts flow-table misses to the controller, and a single-threaded
+// SDN controller model. The time-series and saturation experiments
+// (Figs. 1, 8–12) compose these on a sim.Env.
+//
+// Packets here are lightweight records (SimPacket); the byte-accurate
+// packet path lives in internal/dataplane. Service-time parameters are
+// calibrated from the real engine's micro-benchmarks so relative costs
+// match (see EXPERIMENTS.md).
+package netem
+
+import (
+	"sdnfv/internal/metrics"
+	"sdnfv/internal/packet"
+	"sdnfv/internal/sim"
+)
+
+// SimPacket is the simulator's packet record.
+type SimPacket struct {
+	Key   packet.FlowKey
+	Bytes int
+	// Born is the packet's creation time (for latency measurement).
+	Born sim.Time
+	// Mark carries experiment-specific state (e.g. "malicious").
+	Mark int
+}
+
+// Stage is anything that can accept a packet in the simulated pipeline.
+type Stage interface {
+	Accept(p *SimPacket)
+}
+
+// StageFunc adapts a function to Stage.
+type StageFunc func(p *SimPacket)
+
+// Accept implements Stage.
+func (f StageFunc) Accept(p *SimPacket) { f(p) }
+
+// Link models a store-and-forward link: serialization at RateBps, then
+// propagation DelaySec, then delivery to Next. Packets queue behind one
+// another (the queueing delay that separates slow and fast paths in
+// Fig. 8).
+type Link struct {
+	env  *sim.Env
+	q    *sim.Queue
+	Next Stage
+	// RateBps is the link speed; DelaySec the propagation delay.
+	RateBps  float64
+	DelaySec float64
+
+	TxBytes   *metrics.Counter
+	TxPackets *metrics.Counter
+}
+
+// NewLink builds a link in env. queueCap bounds the transmit queue
+// (0 = unbounded).
+func NewLink(env *sim.Env, rateBps, delaySec float64, queueCap int, next Stage) *Link {
+	return &Link{
+		env:       env,
+		q:         sim.NewQueue(env, queueCap),
+		Next:      next,
+		RateBps:   rateBps,
+		DelaySec:  delaySec,
+		TxBytes:   &metrics.Counter{},
+		TxPackets: &metrics.Counter{},
+	}
+}
+
+// Accept implements Stage.
+func (l *Link) Accept(p *SimPacket) {
+	ser := float64(p.Bytes*8) / l.RateBps
+	l.q.Offer(ser, func() {
+		l.TxBytes.Add(uint64(p.Bytes))
+		l.TxPackets.Add(1)
+		l.env.Schedule(l.DelaySec, func() {
+			if l.Next != nil {
+				l.Next.Accept(p)
+			}
+		})
+	})
+}
+
+// Dropped returns packets rejected by a bounded transmit queue.
+func (l *Link) Dropped() uint64 { return l.q.Dropped }
+
+// QueueLen returns the current transmit backlog.
+func (l *Link) QueueLen() int { return l.q.Len() }
+
+// NFStage models one network function's processing: a single-server queue
+// with a per-packet service-time function, after which Handle decides the
+// packet's fate and the stage forwards it (or drops it).
+type NFStage struct {
+	env *sim.Env
+	q   *sim.Queue
+	// Service returns the processing time for p.
+	Service func(p *SimPacket) sim.Time
+	// Handle returns the next stage (nil = drop).
+	Handle func(p *SimPacket) Stage
+
+	Processed *metrics.Counter
+	Drops     *metrics.Counter
+}
+
+// NewNFStage builds an NF stage. queueCap bounds its input queue.
+func NewNFStage(env *sim.Env, queueCap int, service func(p *SimPacket) sim.Time, handle func(p *SimPacket) Stage) *NFStage {
+	return &NFStage{
+		env:       env,
+		q:         sim.NewQueue(env, queueCap),
+		Service:   service,
+		Handle:    handle,
+		Processed: &metrics.Counter{},
+		Drops:     &metrics.Counter{},
+	}
+}
+
+// Accept implements Stage.
+func (s *NFStage) Accept(p *SimPacket) {
+	svc := sim.Time(0)
+	if s.Service != nil {
+		svc = s.Service(p)
+	}
+	if !s.q.Offer(svc, func() {
+		s.Processed.Add(1)
+		next := s.Handle(p)
+		if next == nil {
+			s.Drops.Add(1)
+			return
+		}
+		next.Accept(p)
+	}) {
+		s.Drops.Add(1)
+	}
+}
+
+// QueueLen returns the stage's backlog.
+func (s *NFStage) QueueLen() int { return s.q.Len() }
+
+// Sink counts delivered packets and records latency.
+type Sink struct {
+	env     *sim.Env
+	Packets *metrics.Counter
+	Bytes   *metrics.Counter
+	Latency *metrics.Histogram
+	// OnPacket, when set, observes deliveries.
+	OnPacket func(p *SimPacket)
+}
+
+// NewSink builds a sink.
+func NewSink(env *sim.Env) *Sink {
+	return &Sink{
+		env:     env,
+		Packets: &metrics.Counter{},
+		Bytes:   &metrics.Counter{},
+		Latency: metrics.NewHistogram(),
+	}
+}
+
+// Accept implements Stage.
+func (s *Sink) Accept(p *SimPacket) {
+	s.Packets.Add(1)
+	s.Bytes.Add(uint64(p.Bytes))
+	s.Latency.Observe((s.env.Now() - p.Born) * 1e9) // ns
+	if s.OnPacket != nil {
+		s.OnPacket(p)
+	}
+}
+
+// ControllerModel is the single-threaded SDN controller (POX in the
+// paper): one server, fixed per-request service time, bounded queue.
+// Saturating it is the essence of Figs. 1 and 10.
+type ControllerModel struct {
+	env *sim.Env
+	q   *sim.Queue
+	// ServiceSec is the per-request processing time.
+	ServiceSec float64
+	// RTTSec is the control-channel round trip added outside the queue.
+	RTTSec float64
+
+	Requests *metrics.Counter
+	Rejected *metrics.Counter
+}
+
+// NewControllerModel builds the model; queueCap bounds pending requests.
+func NewControllerModel(env *sim.Env, serviceSec, rttSec float64, queueCap int) *ControllerModel {
+	return &ControllerModel{
+		env:        env,
+		q:          sim.NewQueue(env, queueCap),
+		ServiceSec: serviceSec,
+		RTTSec:     rttSec,
+		Requests:   &metrics.Counter{},
+		Rejected:   &metrics.Counter{},
+	}
+}
+
+// Submit requests a flow decision; done runs when the controller has
+// answered (after queueing, service, and RTT). It returns false when the
+// controller queue overflowed (request dropped).
+func (c *ControllerModel) Submit(done func()) bool {
+	c.Requests.Add(1)
+	ok := c.q.Offer(c.ServiceSec, func() {
+		c.env.Schedule(c.RTTSec, done)
+	})
+	if !ok {
+		c.Rejected.Add(1)
+	}
+	return ok
+}
+
+// QueueLen returns pending control requests.
+func (c *ControllerModel) QueueLen() int { return c.q.Len() }
+
+// OVSSwitch models the Fig. 1 setup: a software switch with a flow table.
+// A configurable fraction of packets miss the table and must wait for the
+// controller before being forwarded; the rest forward at the switch's
+// capacity. Missed packets are buffered per flow decision; if the
+// controller rejects (queue full), the packet is dropped.
+type OVSSwitch struct {
+	env *sim.Env
+	// FwdRatePps is the switch's forwarding capacity in packets/second.
+	FwdRatePps float64
+	// MissFraction is the share of packets punted to the controller.
+	MissFraction float64
+	Controller   *ControllerModel
+	Next         Stage
+
+	q        *sim.Queue
+	Forwards *metrics.Counter
+	Punts    *metrics.Counter
+	Drops    *metrics.Counter
+}
+
+// NewOVSSwitch builds the switch model.
+func NewOVSSwitch(env *sim.Env, fwdRatePps, missFraction float64, ctrl *ControllerModel, next Stage) *OVSSwitch {
+	return &OVSSwitch{
+		env:          env,
+		FwdRatePps:   fwdRatePps,
+		MissFraction: missFraction,
+		Controller:   ctrl,
+		Next:         next,
+		q:            sim.NewQueue(env, 4096),
+		Forwards:     &metrics.Counter{},
+		Punts:        &metrics.Counter{},
+		Drops:        &metrics.Counter{},
+	}
+}
+
+// Accept implements Stage.
+func (s *OVSSwitch) Accept(p *SimPacket) {
+	forward := func() {
+		if !s.q.Offer(1/s.FwdRatePps, func() {
+			s.Forwards.Add(1)
+			if s.Next != nil {
+				s.Next.Accept(p)
+			}
+		}) {
+			s.Drops.Add(1)
+		}
+	}
+	if s.env.Rand().Float64() < s.MissFraction {
+		s.Punts.Add(1)
+		if !s.Controller.Submit(forward) {
+			s.Drops.Add(1)
+		}
+		return
+	}
+	forward()
+}
+
+// CBRSource emits fixed-size packets for a flow at a (possibly
+// time-varying) rate into a stage. Rate changes take effect at the next
+// emission.
+type CBRSource struct {
+	env   *sim.Env
+	Spec  packet.FlowKey
+	Bytes int
+	// RateBps returns the offered rate at time t; zero pauses emission
+	// (the source re-polls at PollSec).
+	RateBps func(t sim.Time) float64
+	// PollSec is the re-poll interval while paused (default 0.1 s).
+	PollSec float64
+	Dest    Stage
+	// Mark is stamped on emitted packets.
+	Mark int
+
+	Emitted *metrics.Counter
+	stopped bool
+}
+
+// NewCBRSource builds a source; call Start to begin emitting.
+func NewCBRSource(env *sim.Env, key packet.FlowKey, bytes int, rate func(t sim.Time) float64, dest Stage) *CBRSource {
+	return &CBRSource{
+		env: env, Spec: key, Bytes: bytes, RateBps: rate, Dest: dest,
+		PollSec: 0.1,
+		Emitted: &metrics.Counter{},
+	}
+}
+
+// Start schedules the first emission.
+func (s *CBRSource) Start() { s.emit() }
+
+// Stop halts the source permanently.
+func (s *CBRSource) Stop() { s.stopped = true }
+
+func (s *CBRSource) emit() {
+	if s.stopped {
+		return
+	}
+	rate := s.RateBps(s.env.Now())
+	if rate <= 0 {
+		s.env.Schedule(s.PollSec, s.emit)
+		return
+	}
+	p := &SimPacket{Key: s.Spec, Bytes: s.Bytes, Born: s.env.Now(), Mark: s.Mark}
+	s.Dest.Accept(p)
+	s.Emitted.Add(1)
+	s.env.Schedule(float64(s.Bytes*8)/rate, s.emit)
+}
+
+// Demux routes packets by a classifier function — the simulator's stand-in
+// for a flow table whose defaults cross-layer messages rewrite.
+type Demux struct {
+	// Classify returns the next stage for p (nil = drop).
+	Classify func(p *SimPacket) Stage
+	Drops    *metrics.Counter
+}
+
+// NewDemux builds a demux.
+func NewDemux(classify func(p *SimPacket) Stage) *Demux {
+	return &Demux{Classify: classify, Drops: &metrics.Counter{}}
+}
+
+// Accept implements Stage.
+func (d *Demux) Accept(p *SimPacket) {
+	next := d.Classify(p)
+	if next == nil {
+		d.Drops.Add(1)
+		return
+	}
+	next.Accept(p)
+}
+
+// FlowTableStage is a small per-flow default-action table driven by
+// ServiceID, mirroring the NF Manager's table in the simulator. Cross-layer
+// messages rewrite entries.
+type FlowTableStage struct {
+	// Defaults maps a flow key to its next stage; Fallback handles
+	// unmatched flows.
+	Defaults map[packet.FlowKey]Stage
+	Fallback Stage
+}
+
+// NewFlowTableStage builds the stage.
+func NewFlowTableStage(fallback Stage) *FlowTableStage {
+	return &FlowTableStage{Defaults: make(map[packet.FlowKey]Stage), Fallback: fallback}
+}
+
+// Accept implements Stage.
+func (f *FlowTableStage) Accept(p *SimPacket) {
+	if s, ok := f.Defaults[p.Key]; ok {
+		s.Accept(p)
+		return
+	}
+	if f.Fallback != nil {
+		f.Fallback.Accept(p)
+	}
+}
+
+// SetDefault rewrites the flow's default next stage (the simulator-side
+// effect of a ChangeDefault message).
+func (f *FlowTableStage) SetDefault(k packet.FlowKey, s Stage) { f.Defaults[k] = s }
+
+// ClearDefault removes a flow-specific default.
+func (f *FlowTableStage) ClearDefault(k packet.FlowKey) { delete(f.Defaults, k) }
+
+// ServiceTimes groups the calibrated per-packet costs used across
+// experiments; values are seconds. Defaults come from the real engine's
+// measured micro-costs (§5.1: flow-table lookup ≈30 ns, min-queue pick
+// ≈15 ns) plus per-hop descriptor movement.
+type ServiceTimes struct {
+	// Lookup is one flow-table lookup.
+	Lookup float64
+	// HopOverhead is manager descriptor handling per NF hop.
+	HopOverhead float64
+	// NFBase is a no-op NF's processing time.
+	NFBase float64
+}
+
+// DefaultServiceTimes returns the calibrated defaults.
+func DefaultServiceTimes() ServiceTimes {
+	return ServiceTimes{
+		Lookup:      30e-9,
+		HopOverhead: 550e-9, // ring transfer + wakeup per hop
+		NFBase:      100e-9,
+	}
+}
+
+var (
+	_ Stage = (*Link)(nil)
+	_ Stage = (*NFStage)(nil)
+	_ Stage = (*Sink)(nil)
+	_ Stage = (*OVSSwitch)(nil)
+	_ Stage = (*Demux)(nil)
+	_ Stage = (*FlowTableStage)(nil)
+)

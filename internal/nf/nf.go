@@ -1,0 +1,185 @@
+// Package nf defines the SDNFV-User library surface (§4.3): the interface a
+// network function implements, the per-packet actions it may request, and
+// the longer-lived cross-layer messages it can send up to the NF Manager
+// and SDNFV Application (§3.4).
+package nf
+
+import (
+	"fmt"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/mempool"
+	"sdnfv/internal/packet"
+)
+
+// Verb is the per-packet action kind an NF returns (§3.4 "NF Packet
+// Actions"): Default follows the flow table's default edge, SendTo picks a
+// specific allowed next hop, Discard drops, and Out transmits directly.
+type Verb uint8
+
+// Per-packet verbs.
+const (
+	VerbDefault Verb = iota
+	VerbSendTo
+	VerbDiscard
+	VerbOut
+)
+
+// Decision is what an NF returns for a processed packet. NFs never forward
+// packets themselves — they set a decision on the descriptor and return it
+// to the NF Manager, which validates and performs it.
+type Decision struct {
+	Verb Verb
+	// Dest is the target service for VerbSendTo or the NIC port
+	// (flowtable.Port-encoded) for VerbOut.
+	Dest flowtable.ServiceID
+}
+
+// Default follows the flow table's default action.
+func Default() Decision { return Decision{Verb: VerbDefault} }
+
+// SendTo requests delivery to service s (must be an allowed next hop).
+func SendTo(s flowtable.ServiceID) Decision { return Decision{Verb: VerbSendTo, Dest: s} }
+
+// Discard drops the packet.
+func Discard() Decision { return Decision{Verb: VerbDiscard} }
+
+// Out transmits the packet out NIC port n.
+func Out(n int) Decision { return Decision{Verb: VerbOut, Dest: flowtable.Port(n)} }
+
+// String renders the decision.
+func (d Decision) String() string {
+	switch d.Verb {
+	case VerbSendTo:
+		return "sendto(" + d.Dest.String() + ")"
+	case VerbDiscard:
+		return "discard"
+	case VerbOut:
+		return fmt.Sprintf("out(port:%d)", d.Dest.PortNum())
+	default:
+		return "default"
+	}
+}
+
+// Packet is the zero-copy view handed to an NF for each descriptor. It
+// bundles the parsed header view with the pool handle so helpers can reach
+// descriptor metadata.
+type Packet struct {
+	Handle mempool.Handle
+	View   *packet.View
+	Key    packet.FlowKey
+	// ArrivalNanos is the host RX timestamp (engine clock).
+	ArrivalNanos int64
+}
+
+// Context is the per-instance environment the engine provides to an NF:
+// identity plus the side channel for cross-layer messages.
+type Context struct {
+	// Service is the abstract service this instance implements.
+	Service flowtable.ServiceID
+	// Instance distinguishes replicas of the same service on one host.
+	Instance int
+	// Emit sends a cross-layer message to the NF Manager. It may be nil in
+	// unit tests; use Context.Send which tolerates that.
+	Emit func(Message)
+}
+
+// Send emits m if a manager channel is attached.
+func (c *Context) Send(m Message) {
+	if c.Emit != nil {
+		c.Emit(m)
+	}
+}
+
+// Function is a network function. Process is called once per packet by the
+// engine; it must not retain p.View or p.Handle beyond the call (the
+// descriptor is returned to the manager when Process returns).
+//
+// ReadOnly reports whether the function never mutates packet bytes; only
+// read-only NFs are eligible for parallel dispatch (§3.3).
+type Function interface {
+	// Name returns a short human-readable identifier.
+	Name() string
+	// ReadOnly reports whether the NF never writes to packet buffers.
+	ReadOnly() bool
+	// Process handles one packet and returns the requested action.
+	Process(ctx *Context, p *Packet) Decision
+}
+
+// MsgKind discriminates cross-layer messages (§3.4).
+type MsgKind uint8
+
+// Cross-layer message kinds.
+const (
+	// MsgSkipMe: NFs whose default edge leads to S should bypass S.
+	MsgSkipMe MsgKind = iota
+	// MsgRequestMe: all nodes with an edge to S make S their default.
+	MsgRequestMe
+	// MsgChangeDefault: set the default rule for service S to T.
+	MsgChangeDefault
+	// MsgData: arbitrary (key, value) application data for the manager /
+	// SDNFV Application.
+	MsgData
+)
+
+// String names the kind.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgSkipMe:
+		return "SkipMe"
+	case MsgRequestMe:
+		return "RequestMe"
+	case MsgChangeDefault:
+		return "ChangeDefault"
+	case MsgData:
+		return "Message"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", uint8(k))
+	}
+}
+
+// Message is a cross-layer control message from an NF. Flows selects which
+// flows the change applies to (wildcards allowed); S and T are services as
+// defined per kind in §3.4.
+type Message struct {
+	Kind  MsgKind
+	Flows flowtable.Match
+	S     flowtable.ServiceID
+	T     flowtable.ServiceID
+	// Key/Value carry application data for MsgData.
+	Key   string
+	Value any
+}
+
+// String renders the message for logs.
+func (m Message) String() string {
+	switch m.Kind {
+	case MsgChangeDefault:
+		return fmt.Sprintf("ChangeDefault(%s, %s -> %s)", m.Flows, m.S, m.T)
+	case MsgData:
+		return fmt.Sprintf("Message(%s, %q=%v)", m.S, m.Key, m.Value)
+	default:
+		return fmt.Sprintf("%s(%s, %s)", m.Kind, m.Flows, m.S)
+	}
+}
+
+// FuncAdapter lifts a plain function into a Function; handy in tests and
+// simple examples.
+type FuncAdapter struct {
+	FnName   string
+	RO       bool
+	ProcessF func(ctx *Context, p *Packet) Decision
+}
+
+// Name implements Function.
+func (f *FuncAdapter) Name() string { return f.FnName }
+
+// ReadOnly implements Function.
+func (f *FuncAdapter) ReadOnly() bool { return f.RO }
+
+// Process implements Function.
+func (f *FuncAdapter) Process(ctx *Context, p *Packet) Decision {
+	return f.ProcessF(ctx, p)
+}
+
+var _ Function = (*FuncAdapter)(nil)

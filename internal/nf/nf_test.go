@@ -1,0 +1,77 @@
+package nf
+
+import (
+	"testing"
+
+	"sdnfv/internal/flowtable"
+)
+
+func TestDecisionConstructors(t *testing.T) {
+	if d := Default(); d.Verb != VerbDefault {
+		t.Fatalf("Default = %v", d)
+	}
+	if d := SendTo(7); d.Verb != VerbSendTo || d.Dest != 7 {
+		t.Fatalf("SendTo = %v", d)
+	}
+	if d := Discard(); d.Verb != VerbDiscard {
+		t.Fatalf("Discard = %v", d)
+	}
+	if d := Out(3); d.Verb != VerbOut || d.Dest.PortNum() != 3 {
+		t.Fatalf("Out = %v", d)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	cases := map[string]Decision{
+		"default":       Default(),
+		"sendto(svc:7)": SendTo(7),
+		"discard":       Discard(),
+		"out(port:3)":   Out(3),
+	}
+	for want, d := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := Message{Kind: MsgChangeDefault, S: 1, T: 2}
+	if s := m.String(); s == "" {
+		t.Fatal("empty string")
+	}
+	m = Message{Kind: MsgData, S: 1, Key: "k", Value: 3}
+	if s := m.String(); s == "" {
+		t.Fatal("empty data string")
+	}
+	for _, k := range []MsgKind{MsgSkipMe, MsgRequestMe, MsgChangeDefault, MsgData, MsgKind(99)} {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", k)
+		}
+	}
+}
+
+func TestContextSendNilSafe(t *testing.T) {
+	var c Context
+	c.Send(Message{Kind: MsgData}) // must not panic with nil Emit
+	var got []Message
+	c.Emit = func(m Message) { got = append(got, m) }
+	c.Send(Message{Kind: MsgSkipMe, S: 5})
+	if len(got) != 1 || got[0].S != flowtable.ServiceID(5) {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	called := false
+	f := &FuncAdapter{FnName: "x", RO: true, ProcessF: func(ctx *Context, p *Packet) Decision {
+		called = true
+		return Discard()
+	}}
+	if f.Name() != "x" || !f.ReadOnly() {
+		t.Fatal("adapter metadata wrong")
+	}
+	if d := f.Process(&Context{}, &Packet{}); d.Verb != VerbDiscard || !called {
+		t.Fatal("adapter did not delegate")
+	}
+}

@@ -1,0 +1,139 @@
+package nfs
+
+import (
+	"sync/atomic"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/packet"
+)
+
+// FlowClass is the Ant Detector's classification of a flow (§5.2):
+// "ant" flows are small-packet, low-rate, latency-sensitive traffic;
+// "elephant" flows are bulk transfers.
+type FlowClass uint8
+
+// Flow classes.
+const (
+	ClassUnknown FlowClass = iota
+	ClassAnt
+	ClassElephant
+)
+
+// String names the class.
+func (c FlowClass) String() string {
+	switch c {
+	case ClassAnt:
+		return "ant"
+	case ClassElephant:
+		return "elephant"
+	default:
+		return "unknown"
+	}
+}
+
+// AntDetector monitors long-lived flows and classifies them by observing
+// packet size and rate over a time window (the paper uses two seconds).
+// When a flow's class changes, the detector issues a ChangeDefault message
+// steering ants to the fast (low-latency) path and elephants to the bulk
+// path — the QoS scenario of Fig. 8.
+type AntDetector struct {
+	// WindowSec is the observation interval (paper: 2 s).
+	WindowSec float64
+	// Now returns current time in seconds.
+	Now func() float64
+	// AntBpsLimit: flows at or below this rate (bits/s) with small mean
+	// packet size are ants.
+	AntBpsLimit float64
+	// SmallPacketBytes is the mean-size boundary for "small packets".
+	SmallPacketBytes float64
+	// FastPath and SlowPath are the next-hop services (or egress
+	// services) for ants and elephants respectively.
+	FastPath flowtable.ServiceID
+	SlowPath flowtable.ServiceID
+	// OnReclassify, when set, observes classification changes (tests).
+	OnReclassify func(k packet.FlowKey, c FlowClass)
+
+	flows map[packet.FlowKey]*antFlowState
+
+	reclassifications atomic.Uint64
+}
+
+type antFlowState struct {
+	winStart float64
+	bytes    float64
+	packets  float64
+	class    FlowClass
+}
+
+// Name implements nf.Function.
+func (a *AntDetector) Name() string { return "ant-detector" }
+
+// ReadOnly implements nf.Function.
+func (a *AntDetector) ReadOnly() bool { return true }
+
+// Process implements nf.Function.
+func (a *AntDetector) Process(ctx *nf.Context, p *nf.Packet) nf.Decision {
+	if a.flows == nil {
+		a.flows = make(map[packet.FlowKey]*antFlowState)
+	}
+	now := 0.0
+	if a.Now != nil {
+		now = a.Now()
+	}
+	st, ok := a.flows[p.Key]
+	if !ok {
+		st = &antFlowState{winStart: now}
+		a.flows[p.Key] = st
+	}
+	st.bytes += float64(len(p.View.Buf()))
+	st.packets++
+
+	win := a.WindowSec
+	if win <= 0 {
+		win = 2
+	}
+	if now-st.winStart >= win {
+		rateBps := st.bytes * 8 / (now - st.winStart)
+		meanSize := st.bytes / st.packets
+		newClass := ClassElephant
+		if rateBps <= a.AntBpsLimit && meanSize <= a.SmallPacketBytes {
+			newClass = ClassAnt
+		}
+		if newClass != st.class {
+			st.class = newClass
+			a.reclassifications.Add(1)
+			dest := a.SlowPath
+			if newClass == ClassAnt {
+				dest = a.FastPath
+			}
+			// Adjust the flow's default path for subsequent packets.
+			ctx.Send(nf.Message{
+				Kind:  nf.MsgChangeDefault,
+				Flows: flowtable.ExactMatch(p.Key),
+				S:     ctx.Service,
+				T:     dest,
+			})
+			if a.OnReclassify != nil {
+				a.OnReclassify(p.Key, newClass)
+			}
+		}
+		st.winStart = now
+		st.bytes = 0
+		st.packets = 0
+	}
+	return nf.Default()
+}
+
+// Class returns the current classification of flow k.
+func (a *AntDetector) Class(k packet.FlowKey) FlowClass {
+	if st, ok := a.flows[k]; ok {
+		return st.class
+	}
+	return ClassUnknown
+}
+
+// Reclassifications returns the number of class changes observed.
+func (a *AntDetector) Reclassifications() uint64 { return a.reclassifications.Load() }
+
+var _ nf.Function = (*AntDetector)(nil)

@@ -1,0 +1,130 @@
+package nfs
+
+import (
+	"bytes"
+	"sync/atomic"
+
+	"sdnfv/internal/nf"
+	"sdnfv/internal/packet"
+)
+
+// MemcachedProxy is the application-aware L7 load balancer of §5.4: it
+// parses incoming UDP memcached requests, maps the requested key to a
+// backend server with a hash function, and rewrites the packet's
+// destination so the server's response returns directly to the client
+// (one-sided proxying — the property that lets it avoid TwemProxy's
+// two-connection, copy-heavy design).
+type MemcachedProxy struct {
+	// Servers are the backend addresses keys are sharded across.
+	Servers []Backend
+	// OutPort is the NIC port rewritten requests exit through.
+	OutPort int
+
+	proxied   atomic.Uint64
+	malformed atomic.Uint64
+}
+
+// Backend is one memcached server.
+type Backend struct {
+	IP   packet.IP
+	Port uint16
+}
+
+// Name implements nf.Function.
+func (m *MemcachedProxy) Name() string { return "memcached-proxy" }
+
+// ReadOnly implements nf.Function; the proxy rewrites headers.
+func (m *MemcachedProxy) ReadOnly() bool { return false }
+
+// Process implements nf.Function.
+func (m *MemcachedProxy) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
+	if len(m.Servers) == 0 || !p.View.Valid() || p.View.Proto() != packet.ProtoUDP {
+		return nf.Default()
+	}
+	key, ok := ParseMemcachedGet(p.View.Payload())
+	if !ok {
+		m.malformed.Add(1)
+		return nf.Default()
+	}
+	b := m.Servers[hashKey(key)%uint64(len(m.Servers))]
+	p.View.SetDstIP(b.IP)
+	p.View.SetDstPort(b.Port)
+	p.View.UpdateChecksums()
+	m.proxied.Add(1)
+	return nf.Out(m.OutPort)
+}
+
+// Proxied returns the number of requests rewritten.
+func (m *MemcachedProxy) Proxied() uint64 { return m.proxied.Load() }
+
+// Malformed returns the number of undecodable requests.
+func (m *MemcachedProxy) Malformed() uint64 { return m.malformed.Load() }
+
+var _ nf.Function = (*MemcachedProxy)(nil)
+
+// memcached UDP frames carry an 8-byte frame header (request id, sequence,
+// datagram count, reserved) before the text protocol.
+const memcachedUDPHeaderLen = 8
+
+var getPrefix = []byte("get ")
+
+// ParseMemcachedGet extracts the key from a UDP memcached "get" request
+// payload (including the 8-byte UDP frame header). ok is false for
+// malformed or non-get requests.
+func ParseMemcachedGet(payload []byte) (key []byte, ok bool) {
+	if len(payload) < memcachedUDPHeaderLen+len(getPrefix)+1 {
+		return nil, false
+	}
+	body := payload[memcachedUDPHeaderLen:]
+	if !bytes.HasPrefix(body, getPrefix) {
+		return nil, false
+	}
+	rest := body[len(getPrefix):]
+	end := bytes.IndexByte(rest, '\r')
+	if end <= 0 {
+		// Also accept a bare newline or end-of-datagram terminator.
+		end = bytes.IndexByte(rest, '\n')
+		if end <= 0 {
+			end = len(rest)
+		}
+	}
+	key = rest[:end]
+	if len(key) == 0 || len(key) > 250 { // memcached max key length
+		return nil, false
+	}
+	return key, true
+}
+
+// BuildMemcachedGet writes a UDP memcached get request for key into buf
+// and returns its length (frame header + text command). It returns 0 when
+// buf is too small or the key exceeds memcached's 250-byte limit.
+func BuildMemcachedGet(buf []byte, reqID uint16, key string) int {
+	if len(key) == 0 || len(key) > 250 {
+		return 0
+	}
+	n := memcachedUDPHeaderLen + len(getPrefix) + len(key) + 2
+	if len(buf) < n {
+		return 0
+	}
+	buf[0] = byte(reqID >> 8)
+	buf[1] = byte(reqID)
+	buf[2], buf[3] = 0, 0 // sequence 0
+	buf[4], buf[5] = 0, 1 // datagram count 1
+	buf[6], buf[7] = 0, 0 // reserved
+	off := memcachedUDPHeaderLen
+	off += copy(buf[off:], getPrefix)
+	off += copy(buf[off:], key)
+	buf[off] = '\r'
+	buf[off+1] = '\n'
+	return n
+}
+
+// hashKey is FNV-1a over the key bytes.
+func hashKey(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,465 @@
+package nfs
+
+import (
+	"testing"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/packet"
+)
+
+// mkPacket builds an nf.Packet carrying payload for flow key k.
+func mkPacket(t *testing.T, k packet.FlowKey, payload []byte) *nf.Packet {
+	t.Helper()
+	b := packet.Builder{
+		SrcIP: k.SrcIP, DstIP: k.DstIP,
+		SrcPort: k.SrcPort, DstPort: k.DstPort, Proto: k.Proto,
+	}
+	buf := make([]byte, 2048)
+	n, err := b.Build(buf, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := packet.Parse(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &nf.Packet{View: &v, Key: v.FlowKey()}
+}
+
+func udpKey(n byte) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: packet.IPv4(10, 0, 0, n), DstIP: packet.IPv4(10, 9, 0, 1),
+		SrcPort: 5000 + uint16(n), DstPort: 80, Proto: packet.ProtoUDP,
+	}
+}
+
+// msgCollector captures cross-layer messages.
+type msgCollector struct {
+	msgs []nf.Message
+}
+
+func (c *msgCollector) ctx(svc flowtable.ServiceID) *nf.Context {
+	return &nf.Context{Service: svc, Emit: func(m nf.Message) { c.msgs = append(c.msgs, m) }}
+}
+
+func TestNoOpAndCounter(t *testing.T) {
+	p := mkPacket(t, udpKey(1), []byte("x"))
+	if d := (NoOp{}).Process(nil, p); d.Verb != nf.VerbDefault {
+		t.Fatalf("NoOp decision = %v", d)
+	}
+	c := &Counter{}
+	for i := 0; i < 3; i++ {
+		c.Process(nil, p)
+	}
+	if c.Packets() != 3 || c.Bytes() == 0 {
+		t.Fatalf("counter = %d pkts %d bytes", c.Packets(), c.Bytes())
+	}
+}
+
+func TestComputeIntensiveIsReadOnly(t *testing.T) {
+	ci := &ComputeIntensive{Iterations: 100}
+	if !ci.ReadOnly() {
+		t.Fatal("compute NF must be read-only for parallel dispatch")
+	}
+	p := mkPacket(t, udpKey(1), []byte("payload"))
+	if d := ci.Process(nil, p); d.Verb != nf.VerbDefault {
+		t.Fatalf("decision = %v", d)
+	}
+}
+
+func TestFirewallRules(t *testing.T) {
+	bad := udpKey(66)
+	fw := &Firewall{
+		Rules: []FirewallRule{
+			{Match: flowtable.MatchSrcIP(bad.SrcIP), Allow: false},
+		},
+		DefaultAllow: true,
+	}
+	if d := fw.Process(nil, mkPacket(t, bad, nil)); d.Verb != nf.VerbDiscard {
+		t.Fatalf("blocked flow passed: %v", d)
+	}
+	if d := fw.Process(nil, mkPacket(t, udpKey(1), nil)); d.Verb != nf.VerbDefault {
+		t.Fatalf("allowed flow dropped: %v", d)
+	}
+	if fw.Allowed() != 1 || fw.Denied() != 1 {
+		t.Fatalf("counters = %d/%d", fw.Allowed(), fw.Denied())
+	}
+	// Default-deny posture.
+	fw2 := &Firewall{}
+	if d := fw2.Process(nil, mkPacket(t, udpKey(2), nil)); d.Verb != nf.VerbDiscard {
+		t.Fatal("default-deny firewall passed a packet")
+	}
+}
+
+func TestSamplerFlowConsistency(t *testing.T) {
+	s := &Sampler{Rate: 0.5, Bypass: 42}
+	k := udpKey(7)
+	p := mkPacket(t, k, nil)
+	first := s.Process(nil, p)
+	for i := 0; i < 10; i++ {
+		if d := s.Process(nil, p); d != first {
+			t.Fatal("sampler flip-flopped within one flow")
+		}
+	}
+	// Rate 0 bypasses everything; rate 1 samples everything.
+	s0 := &Sampler{Rate: 0, Bypass: 42}
+	if d := s0.Process(nil, p); d.Verb != nf.VerbSendTo || d.Dest != 42 {
+		t.Fatalf("rate-0 sampler: %v", d)
+	}
+	s1 := &Sampler{Rate: 1, Bypass: 42}
+	if d := s1.Process(nil, p); d.Verb != nf.VerbDefault {
+		t.Fatalf("rate-1 sampler: %v", d)
+	}
+}
+
+func TestIDSDetectsAndRedirects(t *testing.T) {
+	col := &msgCollector{}
+	ids := &IDS{Matcher: DefaultIDSSignatures(), Scrubber: 99}
+	ctx := col.ctx(50)
+	evil := mkPacket(t, udpKey(3), []byte("GET /?q=' OR '1'='1 HTTP/1.1"))
+	if d := ids.Process(ctx, evil); d.Verb != nf.VerbSendTo || d.Dest != 99 {
+		t.Fatalf("exploit not redirected: %v", d)
+	}
+	if len(col.msgs) != 1 || col.msgs[0].Kind != nf.MsgChangeDefault || col.msgs[0].T != 99 {
+		t.Fatalf("messages = %v", col.msgs)
+	}
+	// Subsequent packets of the flagged flow divert even without payload.
+	clean := mkPacket(t, udpKey(3), []byte("innocent"))
+	if d := ids.Process(ctx, clean); d.Verb != nf.VerbSendTo {
+		t.Fatal("flagged flow forgot its state")
+	}
+	// Other flows pass.
+	if d := ids.Process(ctx, mkPacket(t, udpKey(4), []byte("hello"))); d.Verb != nf.VerbDefault {
+		t.Fatal("clean flow diverted")
+	}
+	if ids.Alerts() != 1 {
+		t.Fatalf("alerts = %d", ids.Alerts())
+	}
+}
+
+func TestDDoSDetectorThreshold(t *testing.T) {
+	col := &msgCollector{}
+	now := 0.0
+	d := &DDoSDetector{
+		ThresholdBps: 8000, // 1000 bytes/sec
+		WindowSec:    1,
+		Now:          func() float64 { return now },
+	}
+	ctx := col.ctx(60)
+	p := mkPacket(t, udpKey(5), make([]byte, 400))
+	d.Process(ctx, p)
+	if len(col.msgs) != 0 {
+		t.Fatal("alarm before threshold")
+	}
+	d.Process(ctx, p) // cumulative window volume crosses 1000B
+	d.Process(ctx, p)
+	if len(col.msgs) != 1 {
+		t.Fatalf("alarm count = %d", len(col.msgs))
+	}
+	if col.msgs[0].Kind != nf.MsgData || col.msgs[0].Key != "ddos.alarm" {
+		t.Fatalf("alarm message = %v", col.msgs[0])
+	}
+	// Only one alarm per prefix.
+	d.Process(ctx, p)
+	if len(col.msgs) != 1 {
+		t.Fatal("duplicate alarms")
+	}
+	if d.Alarms() != 1 {
+		t.Fatalf("Alarms = %d", d.Alarms())
+	}
+}
+
+func TestScrubber(t *testing.T) {
+	s := &Scrubber{Malicious: func(p *nf.Packet) bool {
+		return p.Key.SrcIP == packet.IPv4(10, 0, 0, 66)
+	}}
+	if d := s.Process(nil, mkPacket(t, udpKey(66), nil)); d.Verb != nf.VerbDiscard {
+		t.Fatal("malicious packet passed")
+	}
+	if d := s.Process(nil, mkPacket(t, udpKey(1), nil)); d.Verb != nf.VerbDefault {
+		t.Fatal("clean packet dropped")
+	}
+	col := &msgCollector{}
+	s.Announce(col.ctx(99), flowtable.MatchAll)
+	if len(col.msgs) != 1 || col.msgs[0].Kind != nf.MsgRequestMe {
+		t.Fatalf("Announce = %v", col.msgs)
+	}
+}
+
+func TestVideoDetectorClassification(t *testing.T) {
+	col := &msgCollector{}
+	vd := &VideoDetector{PolicyEngine: 70, Bypass: 71, RewriteDefaults: true}
+	ctx := col.ctx(69)
+
+	video := mkPacket(t, udpKey(10), []byte("HTTP/1.1 200 OK\r\nContent-Type: video/mp4\r\n\r\n"))
+	if d := vd.Process(ctx, video); d.Verb != nf.VerbSendTo || d.Dest != 70 {
+		t.Fatalf("video flow: %v", d)
+	}
+	html := mkPacket(t, udpKey(11), []byte("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n"))
+	if d := vd.Process(ctx, html); d.Verb != nf.VerbSendTo || d.Dest != 71 {
+		t.Fatalf("html flow: %v", d)
+	}
+	// Non-video flows get a ChangeDefault so they skip the policy path.
+	if len(col.msgs) != 1 || col.msgs[0].Kind != nf.MsgChangeDefault || col.msgs[0].T != 71 {
+		t.Fatalf("messages = %v", col.msgs)
+	}
+	// Unknown content continues on the default path.
+	unknown := mkPacket(t, udpKey(12), []byte("binarydata"))
+	if d := vd.Process(ctx, unknown); d.Verb != nf.VerbDefault {
+		t.Fatalf("unknown flow: %v", d)
+	}
+	if vd.VideoFlows() != 1 || vd.OtherFlows() != 1 {
+		t.Fatalf("classified %d/%d", vd.VideoFlows(), vd.OtherFlows())
+	}
+}
+
+func TestPolicyEngineThrottleFlip(t *testing.T) {
+	col := &msgCollector{}
+	state := &PolicyState{}
+	pe := &PolicyEngine{State: state, Transcoder: 80, Bypass: 81, RewriteDefaults: true}
+	ctx := col.ctx(79)
+	p := mkPacket(t, udpKey(20), nil)
+
+	if d := pe.Process(ctx, p); d.Verb != nf.VerbSendTo || d.Dest != 81 {
+		t.Fatalf("unthrottled: %v", d)
+	}
+	state.SetThrottle(true)
+	if d := pe.Process(ctx, p); d.Dest != 80 {
+		t.Fatalf("throttled: %v", d)
+	}
+	// The flip must have produced a RequestMe (recall all flows).
+	var sawRequestMe bool
+	for _, m := range col.msgs {
+		if m.Kind == nf.MsgRequestMe {
+			sawRequestMe = true
+		}
+	}
+	if !sawRequestMe {
+		t.Fatalf("no RequestMe after policy flip: %v", col.msgs)
+	}
+	if pe.Throttled() != 1 || pe.Passed() != 1 {
+		t.Fatalf("counters = %d/%d", pe.Throttled(), pe.Passed())
+	}
+}
+
+func TestQualityDetector(t *testing.T) {
+	qd := &QualityDetector{
+		MinBitrateKbps: 500,
+		Transcoder:     80, Bypass: 81,
+		BitrateOf: func(p *nf.Packet) int { return int(p.Key.SrcPort) },
+	}
+	low := udpKey(1)
+	low.SrcPort = 400
+	if d := qd.Process(nil, mkPacket(t, low, nil)); d.Dest != 81 {
+		t.Fatalf("low-bitrate flow transcoded: %v", d)
+	}
+	high := udpKey(2)
+	high.SrcPort = 4000
+	if d := qd.Process(nil, mkPacket(t, high, nil)); d.Dest != 80 {
+		t.Fatalf("high-bitrate flow skipped: %v", d)
+	}
+}
+
+func TestTranscoderHalvesRate(t *testing.T) {
+	tr := &Transcoder{DropRatio: 0.5}
+	p := mkPacket(t, udpKey(1), nil)
+	drops, passes := 0, 0
+	for i := 0; i < 1000; i++ {
+		if tr.Process(nil, p).Verb == nf.VerbDiscard {
+			drops++
+		} else {
+			passes++
+		}
+	}
+	if drops < 480 || drops > 520 {
+		t.Fatalf("drops = %d of 1000, want ~500", drops)
+	}
+	if tr.Dropped() != uint64(drops) || tr.Emitted() != uint64(passes) {
+		t.Fatal("counters disagree")
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := &Cache{Capacity: 2, OutPort: 3, KeyOf: func(p *nf.Packet) string {
+		return string(p.View.Payload())
+	}}
+	get := func(key string) nf.Decision {
+		return c.Process(nil, mkPacket(t, udpKey(1), []byte(key)))
+	}
+	if d := get("a"); d.Verb != nf.VerbDefault {
+		t.Fatal("miss should follow default path")
+	}
+	if d := get("a"); d.Verb != nf.VerbOut || d.Dest.PortNum() != 3 {
+		t.Fatalf("hit should exit out port: %v", d)
+	}
+	get("b")
+	get("c") // evicts "a" (LRU)
+	if d := get("a"); d.Verb != nf.VerbDefault {
+		t.Fatal("evicted entry still hit")
+	}
+	if c.Hits() != 1 {
+		t.Fatalf("hits = %d", c.Hits())
+	}
+}
+
+func TestShaperTokenBucket(t *testing.T) {
+	now := 0.0
+	s := &Shaper{RateBps: 8000, BurstBytes: 1000, Now: func() float64 { return now }}
+	p := mkPacket(t, udpKey(1), make([]byte, 400-packet.EthHeaderLen-packet.IPv4HeaderLen-packet.UDPHeaderLen))
+	// Burst allows ~2 packets of ~400B, then drops.
+	if s.Process(nil, p).Verb != nf.VerbDefault {
+		t.Fatal("first packet shaped")
+	}
+	if s.Process(nil, p).Verb != nf.VerbDefault {
+		t.Fatal("second packet shaped")
+	}
+	if s.Process(nil, p).Verb != nf.VerbDiscard {
+		t.Fatal("burst exceeded but passed")
+	}
+	// After a second, 1000 bytes of tokens refill.
+	now = 1.0
+	if s.Process(nil, p).Verb != nf.VerbDefault {
+		t.Fatal("refilled bucket still dropping")
+	}
+	if s.Shaped() != 1 {
+		t.Fatalf("shaped = %d", s.Shaped())
+	}
+}
+
+func TestAntDetectorReclassification(t *testing.T) {
+	col := &msgCollector{}
+	now := 0.0
+	ad := &AntDetector{
+		WindowSec: 2, Now: func() float64 { return now },
+		AntBpsLimit: 10_000, SmallPacketBytes: 200,
+		FastPath: 90, SlowPath: 91,
+	}
+	ctx := col.ctx(89)
+	k := udpKey(30)
+	small := mkPacket(t, k, make([]byte, 20))
+	// Low-rate small packets over a window: classified ant.
+	for i := 0; i < 6; i++ {
+		now += 0.6
+		ad.Process(ctx, small)
+	}
+	if ad.Class(k) != ClassAnt {
+		t.Fatalf("class = %v, want ant", ad.Class(k))
+	}
+	if len(col.msgs) == 0 || col.msgs[0].Kind != nf.MsgChangeDefault || col.msgs[0].T != 90 {
+		t.Fatalf("messages = %v", col.msgs)
+	}
+	// Burst of large fast traffic: reclassified elephant.
+	big := mkPacket(t, k, make([]byte, 1400))
+	for i := 0; i < 40; i++ {
+		now += 0.06
+		ad.Process(ctx, big)
+	}
+	if ad.Class(k) != ClassElephant {
+		t.Fatalf("class = %v, want elephant", ad.Class(k))
+	}
+	last := col.msgs[len(col.msgs)-1]
+	if last.T != 91 {
+		t.Fatalf("last reroute to %v, want slow path", last.T)
+	}
+	if ad.Reclassifications() < 2 {
+		t.Fatalf("reclassifications = %d", ad.Reclassifications())
+	}
+}
+
+func TestMemcachedProxyRewrites(t *testing.T) {
+	proxy := &MemcachedProxy{
+		Servers: []Backend{
+			{IP: packet.IPv4(10, 50, 0, 1), Port: 11211},
+			{IP: packet.IPv4(10, 50, 0, 2), Port: 11211},
+		},
+		OutPort: 2,
+	}
+	var payload [64]byte
+	n := BuildMemcachedGet(payload[:], 1, "user:1234")
+	if n == 0 {
+		t.Fatal("BuildMemcachedGet failed")
+	}
+	k := udpKey(40)
+	k.DstPort = 11211
+	p := mkPacket(t, k, payload[:n])
+	d := proxy.Process(nil, p)
+	if d.Verb != nf.VerbOut || d.Dest.PortNum() != 2 {
+		t.Fatalf("decision = %v", d)
+	}
+	dst := p.View.DstIP()
+	if dst != packet.IPv4(10, 50, 0, 1) && dst != packet.IPv4(10, 50, 0, 2) {
+		t.Fatalf("dst not rewritten: %v", dst)
+	}
+	if !p.View.VerifyIPChecksum() {
+		t.Fatal("checksum stale after rewrite")
+	}
+	// Same key always maps to the same backend.
+	p2 := mkPacket(t, k, payload[:n])
+	proxy.Process(nil, p2)
+	if p2.View.DstIP() != dst {
+		t.Fatal("key-to-backend mapping unstable")
+	}
+	if proxy.Proxied() != 2 {
+		t.Fatalf("proxied = %d", proxy.Proxied())
+	}
+}
+
+func TestMemcachedParse(t *testing.T) {
+	var buf [64]byte
+	n := BuildMemcachedGet(buf[:], 7, "abc")
+	key, ok := ParseMemcachedGet(buf[:n])
+	if !ok || string(key) != "abc" {
+		t.Fatalf("parse = %q ok=%v", key, ok)
+	}
+	if _, ok := ParseMemcachedGet([]byte("short")); ok {
+		t.Fatal("parsed garbage")
+	}
+	if _, ok := ParseMemcachedGet(append(make([]byte, 8), []byte("set x 0 0 1\r\n")...)); ok {
+		t.Fatal("parsed non-get command")
+	}
+}
+
+func BenchmarkMemcachedProxyNF(b *testing.B) {
+	proxy := &MemcachedProxy{
+		Servers: []Backend{
+			{IP: packet.IPv4(10, 50, 0, 1), Port: 11211},
+			{IP: packet.IPv4(10, 50, 0, 2), Port: 11211},
+			{IP: packet.IPv4(10, 50, 0, 3), Port: 11211},
+		},
+		OutPort: 2,
+	}
+	var payload [64]byte
+	n := BuildMemcachedGet(payload[:], 1, "user:12345678")
+	bd := packet.Builder{
+		SrcIP: packet.IPv4(10, 0, 0, 1), DstIP: packet.IPv4(10, 1, 0, 1),
+		SrcPort: 5000, DstPort: 11211, Proto: packet.ProtoUDP,
+	}
+	frame := make([]byte, 512)
+	fn, _ := bd.Build(frame, payload[:n])
+	v, _ := packet.Parse(frame[:fn])
+	p := &nf.Packet{View: &v, Key: v.FlowKey()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proxy.Process(nil, p)
+	}
+}
+
+func BenchmarkIDSProcess(b *testing.B) {
+	ids := &IDS{Matcher: DefaultIDSSignatures(), Scrubber: 99}
+	ctx := &nf.Context{Service: 50}
+	bd := packet.Builder{
+		SrcIP: packet.IPv4(10, 0, 0, 1), DstIP: packet.IPv4(10, 1, 0, 1),
+		SrcPort: 5000, DstPort: 80, Proto: packet.ProtoUDP,
+	}
+	frame := make([]byte, 2048)
+	n, _ := bd.Build(frame, []byte("GET /products?id=42 HTTP/1.1\r\nHost: example.com\r\n\r\n"))
+	v, _ := packet.Parse(frame[:n])
+	p := &nf.Packet{View: &v, Key: v.FlowKey()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids.Process(ctx, p)
+	}
+}

@@ -1,0 +1,283 @@
+package nfs
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sdnfv/internal/acmatch"
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/packet"
+)
+
+// FirewallRule is one allow/deny rule matched in order.
+type FirewallRule struct {
+	Match flowtable.Match
+	Allow bool
+}
+
+// Firewall filters packets against an ordered rule list; unmatched packets
+// fall through to DefaultAllow. It is loosely coupled: it never names the
+// next service, it only drops or follows the default path (§3.4 "a
+// Firewall NF may have no knowledge of other NFs in the service graph").
+type Firewall struct {
+	Rules        []FirewallRule
+	DefaultAllow bool
+
+	allowed atomic.Uint64
+	denied  atomic.Uint64
+}
+
+// Name implements nf.Function.
+func (f *Firewall) Name() string { return "firewall" }
+
+// ReadOnly implements nf.Function.
+func (f *Firewall) ReadOnly() bool { return true }
+
+// Process implements nf.Function.
+func (f *Firewall) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
+	for _, r := range f.Rules {
+		if r.Match.Matches(p.Key) {
+			if r.Allow {
+				f.allowed.Add(1)
+				return nf.Default()
+			}
+			f.denied.Add(1)
+			return nf.Discard()
+		}
+	}
+	if f.DefaultAllow {
+		f.allowed.Add(1)
+		return nf.Default()
+	}
+	f.denied.Add(1)
+	return nf.Discard()
+}
+
+// Allowed returns the number of packets passed.
+func (f *Firewall) Allowed() uint64 { return f.allowed.Load() }
+
+// Denied returns the number of packets dropped.
+func (f *Firewall) Denied() uint64 { return f.denied.Load() }
+
+var _ nf.Function = (*Firewall)(nil)
+
+// Sampler forwards a subset of traffic for deeper analysis (§2.2): sampled
+// packets follow the default edge (into the analysis segment); the rest
+// take the bypass edge. Sampling is by flow hash so a flow is either fully
+// sampled or fully bypassed, which the analysis NFs need.
+type Sampler struct {
+	// Rate is the sampled fraction in [0,1].
+	Rate float64
+	// Bypass is the service (or sink port action via SendTo) that
+	// unsampled traffic proceeds to.
+	Bypass flowtable.ServiceID
+
+	sampled  atomic.Uint64
+	bypassed atomic.Uint64
+}
+
+// Name implements nf.Function.
+func (s *Sampler) Name() string { return "sampler" }
+
+// ReadOnly implements nf.Function.
+func (s *Sampler) ReadOnly() bool { return true }
+
+// Process implements nf.Function.
+func (s *Sampler) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
+	// Map the flow hash to [0,1) deterministically.
+	frac := float64(p.Key.Hash()%1_000_000) / 1_000_000
+	if frac < s.Rate {
+		s.sampled.Add(1)
+		return nf.Default()
+	}
+	s.bypassed.Add(1)
+	return nf.SendTo(s.Bypass)
+}
+
+// Sampled returns the number of packets sent for analysis.
+func (s *Sampler) Sampled() uint64 { return s.sampled.Load() }
+
+// Bypassed returns the number of packets that skipped analysis.
+func (s *Sampler) Bypassed() uint64 { return s.bypassed.Load() }
+
+var _ nf.Function = (*Sampler)(nil)
+
+// IDS scans payloads for malicious signatures (e.g. SQL exploits in HTTP
+// packets, §2.2) with an Aho–Corasick automaton. On a hit it redirects the
+// flow to the Scrubber — both this packet (SendTo) and all subsequent
+// packets (ChangeDefault) — the tightly-coupled pattern of §3.4: "an IDS NF
+// might always be deployed as a pair with a Scrubber NF".
+type IDS struct {
+	// Matcher holds the signature set.
+	Matcher *acmatch.Matcher
+	// Scrubber is the service suspicious flows are diverted to.
+	Scrubber flowtable.ServiceID
+
+	scanned atomic.Uint64
+	alerts  atomic.Uint64
+
+	flagged map[packet.FlowKey]bool
+}
+
+// Name implements nf.Function.
+func (d *IDS) Name() string { return "ids" }
+
+// ReadOnly implements nf.Function.
+func (d *IDS) ReadOnly() bool { return true }
+
+// Process implements nf.Function.
+func (d *IDS) Process(ctx *nf.Context, p *nf.Packet) nf.Decision {
+	d.scanned.Add(1)
+	if d.flagged == nil {
+		d.flagged = make(map[packet.FlowKey]bool)
+	}
+	if d.flagged[p.Key] {
+		return nf.SendTo(d.Scrubber)
+	}
+	if p.View.Valid() && d.Matcher != nil && d.Matcher.Contains(p.View.Payload()) {
+		d.alerts.Add(1)
+		d.flagged[p.Key] = true
+		// All subsequent packets in the flow divert to the scrubber.
+		ctx.Send(nf.Message{
+			Kind:  nf.MsgChangeDefault,
+			Flows: flowtable.ExactMatch(p.Key),
+			S:     ctx.Service,
+			T:     d.Scrubber,
+		})
+		return nf.SendTo(d.Scrubber)
+	}
+	return nf.Default()
+}
+
+// Alerts returns the number of signature hits.
+func (d *IDS) Alerts() uint64 { return d.alerts.Load() }
+
+// Scanned returns the number of packets scanned.
+func (d *IDS) Scanned() uint64 { return d.scanned.Load() }
+
+var _ nf.Function = (*IDS)(nil)
+
+// DDoSDetector aggregates traffic volume across all flows per source /24
+// prefix inside a monitoring window; when the aggregate rate crosses
+// Threshold it raises an alarm once via Message (§5.2: "The NF uses the
+// Message call to propagate this alarm through the NF Manager to the
+// SDNFV Application"). The clock is caller-supplied so the same NF runs
+// under real and virtual time.
+type DDoSDetector struct {
+	// ThresholdBps is the alarm threshold in bits/second (paper: 3.2 Gbps).
+	ThresholdBps float64
+	// WindowSec is the monitoring window length in seconds.
+	WindowSec float64
+	// Now returns the current time in seconds.
+	Now func() float64
+
+	winStart     float64
+	winBytes     map[uint32]float64 // per /24 prefix
+	alarmed      map[uint32]bool
+	alarmsRaised atomic.Uint64
+}
+
+// Name implements nf.Function.
+func (d *DDoSDetector) Name() string { return "ddos-detector" }
+
+// ReadOnly implements nf.Function.
+func (d *DDoSDetector) ReadOnly() bool { return true }
+
+// Process implements nf.Function.
+func (d *DDoSDetector) Process(ctx *nf.Context, p *nf.Packet) nf.Decision {
+	if d.winBytes == nil {
+		d.winBytes = make(map[uint32]float64)
+		d.alarmed = make(map[uint32]bool)
+	}
+	now := 0.0
+	if d.Now != nil {
+		now = d.Now()
+	}
+	win := d.WindowSec
+	if win <= 0 {
+		win = 1
+	}
+	if now-d.winStart >= win {
+		for k := range d.winBytes {
+			delete(d.winBytes, k)
+		}
+		d.winStart = now
+	}
+	prefix := uint32(p.Key.SrcIP) >> 8
+	d.winBytes[prefix] += float64(len(p.View.Buf()))
+	rateBps := d.winBytes[prefix] * 8 / win
+	if rateBps >= d.ThresholdBps && !d.alarmed[prefix] {
+		d.alarmed[prefix] = true
+		d.alarmsRaised.Add(1)
+		ctx.Send(nf.Message{
+			Kind:  nf.MsgData,
+			S:     ctx.Service,
+			Key:   "ddos.alarm",
+			Value: fmt.Sprintf("prefix=%s rate=%.0fbps", packet.IP(prefix<<8), rateBps),
+		})
+	}
+	return nf.Default()
+}
+
+// Alarms returns how many alarm messages were raised.
+func (d *DDoSDetector) Alarms() uint64 { return d.alarmsRaised.Load() }
+
+var _ nf.Function = (*DDoSDetector)(nil)
+
+// Scrubber inspects diverted traffic in detail and drops packets matching
+// the malicious predicate; clean packets continue on the default path.
+// On startup (first packet is not the trigger — RegisterWith is) it sends
+// RequestMe so upstream defaults reroute through it (§5.2).
+type Scrubber struct {
+	// Malicious classifies a packet as attack traffic to be dropped. Nil
+	// means drop nothing.
+	Malicious func(p *nf.Packet) bool
+
+	dropped atomic.Uint64
+	passed  atomic.Uint64
+}
+
+// Name implements nf.Function.
+func (s *Scrubber) Name() string { return "scrubber" }
+
+// ReadOnly implements nf.Function.
+func (s *Scrubber) ReadOnly() bool { return true }
+
+// Process implements nf.Function.
+func (s *Scrubber) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
+	if s.Malicious != nil && s.Malicious(p) {
+		s.dropped.Add(1)
+		return nf.Discard()
+	}
+	s.passed.Add(1)
+	return nf.Default()
+}
+
+// Announce sends the RequestMe message making this scrubber the default
+// next hop for flows matching f at every upstream node with an edge to it.
+func (s *Scrubber) Announce(ctx *nf.Context, f flowtable.Match) {
+	ctx.Send(nf.Message{Kind: nf.MsgRequestMe, Flows: f, S: ctx.Service})
+}
+
+// Dropped returns the number of packets scrubbed.
+func (s *Scrubber) Dropped() uint64 { return s.dropped.Load() }
+
+// Passed returns the number of packets passed through.
+func (s *Scrubber) Passed() uint64 { return s.passed.Load() }
+
+var _ nf.Function = (*Scrubber)(nil)
+
+// DefaultIDSSignatures is a small signature set representative of the SQL
+// exploit patterns the paper's IDS looks for in HTTP packets.
+func DefaultIDSSignatures() *acmatch.Matcher {
+	return acmatch.New([]string{
+		"UNION SELECT",
+		"' OR '1'='1",
+		"DROP TABLE",
+		"/etc/passwd",
+		"<script>alert(",
+		"cmd.exe",
+		"xp_cmdshell",
+	})
+}

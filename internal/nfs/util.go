@@ -1,0 +1,95 @@
+// Package nfs is the library of concrete network functions used by the
+// paper's use cases (§2.2, §5): the anomaly-detection chain (Firewall,
+// Sampler, IDS, DDoS Detector, Scrubber), the video-optimization chain
+// (Video Detector, Policy Engine, Quality Detector, Transcoder, Cache,
+// Shaper), flow-characterization NFs (Ant Detector), the application-aware
+// memcached proxy, and benchmarking NFs (NoOp, ComputeIntensive).
+//
+// Every NF is a plain struct implementing nf.Function. NFs keep per-flow
+// state in ordinary maps: each instance is driven by a single goroutine, so
+// no locking is needed (the same argument the paper makes for per-thread
+// flow state in §4.2).
+package nfs
+
+import (
+	"sync/atomic"
+
+	"sdnfv/internal/nf"
+)
+
+// NoOp performs no processing and follows the default path; the paper's
+// Table 2 latency baseline NF.
+type NoOp struct{}
+
+// Name implements nf.Function.
+func (NoOp) Name() string { return "noop" }
+
+// ReadOnly implements nf.Function; NoOp never touches packet bytes.
+func (NoOp) ReadOnly() bool { return true }
+
+// Process implements nf.Function.
+func (NoOp) Process(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Default() }
+
+var _ nf.Function = NoOp{}
+
+// ComputeIntensive burns a configurable number of arithmetic iterations
+// per packet, reading the payload — the "intensive computation" NF behind
+// Fig. 6. It is read-only, so it qualifies for parallel dispatch.
+type ComputeIntensive struct {
+	// Iterations is the amount of per-packet work.
+	Iterations int
+	// sink prevents the compiler from eliding the loop.
+	sink uint64
+}
+
+// Name implements nf.Function.
+func (c *ComputeIntensive) Name() string { return "compute" }
+
+// ReadOnly implements nf.Function.
+func (c *ComputeIntensive) ReadOnly() bool { return true }
+
+// Process implements nf.Function.
+func (c *ComputeIntensive) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
+	var acc uint64 = 1469598103934665603
+	payload := p.View.Buf()
+	n := c.Iterations
+	if n <= 0 {
+		n = 1000
+	}
+	for i := 0; i < n; i++ {
+		acc ^= uint64(payload[i%len(payload)])
+		acc *= 1099511628211
+	}
+	c.sink = acc
+	return nf.Default()
+}
+
+var _ nf.Function = (*ComputeIntensive)(nil)
+
+// Counter counts packets and bytes; a read-only monitoring NF used in
+// tests and examples.
+type Counter struct {
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// Name implements nf.Function.
+func (c *Counter) Name() string { return "counter" }
+
+// ReadOnly implements nf.Function.
+func (c *Counter) ReadOnly() bool { return true }
+
+// Process implements nf.Function.
+func (c *Counter) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
+	c.packets.Add(1)
+	c.bytes.Add(uint64(len(p.View.Buf())))
+	return nf.Default()
+}
+
+// Packets returns the packet count.
+func (c *Counter) Packets() uint64 { return c.packets.Load() }
+
+// Bytes returns the byte count.
+func (c *Counter) Bytes() uint64 { return c.bytes.Load() }
+
+var _ nf.Function = (*Counter)(nil)

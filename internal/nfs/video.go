@@ -1,0 +1,419 @@
+package nfs
+
+import (
+	"bytes"
+	"container/list"
+	"sync/atomic"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/packet"
+)
+
+// VideoDetector analyzes HTTP response headers to detect video content in
+// a flow (§2.2). Video flows follow the default edge toward the Policy
+// Engine; everything else takes the bypass edge. Once a flow's content
+// type is known, the detector issues a ChangeDefault so later packets of a
+// non-video flow skip the policy path entirely (§5.3).
+type VideoDetector struct {
+	// PolicyEngine is the default destination for video flows.
+	PolicyEngine flowtable.ServiceID
+	// Bypass is where non-video flows are diverted.
+	Bypass flowtable.ServiceID
+	// RewriteDefaults controls whether the detector installs
+	// ChangeDefault rules for classified flows (the SDNFV mode of §5.3).
+	RewriteDefaults bool
+
+	state map[packet.FlowKey]uint8 // 0 unknown, 1 video, 2 other
+
+	videoFlows atomic.Uint64
+	otherFlows atomic.Uint64
+}
+
+const (
+	flowUnknown uint8 = iota
+	flowVideo
+	flowOther
+)
+
+// videoContentTypes are payload markers identifying video responses.
+var videoContentTypes = [][]byte{
+	[]byte("Content-Type: video/"),
+	[]byte("Content-Type: application/vnd.apple.mpegurl"),
+	[]byte("Content-Type: application/dash+xml"),
+}
+
+// Name implements nf.Function.
+func (v *VideoDetector) Name() string { return "video-detector" }
+
+// ReadOnly implements nf.Function.
+func (v *VideoDetector) ReadOnly() bool { return true }
+
+// Process implements nf.Function.
+func (v *VideoDetector) Process(ctx *nf.Context, p *nf.Packet) nf.Decision {
+	if v.state == nil {
+		v.state = make(map[packet.FlowKey]uint8)
+	}
+	st := v.state[p.Key]
+	if st == flowUnknown {
+		st = v.classify(p)
+		if st != flowUnknown {
+			v.state[p.Key] = st
+			if st == flowVideo {
+				v.videoFlows.Add(1)
+			} else {
+				v.otherFlows.Add(1)
+			}
+			if v.RewriteDefaults && st == flowOther {
+				// Non-video flows skip the policy engine from now on.
+				ctx.Send(nf.Message{
+					Kind:  nf.MsgChangeDefault,
+					Flows: flowtable.ExactMatch(p.Key),
+					S:     ctx.Service,
+					T:     v.Bypass,
+				})
+			}
+		}
+	}
+	switch st {
+	case flowVideo:
+		return steer(v.PolicyEngine)
+	case flowOther:
+		return steer(v.Bypass)
+	default:
+		// Not enough information yet (e.g. handshake packets): pass along
+		// the policy path so nothing is missed.
+		return nf.Default()
+	}
+}
+
+func (v *VideoDetector) classify(p *nf.Packet) uint8 {
+	if !p.View.Valid() {
+		return flowUnknown
+	}
+	payload := p.View.Payload()
+	if len(payload) == 0 {
+		return flowUnknown
+	}
+	if !bytes.HasPrefix(payload, []byte("HTTP/")) {
+		return flowUnknown
+	}
+	for _, ct := range videoContentTypes {
+		if bytes.Contains(payload, ct) {
+			return flowVideo
+		}
+	}
+	return flowOther
+}
+
+// VideoFlows returns the number of flows classified as video.
+func (v *VideoDetector) VideoFlows() uint64 { return v.videoFlows.Load() }
+
+// OtherFlows returns the number of flows classified as non-video.
+func (v *VideoDetector) OtherFlows() uint64 { return v.otherFlows.Load() }
+
+var _ nf.Function = (*VideoDetector)(nil)
+
+// PolicyState is the shared, atomically-updated policy consulted by
+// PolicyEngine instances. The SDNFV Application flips Throttle during the
+// experiment of Fig. 11.
+type PolicyState struct {
+	throttle atomic.Bool
+}
+
+// SetThrottle switches transcoding on or off for all video flows.
+func (s *PolicyState) SetThrottle(on bool) { s.throttle.Store(on) }
+
+// Throttle reports the current policy.
+func (s *PolicyState) Throttle() bool { return s.throttle.Load() }
+
+// PolicyEngine decides per packet whether a video flow goes to the
+// Transcoder or continues unmodified, based on the shared PolicyState
+// (which stands in for "available network bandwidth, time of day and
+// financial agreements", §2.2). Because every packet of a video flow
+// passes through it, a policy flip affects existing flows immediately —
+// the property Fig. 11 measures.
+type PolicyEngine struct {
+	State *PolicyState
+	// Transcoder is where throttled flows go.
+	Transcoder flowtable.ServiceID
+	// Bypass is where unthrottled flows go.
+	Bypass flowtable.ServiceID
+	// RewriteDefaults makes the engine install per-flow ChangeDefault
+	// rules matching its decision, and issue RequestMe when the policy
+	// flips (the SDNFV mode of §5.3).
+	RewriteDefaults bool
+
+	lastPolicy  bool
+	havePolicy  bool
+	perFlowSent map[packet.FlowKey]bool
+
+	throttled atomic.Uint64
+	passed    atomic.Uint64
+}
+
+// Name implements nf.Function.
+func (e *PolicyEngine) Name() string { return "policy-engine" }
+
+// ReadOnly implements nf.Function.
+func (e *PolicyEngine) ReadOnly() bool { return true }
+
+// Process implements nf.Function.
+func (e *PolicyEngine) Process(ctx *nf.Context, p *nf.Packet) nf.Decision {
+	throttle := e.State != nil && e.State.Throttle()
+	if e.perFlowSent == nil {
+		e.perFlowSent = make(map[packet.FlowKey]bool)
+	}
+	if e.RewriteDefaults {
+		if e.havePolicy && throttle != e.lastPolicy {
+			// Policy flip: pull every flow back through the policy engine
+			// so their defaults can be rewritten (§5.3: "the policy change
+			// causes the Policy NF to issue a RequestMe message").
+			ctx.Send(nf.Message{Kind: nf.MsgRequestMe, Flows: flowtable.MatchAll, S: ctx.Service})
+			for k := range e.perFlowSent {
+				delete(e.perFlowSent, k)
+			}
+		}
+		e.lastPolicy = throttle
+		e.havePolicy = true
+		if !e.perFlowSent[p.Key] {
+			e.perFlowSent[p.Key] = true
+			dest := e.Bypass
+			if throttle {
+				dest = e.Transcoder
+			}
+			ctx.Send(nf.Message{
+				Kind:  nf.MsgChangeDefault,
+				Flows: flowtable.ExactMatch(p.Key),
+				S:     ctx.Service,
+				T:     dest,
+			})
+		}
+	}
+	if throttle {
+		e.throttled.Add(1)
+		return steer(e.Transcoder)
+	}
+	e.passed.Add(1)
+	return steer(e.Bypass)
+}
+
+// steer maps a destination to the right per-packet decision: services are
+// reached with SendTo, port-encoded destinations exit the host directly.
+func steer(dest flowtable.ServiceID) nf.Decision {
+	if dest.IsPort() {
+		return nf.Out(dest.PortNum())
+	}
+	return nf.SendTo(dest)
+}
+
+// Throttled returns the number of packets routed to the transcoder.
+func (e *PolicyEngine) Throttled() uint64 { return e.throttled.Load() }
+
+// Passed returns the number of packets passed unmodified.
+func (e *PolicyEngine) Passed() uint64 { return e.passed.Load() }
+
+var _ nf.Function = (*PolicyEngine)(nil)
+
+// QualityDetector checks whether a video flow can still meet its target
+// quality after transcoding (§2.2): flows whose advertised bitrate is
+// already at or below MinBitrateKbps skip the transcoder.
+type QualityDetector struct {
+	// MinBitrateKbps is the floor below which transcoding is skipped.
+	MinBitrateKbps int
+	// Transcoder receives flows that can be downsampled.
+	Transcoder flowtable.ServiceID
+	// Bypass receives flows already at minimum quality.
+	Bypass flowtable.ServiceID
+	// BitrateOf extracts the flow's advertised bitrate in kbps; nil means
+	// every flow is transcodable.
+	BitrateOf func(p *nf.Packet) int
+}
+
+// Name implements nf.Function.
+func (q *QualityDetector) Name() string { return "quality-detector" }
+
+// ReadOnly implements nf.Function.
+func (q *QualityDetector) ReadOnly() bool { return true }
+
+// Process implements nf.Function.
+func (q *QualityDetector) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
+	if q.BitrateOf != nil && q.BitrateOf(p) <= q.MinBitrateKbps {
+		return steer(q.Bypass)
+	}
+	return steer(q.Transcoder)
+}
+
+var _ nf.Function = (*QualityDetector)(nil)
+
+// Transcoder emulates bitrate reduction the same way the paper's
+// evaluation does: "the transcoder ... emulates down sampling by dropping
+// packets" (§5.3). DropRatio 0.5 halves a flow's rate.
+type Transcoder struct {
+	// DropRatio is the fraction of packets dropped, in [0,1].
+	DropRatio float64
+
+	counter uint64
+	dropped atomic.Uint64
+	emitted atomic.Uint64
+}
+
+// Name implements nf.Function.
+func (t *Transcoder) Name() string { return "transcoder" }
+
+// ReadOnly implements nf.Function; the (emulated) transcoder does not
+// rewrite bytes, but it is stateful per packet sequence, so mark it
+// non-read-only to keep it out of parallel segments.
+func (t *Transcoder) ReadOnly() bool { return false }
+
+// Process implements nf.Function.
+func (t *Transcoder) Process(_ *nf.Context, _ *nf.Packet) nf.Decision {
+	t.counter++
+	ratio := t.DropRatio
+	if ratio <= 0 {
+		ratio = 0.5
+	}
+	// Deterministic thinning: drop when the accumulated phase crosses 1.
+	if float64(t.counter)*ratio-float64(t.dropped.Load()) >= 1 {
+		t.dropped.Add(1)
+		return nf.Discard()
+	}
+	t.emitted.Add(1)
+	return nf.Default()
+}
+
+// Dropped returns packets removed by downsampling.
+func (t *Transcoder) Dropped() uint64 { return t.dropped.Load() }
+
+// Emitted returns packets passed through.
+func (t *Transcoder) Emitted() uint64 { return t.emitted.Load() }
+
+var _ nf.Function = (*Transcoder)(nil)
+
+// Cache is an LRU content cache keyed by a caller-supplied key extractor
+// (§2.2: "The video flow passes through a Cache so that subsequent
+// requests can be served locally"). A hit short-circuits the chain: the
+// packet exits immediately through OutPort.
+type Cache struct {
+	// Capacity is the number of entries retained.
+	Capacity int
+	// KeyOf extracts the content key; empty string = uncacheable.
+	KeyOf func(p *nf.Packet) string
+	// OutPort is the NIC port hits exit through.
+	OutPort int
+
+	lru     *list.List
+	entries map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Name implements nf.Function.
+func (c *Cache) Name() string { return "cache" }
+
+// ReadOnly implements nf.Function.
+func (c *Cache) ReadOnly() bool { return false }
+
+// Process implements nf.Function.
+func (c *Cache) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
+	if c.KeyOf == nil {
+		return nf.Default()
+	}
+	key := c.KeyOf(p)
+	if key == "" {
+		return nf.Default()
+	}
+	if c.entries == nil {
+		c.entries = make(map[string]*list.Element)
+		c.lru = list.New()
+	}
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return nf.Out(c.OutPort)
+	}
+	c.misses.Add(1)
+	cap := c.Capacity
+	if cap <= 0 {
+		cap = 1024
+	}
+	for c.lru.Len() >= cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(string))
+	}
+	c.entries[key] = c.lru.PushFront(key)
+	return nf.Default()
+}
+
+// Hits returns the cache hit count.
+func (c *Cache) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns the cache miss count.
+func (c *Cache) Misses() uint64 { return c.misses.Load() }
+
+var _ nf.Function = (*Cache)(nil)
+
+// Shaper enforces a rate limit with a token bucket; packets exceeding the
+// rate are dropped ("a traffic Shaper, which may limit the flow's rate to
+// meet the desired network bandwidth level", §2.2).
+type Shaper struct {
+	// RateBps is the sustained rate in bits/second.
+	RateBps float64
+	// BurstBytes is the bucket depth; defaults to one 1500B frame.
+	BurstBytes float64
+	// Now returns the current time in seconds (virtual or real clock).
+	Now func() float64
+
+	tokens   float64
+	lastFill float64
+	inited   bool
+
+	shaped atomic.Uint64
+	passed atomic.Uint64
+}
+
+// Name implements nf.Function.
+func (s *Shaper) Name() string { return "shaper" }
+
+// ReadOnly implements nf.Function.
+func (s *Shaper) ReadOnly() bool { return false }
+
+// Process implements nf.Function.
+func (s *Shaper) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
+	now := 0.0
+	if s.Now != nil {
+		now = s.Now()
+	}
+	burst := s.BurstBytes
+	if burst <= 0 {
+		burst = 1500
+	}
+	if !s.inited {
+		s.tokens = burst
+		s.lastFill = now
+		s.inited = true
+	}
+	s.tokens += (now - s.lastFill) * s.RateBps / 8
+	s.lastFill = now
+	if s.tokens > burst {
+		s.tokens = burst
+	}
+	size := float64(len(p.View.Buf()))
+	if s.tokens >= size {
+		s.tokens -= size
+		s.passed.Add(1)
+		return nf.Default()
+	}
+	s.shaped.Add(1)
+	return nf.Discard()
+}
+
+// Shaped returns packets dropped by the shaper.
+func (s *Shaper) Shaped() uint64 { return s.shaped.Load() }
+
+// Passed returns packets conforming to the rate.
+func (s *Shaper) Passed() uint64 { return s.passed.Load() }
+
+var _ nf.Function = (*Shaper)(nil)

@@ -1,0 +1,611 @@
+// Package openflow implements the SDN control channel between the NF
+// Manager's Flow Controller thread and the SDN controller. It is an
+// OpenFlow-inspired binary protocol with the two extensions §3.3 calls
+// for:
+//
+//  1. the match's "input port" field carries a Service ID (rules are
+//     scoped to the NF the packet just left, not only to physical ports);
+//  2. a rule carries a list of actions plus a flag marking the list as a
+//     parallel fan-out, with the first action being the default.
+//
+// It also adds the NF_MESSAGE type used to carry cross-layer messages
+// (SkipMe / RequestMe / ChangeDefault / Message) up to the SDNFV
+// Application (§3.4 "NF–SDN Coordination").
+//
+// Framing: every message is an 8-byte header (version, type, length, xid)
+// followed by a type-specific body, all big-endian, mirroring OpenFlow's
+// header layout.
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/packet"
+)
+
+// Version is the protocol version carried in every header.
+const Version = 0x90 // "SDNFV" experimental space
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	TypeHello MsgType = iota
+	TypeEchoRequest
+	TypeEchoReply
+	TypeFeaturesRequest
+	TypeFeaturesReply
+	TypePacketIn  // data-path miss: header punted to controller
+	TypeFlowMod   // rule installation
+	TypeNFMessage // cross-layer NF message (SDNFV extension)
+	TypeStatsRequest
+	TypeStatsReply
+	TypeBarrierRequest
+	TypeBarrierReply
+	TypeError
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	names := [...]string{
+		"HELLO", "ECHO_REQUEST", "ECHO_REPLY", "FEATURES_REQUEST",
+		"FEATURES_REPLY", "PACKET_IN", "FLOW_MOD", "NF_MESSAGE",
+		"STATS_REQUEST", "STATS_REPLY", "BARRIER_REQUEST", "BARRIER_REPLY",
+		"ERROR",
+	}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Header is the fixed 8-byte message prefix.
+type Header struct {
+	Version uint8
+	Type    MsgType
+	Length  uint16 // total message length including header
+	XID     uint32 // transaction id
+}
+
+const headerLen = 8
+
+// Errors returned by the codec.
+var (
+	ErrBadVersion = errors.New("openflow: bad protocol version")
+	ErrTruncated  = errors.New("openflow: truncated message")
+	ErrTooLarge   = errors.New("openflow: message exceeds 64KiB")
+	ErrBadType    = errors.New("openflow: unknown message type")
+)
+
+// Message is any protocol message body.
+type Message interface {
+	// Type returns the wire type tag.
+	Type() MsgType
+	// encode appends the body encoding to dst.
+	encode(dst []byte) []byte
+}
+
+// Hello opens a channel.
+type Hello struct{}
+
+// Type implements Message.
+func (Hello) Type() MsgType            { return TypeHello }
+func (Hello) encode(dst []byte) []byte { return dst }
+
+// Echo carries opaque probe bytes.
+type Echo struct {
+	Reply bool
+	Data  []byte
+}
+
+// Type implements Message.
+func (e Echo) Type() MsgType {
+	if e.Reply {
+		return TypeEchoReply
+	}
+	return TypeEchoRequest
+}
+func (e Echo) encode(dst []byte) []byte { return append(dst, e.Data...) }
+
+// FeaturesRequest asks a host for its identity.
+type FeaturesRequest struct{}
+
+// Type implements Message.
+func (FeaturesRequest) Type() MsgType            { return TypeFeaturesRequest }
+func (FeaturesRequest) encode(dst []byte) []byte { return dst }
+
+// FeaturesReply advertises a host's datapath id, ports, and hosted
+// services (NF instances register with the manager and are exposed here as
+// logical ports, §4.1).
+type FeaturesReply struct {
+	DatapathID uint64
+	NumPorts   uint16
+	Services   []flowtable.ServiceID
+}
+
+// Type implements Message.
+func (FeaturesReply) Type() MsgType { return TypeFeaturesReply }
+func (f FeaturesReply) encode(dst []byte) []byte {
+	dst = be64(dst, f.DatapathID)
+	dst = be16(dst, f.NumPorts)
+	dst = be16(dst, uint16(len(f.Services)))
+	for _, s := range f.Services {
+		dst = be16(dst, uint16(s))
+	}
+	return dst
+}
+
+// PacketIn punts a flow-table miss to the controller: the scope where the
+// miss occurred, the extracted 5-tuple, and a truncated header snapshot.
+type PacketIn struct {
+	Scope  flowtable.ServiceID
+	Key    packet.FlowKey
+	Buffer []byte // first bytes of the packet (header snapshot)
+}
+
+// Type implements Message.
+func (PacketIn) Type() MsgType { return TypePacketIn }
+func (p PacketIn) encode(dst []byte) []byte {
+	dst = be16(dst, uint16(p.Scope))
+	dst = encodeKey(dst, p.Key)
+	dst = be16(dst, uint16(len(p.Buffer)))
+	return append(dst, p.Buffer...)
+}
+
+// FlowMod installs one rule in the host flow table. The rule's action list
+// follows §3.3: first action is the default; Parallel marks a fan-out.
+type FlowMod struct {
+	Rule flowtable.Rule
+}
+
+// Type implements Message.
+func (FlowMod) Type() MsgType { return TypeFlowMod }
+func (m FlowMod) encode(dst []byte) []byte {
+	dst = be16(dst, uint16(m.Rule.Scope))
+	dst = encodeMatch(dst, m.Rule.Match)
+	flags := byte(0)
+	if m.Rule.Parallel {
+		flags = 1
+	}
+	dst = append(dst, flags)
+	dst = be16(dst, uint16(m.Rule.Priority))
+	dst = append(dst, byte(len(m.Rule.Actions)))
+	for _, a := range m.Rule.Actions {
+		dst = append(dst, byte(a.Type))
+		dst = be16(dst, uint16(a.Dest))
+	}
+	return dst
+}
+
+// NFMessage carries a cross-layer message from an NF up through the NF
+// Manager to the SDNFV Application.
+type NFMessage struct {
+	Src flowtable.ServiceID
+	Msg nf.Message
+}
+
+// Type implements Message.
+func (NFMessage) Type() MsgType { return TypeNFMessage }
+func (m NFMessage) encode(dst []byte) []byte {
+	dst = be16(dst, uint16(m.Src))
+	dst = append(dst, byte(m.Msg.Kind))
+	dst = encodeMatch(dst, m.Msg.Flows)
+	dst = be16(dst, uint16(m.Msg.S))
+	dst = be16(dst, uint16(m.Msg.T))
+	dst = be16(dst, uint16(len(m.Msg.Key)))
+	dst = append(dst, m.Msg.Key...)
+	val := fmt.Sprint(m.Msg.Value)
+	if m.Msg.Value == nil {
+		val = ""
+	}
+	dst = be16(dst, uint16(len(val)))
+	return append(dst, val...)
+}
+
+// StatsRequest asks for host counters.
+type StatsRequest struct{}
+
+// Type implements Message.
+func (StatsRequest) Type() MsgType            { return TypeStatsRequest }
+func (StatsRequest) encode(dst []byte) []byte { return dst }
+
+// StatsReply reports host counters.
+type StatsReply struct {
+	RxPackets uint64
+	TxPackets uint64
+	Drops     uint64
+	Misses    uint64
+	Rules     uint32
+}
+
+// Type implements Message.
+func (StatsReply) Type() MsgType { return TypeStatsReply }
+func (s StatsReply) encode(dst []byte) []byte {
+	dst = be64(dst, s.RxPackets)
+	dst = be64(dst, s.TxPackets)
+	dst = be64(dst, s.Drops)
+	dst = be64(dst, s.Misses)
+	return be32(dst, s.Rules)
+}
+
+// Barrier is a synchronization fence; Reply echoes the request XID.
+type Barrier struct{ Reply bool }
+
+// Type implements Message.
+func (b Barrier) Type() MsgType {
+	if b.Reply {
+		return TypeBarrierReply
+	}
+	return TypeBarrierRequest
+}
+func (Barrier) encode(dst []byte) []byte { return dst }
+
+// ErrorMsg reports a protocol-level failure.
+type ErrorMsg struct {
+	Code uint16
+	Text string
+}
+
+// Type implements Message.
+func (ErrorMsg) Type() MsgType { return TypeError }
+func (e ErrorMsg) encode(dst []byte) []byte {
+	dst = be16(dst, e.Code)
+	dst = be16(dst, uint16(len(e.Text)))
+	return append(dst, e.Text...)
+}
+
+// --- wire helpers ---
+
+func be16(dst []byte, v uint16) []byte { return append(dst, byte(v>>8), byte(v)) }
+func be32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func be64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func encodeKey(dst []byte, k packet.FlowKey) []byte {
+	dst = be32(dst, uint32(k.SrcIP))
+	dst = be32(dst, uint32(k.DstIP))
+	dst = be16(dst, k.SrcPort)
+	dst = be16(dst, k.DstPort)
+	return append(dst, k.Proto)
+}
+
+func decodeKey(b []byte) (packet.FlowKey, []byte, error) {
+	if len(b) < 13 {
+		return packet.FlowKey{}, nil, ErrTruncated
+	}
+	k := packet.FlowKey{
+		SrcIP:   packet.IP(binary.BigEndian.Uint32(b)),
+		DstIP:   packet.IP(binary.BigEndian.Uint32(b[4:])),
+		SrcPort: binary.BigEndian.Uint16(b[8:]),
+		DstPort: binary.BigEndian.Uint16(b[10:]),
+		Proto:   b[12],
+	}
+	return k, b[13:], nil
+}
+
+// match wildcard bitmask bits.
+const (
+	wcSrcIP = 1 << iota
+	wcDstIP
+	wcSrcPort
+	wcDstPort
+	wcProto
+)
+
+func encodeMatch(dst []byte, m flowtable.Match) []byte {
+	var mask byte
+	var srcIP, dstIP uint32
+	var srcPort, dstPort uint16
+	var proto uint8
+	if m.SrcIP != nil {
+		mask |= wcSrcIP
+		srcIP = uint32(*m.SrcIP)
+	}
+	if m.DstIP != nil {
+		mask |= wcDstIP
+		dstIP = uint32(*m.DstIP)
+	}
+	if m.SrcPort != nil {
+		mask |= wcSrcPort
+		srcPort = *m.SrcPort
+	}
+	if m.DstPort != nil {
+		mask |= wcDstPort
+		dstPort = *m.DstPort
+	}
+	if m.Proto != nil {
+		mask |= wcProto
+		proto = *m.Proto
+	}
+	dst = append(dst, mask)
+	dst = be32(dst, srcIP)
+	dst = be32(dst, dstIP)
+	dst = be16(dst, srcPort)
+	dst = be16(dst, dstPort)
+	return append(dst, proto)
+}
+
+func decodeMatch(b []byte) (flowtable.Match, []byte, error) {
+	if len(b) < 14 {
+		return flowtable.Match{}, nil, ErrTruncated
+	}
+	mask := b[0]
+	var m flowtable.Match
+	if mask&wcSrcIP != 0 {
+		v := packet.IP(binary.BigEndian.Uint32(b[1:]))
+		m.SrcIP = &v
+	}
+	if mask&wcDstIP != 0 {
+		v := packet.IP(binary.BigEndian.Uint32(b[5:]))
+		m.DstIP = &v
+	}
+	if mask&wcSrcPort != 0 {
+		v := binary.BigEndian.Uint16(b[9:])
+		m.SrcPort = &v
+	}
+	if mask&wcDstPort != 0 {
+		v := binary.BigEndian.Uint16(b[11:])
+		m.DstPort = &v
+	}
+	if mask&wcProto != 0 {
+		v := b[13]
+		m.Proto = &v
+	}
+	return m, b[14:], nil
+}
+
+// Encode serializes msg with the given transaction id into a wire frame.
+func Encode(msg Message, xid uint32) ([]byte, error) {
+	body := msg.encode(make([]byte, 0, 64))
+	total := headerLen + len(body)
+	if total > 0xffff {
+		return nil, ErrTooLarge
+	}
+	frame := make([]byte, 0, total)
+	frame = append(frame, Version, byte(msg.Type()))
+	frame = be16(frame, uint16(total))
+	frame = be32(frame, xid)
+	return append(frame, body...), nil
+}
+
+// Decode parses one complete frame produced by Encode.
+func Decode(frame []byte) (Message, Header, error) {
+	var h Header
+	if len(frame) < headerLen {
+		return nil, h, ErrTruncated
+	}
+	h.Version = frame[0]
+	h.Type = MsgType(frame[1])
+	h.Length = binary.BigEndian.Uint16(frame[2:])
+	h.XID = binary.BigEndian.Uint32(frame[4:])
+	if h.Version != Version {
+		return nil, h, ErrBadVersion
+	}
+	if int(h.Length) != len(frame) {
+		return nil, h, ErrTruncated
+	}
+	b := frame[headerLen:]
+	switch h.Type {
+	case TypeHello:
+		return Hello{}, h, nil
+	case TypeEchoRequest:
+		return Echo{Data: append([]byte(nil), b...)}, h, nil
+	case TypeEchoReply:
+		return Echo{Reply: true, Data: append([]byte(nil), b...)}, h, nil
+	case TypeFeaturesRequest:
+		return FeaturesRequest{}, h, nil
+	case TypeFeaturesReply:
+		return decodeFeaturesReply(b, h)
+	case TypePacketIn:
+		return decodePacketIn(b, h)
+	case TypeFlowMod:
+		return decodeFlowMod(b, h)
+	case TypeNFMessage:
+		return decodeNFMessage(b, h)
+	case TypeStatsRequest:
+		return StatsRequest{}, h, nil
+	case TypeStatsReply:
+		return decodeStatsReply(b, h)
+	case TypeBarrierRequest:
+		return Barrier{}, h, nil
+	case TypeBarrierReply:
+		return Barrier{Reply: true}, h, nil
+	case TypeError:
+		return decodeError(b, h)
+	default:
+		return nil, h, ErrBadType
+	}
+}
+
+func decodeFeaturesReply(b []byte, h Header) (Message, Header, error) {
+	if len(b) < 12 {
+		return nil, h, ErrTruncated
+	}
+	f := FeaturesReply{
+		DatapathID: binary.BigEndian.Uint64(b),
+		NumPorts:   binary.BigEndian.Uint16(b[8:]),
+	}
+	n := int(binary.BigEndian.Uint16(b[10:]))
+	b = b[12:]
+	if len(b) < 2*n {
+		return nil, h, ErrTruncated
+	}
+	for i := 0; i < n; i++ {
+		f.Services = append(f.Services, flowtable.ServiceID(binary.BigEndian.Uint16(b[2*i:])))
+	}
+	return f, h, nil
+}
+
+func decodePacketIn(b []byte, h Header) (Message, Header, error) {
+	if len(b) < 2 {
+		return nil, h, ErrTruncated
+	}
+	p := PacketIn{Scope: flowtable.ServiceID(binary.BigEndian.Uint16(b))}
+	var err error
+	p.Key, b, err = decodeKey(b[2:])
+	if err != nil {
+		return nil, h, err
+	}
+	if len(b) < 2 {
+		return nil, h, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return nil, h, ErrTruncated
+	}
+	p.Buffer = append([]byte(nil), b[:n]...)
+	return p, h, nil
+}
+
+func decodeFlowMod(b []byte, h Header) (Message, Header, error) {
+	if len(b) < 2 {
+		return nil, h, ErrTruncated
+	}
+	var m FlowMod
+	m.Rule.Scope = flowtable.ServiceID(binary.BigEndian.Uint16(b))
+	var err error
+	m.Rule.Match, b, err = decodeMatch(b[2:])
+	if err != nil {
+		return nil, h, err
+	}
+	if len(b) < 4 {
+		return nil, h, ErrTruncated
+	}
+	m.Rule.Parallel = b[0]&1 == 1
+	m.Rule.Priority = int(binary.BigEndian.Uint16(b[1:]))
+	n := int(b[3])
+	b = b[4:]
+	if len(b) < 3*n {
+		return nil, h, ErrTruncated
+	}
+	for i := 0; i < n; i++ {
+		m.Rule.Actions = append(m.Rule.Actions, flowtable.Action{
+			Type: flowtable.ActionType(b[3*i]),
+			Dest: flowtable.ServiceID(binary.BigEndian.Uint16(b[3*i+1:])),
+		})
+	}
+	return m, h, nil
+}
+
+func decodeNFMessage(b []byte, h Header) (Message, Header, error) {
+	if len(b) < 3 {
+		return nil, h, ErrTruncated
+	}
+	var m NFMessage
+	m.Src = flowtable.ServiceID(binary.BigEndian.Uint16(b))
+	m.Msg.Kind = nf.MsgKind(b[2])
+	var err error
+	m.Msg.Flows, b, err = decodeMatch(b[3:])
+	if err != nil {
+		return nil, h, err
+	}
+	if len(b) < 6 {
+		return nil, h, ErrTruncated
+	}
+	m.Msg.S = flowtable.ServiceID(binary.BigEndian.Uint16(b))
+	m.Msg.T = flowtable.ServiceID(binary.BigEndian.Uint16(b[2:]))
+	klen := int(binary.BigEndian.Uint16(b[4:]))
+	b = b[6:]
+	if len(b) < klen+2 {
+		return nil, h, ErrTruncated
+	}
+	m.Msg.Key = string(b[:klen])
+	b = b[klen:]
+	vlen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < vlen {
+		return nil, h, ErrTruncated
+	}
+	if vlen > 0 {
+		m.Msg.Value = string(b[:vlen])
+	}
+	return m, h, nil
+}
+
+func decodeStatsReply(b []byte, h Header) (Message, Header, error) {
+	if len(b) < 36 {
+		return nil, h, ErrTruncated
+	}
+	return StatsReply{
+		RxPackets: binary.BigEndian.Uint64(b),
+		TxPackets: binary.BigEndian.Uint64(b[8:]),
+		Drops:     binary.BigEndian.Uint64(b[16:]),
+		Misses:    binary.BigEndian.Uint64(b[24:]),
+		Rules:     binary.BigEndian.Uint32(b[32:]),
+	}, h, nil
+}
+
+func decodeError(b []byte, h Header) (Message, Header, error) {
+	if len(b) < 4 {
+		return nil, h, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b[2:]))
+	if len(b) < 4+n {
+		return nil, h, ErrTruncated
+	}
+	return ErrorMsg{Code: binary.BigEndian.Uint16(b), Text: string(b[4 : 4+n])}, h, nil
+}
+
+// Conn frames messages over an io.ReadWriter (normally a net.Conn). It is
+// not safe for concurrent writers; callers serialize sends.
+type Conn struct {
+	rw   io.ReadWriter
+	xid  uint32
+	rbuf []byte
+}
+
+// NewConn wraps rw.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{rw: rw, rbuf: make([]byte, 0xffff)}
+}
+
+// Send encodes and writes msg, returning the transaction id used.
+func (c *Conn) Send(msg Message) (uint32, error) {
+	c.xid++
+	frame, err := Encode(msg, c.xid)
+	if err != nil {
+		return 0, err
+	}
+	_, err = c.rw.Write(frame)
+	return c.xid, err
+}
+
+// SendXID encodes and writes msg with an explicit transaction id (used for
+// replies that must echo the request XID).
+func (c *Conn) SendXID(msg Message, xid uint32) error {
+	frame, err := Encode(msg, xid)
+	if err != nil {
+		return err
+	}
+	_, err = c.rw.Write(frame)
+	return err
+}
+
+// Recv reads and decodes the next message.
+func (c *Conn) Recv() (Message, Header, error) {
+	hdr := c.rbuf[:headerLen]
+	if _, err := io.ReadFull(c.rw, hdr); err != nil {
+		return nil, Header{}, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:]))
+	if length < headerLen {
+		return nil, Header{}, ErrTruncated
+	}
+	frame := c.rbuf[:length]
+	if _, err := io.ReadFull(c.rw, frame[headerLen:]); err != nil {
+		return nil, Header{}, err
+	}
+	return Decode(frame)
+}

@@ -1,0 +1,203 @@
+package openflow
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/packet"
+)
+
+func roundtrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	frame, err := Encode(msg, 7)
+	if err != nil {
+		t.Fatalf("Encode(%v): %v", msg, err)
+	}
+	got, hdr, err := Decode(frame)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if hdr.XID != 7 || hdr.Type != msg.Type() || int(hdr.Length) != len(frame) {
+		t.Fatalf("header = %+v", hdr)
+	}
+	return got
+}
+
+func TestRoundtripSimpleMessages(t *testing.T) {
+	for _, msg := range []Message{
+		Hello{},
+		Echo{Data: []byte("ping")},
+		Echo{Reply: true, Data: []byte("pong")},
+		FeaturesRequest{},
+		StatsRequest{},
+		Barrier{},
+		Barrier{Reply: true},
+		ErrorMsg{Code: 3, Text: "boom"},
+		StatsReply{RxPackets: 1, TxPackets: 2, Drops: 3, Misses: 4, Rules: 5},
+		FeaturesReply{DatapathID: 0xdead, NumPorts: 2, Services: []flowtable.ServiceID{10, 11}},
+	} {
+		got := roundtrip(t, msg)
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("roundtrip %T: got %+v want %+v", msg, got, msg)
+		}
+	}
+}
+
+func TestRoundtripPacketIn(t *testing.T) {
+	msg := PacketIn{
+		Scope: flowtable.Port(1),
+		Key: packet.FlowKey{
+			SrcIP: packet.IPv4(1, 2, 3, 4), DstIP: packet.IPv4(5, 6, 7, 8),
+			SrcPort: 1234, DstPort: 80, Proto: 17,
+		},
+		Buffer: []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+	got := roundtrip(t, msg).(PacketIn)
+	if got.Scope != msg.Scope || got.Key != msg.Key || !bytes.Equal(got.Buffer, msg.Buffer) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRoundtripFlowMod(t *testing.T) {
+	src := packet.IPv4(9, 9, 9, 9)
+	msg := FlowMod{Rule: flowtable.Rule{
+		Scope:    flowtable.ServiceID(12),
+		Match:    flowtable.Match{SrcIP: &src},
+		Actions:  []flowtable.Action{flowtable.Forward(13), flowtable.Out(1), flowtable.Drop()},
+		Parallel: true,
+		Priority: 42,
+	}}
+	got := roundtrip(t, msg).(FlowMod)
+	if got.Rule.Scope != msg.Rule.Scope || !got.Rule.Parallel || got.Rule.Priority != 42 {
+		t.Fatalf("got %+v", got.Rule)
+	}
+	if len(got.Rule.Actions) != 3 || got.Rule.Actions[1] != flowtable.Out(1) {
+		t.Fatalf("actions = %v", got.Rule.Actions)
+	}
+	if got.Rule.Match.SrcIP == nil || *got.Rule.Match.SrcIP != src || got.Rule.Match.DstIP != nil {
+		t.Fatalf("match = %+v", got.Rule.Match)
+	}
+}
+
+func TestRoundtripNFMessage(t *testing.T) {
+	msg := NFMessage{
+		Src: 50,
+		Msg: nf.Message{
+			Kind:  nf.MsgChangeDefault,
+			Flows: flowtable.MatchSrcIP(packet.IPv4(10, 0, 0, 1)),
+			S:     50, T: 51,
+			Key: "alarm", Value: "high",
+		},
+	}
+	got := roundtrip(t, msg).(NFMessage)
+	if got.Src != 50 || got.Msg.Kind != nf.MsgChangeDefault || got.Msg.S != 50 || got.Msg.T != 51 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Msg.Key != "alarm" || got.Msg.Value != "high" {
+		t.Fatalf("kv = %q %v", got.Msg.Key, got.Msg.Value)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short frame: %v", err)
+	}
+	frame, _ := Encode(Hello{}, 1)
+	frame[0] = 0x01 // wrong version
+	if _, _, err := Decode(frame); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	frame, _ = Encode(Hello{}, 1)
+	frame[1] = 0xEE // unknown type
+	if _, _, err := Decode(frame); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type: %v", err)
+	}
+	frame, _ = Encode(Echo{Data: []byte("abc")}, 1)
+	if _, _, err := Decode(frame[:len(frame)-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated body: %v", err)
+	}
+}
+
+func TestConnFraming(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if _, err := c.Send(Echo{Data: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Send(Barrier{}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewConn(&buf)
+	m1, h1, err := r.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m1.(Echo); !ok || h1.XID != 1 {
+		t.Fatalf("first = %T xid=%d", m1, h1.XID)
+	}
+	m2, h2, err := r.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m2.(Barrier); !ok || h2.XID != 2 {
+		t.Fatalf("second = %T xid=%d", m2, h2.XID)
+	}
+}
+
+// Property: FlowMod roundtrips preserve every action and wildcard shape.
+func TestFlowModRoundtripProperty(t *testing.T) {
+	f := func(scope uint16, nActs uint8, prio uint8, parallel bool, wildMask uint8) bool {
+		r := flowtable.Rule{
+			Scope:    flowtable.ServiceID(scope),
+			Parallel: parallel,
+			Priority: int(prio),
+		}
+		if wildMask&1 != 0 {
+			ip := packet.IPv4(1, 2, 3, 4)
+			r.Match.SrcIP = &ip
+		}
+		if wildMask&2 != 0 {
+			p := uint16(99)
+			r.Match.DstPort = &p
+		}
+		n := int(nActs%5) + 1
+		for i := 0; i < n; i++ {
+			r.Actions = append(r.Actions, flowtable.Forward(flowtable.ServiceID(i+1)))
+		}
+		frame, err := Encode(FlowMod{Rule: r}, 1)
+		if err != nil {
+			return false
+		}
+		got, _, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		fm := got.(FlowMod)
+		if fm.Rule.Scope != r.Scope || fm.Rule.Parallel != r.Parallel || len(fm.Rule.Actions) != n {
+			return false
+		}
+		return fm.Rule.Match.Specificity() == r.Match.Specificity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeDecodeFlowMod(b *testing.B) {
+	msg := FlowMod{Rule: flowtable.Rule{
+		Scope:   flowtable.ServiceID(12),
+		Actions: []flowtable.Action{flowtable.Forward(13), flowtable.Out(1)},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frame, _ := Encode(msg, uint32(i))
+		if _, _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

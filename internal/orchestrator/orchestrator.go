@@ -1,0 +1,168 @@
+// Package orchestrator implements the NFV Orchestrator (Fig. 2): it boots
+// and retires NF instances on hosts on behalf of the SDNFV Application.
+//
+// Instantiating a VM is slow — the paper measures about 7.75 s to boot a
+// new VM, and notes it "can be further reduced by just starting a new
+// process in a stand-by VM" (§5.2). The orchestrator models both paths: a
+// configurable boot delay for cold starts and a standby pool for fast
+// starts. The delay runs on a caller-supplied clock so the same code works
+// under the real clock and the discrete-event simulator.
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+)
+
+// HostHandle abstracts the per-host operations the orchestrator needs; the
+// real dataplane.Host and the netem simulator both satisfy it through thin
+// adapters.
+type HostHandle interface {
+	// HostName identifies the host.
+	HostName() string
+	// Launch makes service svc available backed by fn; called after the
+	// boot delay has elapsed.
+	Launch(svc flowtable.ServiceID, fn nf.Function) error
+}
+
+// Clock schedules a callback after a virtual or real delay in seconds.
+type Clock interface {
+	// After runs fn once delay seconds have passed.
+	After(delay float64, fn func())
+	// Now returns the current time in seconds.
+	Now() float64
+}
+
+// Config tunes the orchestrator.
+type Config struct {
+	// BootDelaySec is the cold-start VM boot time (paper: 7.75 s).
+	BootDelaySec float64
+	// StandbyDelaySec is the fast-start delay when a standby VM exists.
+	StandbyDelaySec float64
+	// Standby is the number of pre-booted standby slots per host.
+	Standby int
+}
+
+// Launch records one instantiation.
+type Launch struct {
+	Host    string
+	Service flowtable.ServiceID
+	// RequestedAt/ReadyAt are clock timestamps in seconds.
+	RequestedAt float64
+	ReadyAt     float64
+	// Standby reports whether the fast path was used.
+	Standby bool
+}
+
+// Orchestrator boots NF instances with realistic delays.
+type Orchestrator struct {
+	cfg   Config
+	clock Clock
+
+	mu       sync.Mutex
+	hosts    map[string]HostHandle
+	standby  map[string]int
+	launches []Launch
+	pending  int
+}
+
+// New builds an orchestrator. clock must not be nil.
+func New(cfg Config, clock Clock) *Orchestrator {
+	if cfg.BootDelaySec == 0 {
+		cfg.BootDelaySec = 7.75
+	}
+	if cfg.StandbyDelaySec == 0 {
+		cfg.StandbyDelaySec = 0.5
+	}
+	return &Orchestrator{
+		cfg:     cfg,
+		clock:   clock,
+		hosts:   make(map[string]HostHandle),
+		standby: make(map[string]int),
+	}
+}
+
+// AddHost registers a host under the orchestrator's control, seeding its
+// standby pool.
+func (o *Orchestrator) AddHost(h HostHandle) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.hosts[h.HostName()] = h
+	o.standby[h.HostName()] = o.cfg.Standby
+}
+
+// Hosts returns the registered host names.
+func (o *Orchestrator) Hosts() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	names := make([]string, 0, len(o.hosts))
+	for n := range o.hosts {
+		names = append(names, n)
+	}
+	return names
+}
+
+// ErrUnknownHost reports an Instantiate against an unregistered host.
+var ErrUnknownHost = errors.New("orchestrator: unknown host")
+
+// Instantiate boots fn as service svc on the named host. onReady (may be
+// nil) runs once the NF is launched and registered. The launch completes
+// after the cold-boot delay, or the standby delay when a standby slot is
+// available.
+func (o *Orchestrator) Instantiate(host string, svc flowtable.ServiceID, fn nf.Function, onReady func(Launch)) error {
+	o.mu.Lock()
+	h, ok := o.hosts[host]
+	if !ok {
+		o.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	delay := o.cfg.BootDelaySec
+	usedStandby := false
+	if o.standby[host] > 0 {
+		o.standby[host]--
+		delay = o.cfg.StandbyDelaySec
+		usedStandby = true
+	}
+	o.pending++
+	now := o.clock.Now()
+	o.mu.Unlock()
+
+	o.clock.After(delay, func() {
+		l := Launch{
+			Host:        host,
+			Service:     svc,
+			RequestedAt: now,
+			ReadyAt:     o.clock.Now(),
+			Standby:     usedStandby,
+		}
+		err := h.Launch(svc, fn)
+		o.mu.Lock()
+		o.pending--
+		if err == nil {
+			o.launches = append(o.launches, l)
+		}
+		o.mu.Unlock()
+		if err == nil && onReady != nil {
+			onReady(l)
+		}
+	})
+	return nil
+}
+
+// Launches returns a copy of the completed launch log.
+func (o *Orchestrator) Launches() []Launch {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Launch(nil), o.launches...)
+}
+
+// Pending returns the number of in-flight instantiations.
+func (o *Orchestrator) Pending() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.pending
+}

@@ -1,0 +1,156 @@
+package orchestrator
+
+import (
+	"container/heap"
+	"errors"
+	"testing"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+)
+
+// fakeClock is a deterministic manual clock.
+type fakeClock struct {
+	now    float64
+	events eventHeap
+}
+
+type clockEvent struct {
+	at float64
+	fn func()
+}
+type eventHeap []clockEvent
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(clockEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+func (c *fakeClock) After(delay float64, fn func()) {
+	heap.Push(&c.events, clockEvent{at: c.now + delay, fn: fn})
+}
+func (c *fakeClock) Now() float64 { return c.now }
+func (c *fakeClock) advance(to float64) {
+	for c.events.Len() > 0 && c.events[0].at <= to {
+		e := heap.Pop(&c.events).(clockEvent)
+		c.now = e.at
+		e.fn()
+	}
+	c.now = to
+}
+
+type fakeHost struct {
+	name     string
+	launched []flowtable.ServiceID
+	fail     error
+}
+
+func (h *fakeHost) HostName() string { return h.name }
+func (h *fakeHost) Launch(svc flowtable.ServiceID, _ nf.Function) error {
+	if h.fail != nil {
+		return h.fail
+	}
+	h.launched = append(h.launched, svc)
+	return nil
+}
+
+type stubNF struct{}
+
+func (stubNF) Name() string                                { return "stub" }
+func (stubNF) ReadOnly() bool                              { return true }
+func (stubNF) Process(*nf.Context, *nf.Packet) nf.Decision { return nf.Default() }
+
+func TestColdBootDelay(t *testing.T) {
+	clk := &fakeClock{}
+	o := New(Config{BootDelaySec: 7.75}, clk)
+	h := &fakeHost{name: "h1"}
+	o.AddHost(h)
+	var ready []Launch
+	if err := o.Instantiate("h1", 99, stubNF{}, func(l Launch) { ready = append(ready, l) }); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(7.0)
+	if len(h.launched) != 0 {
+		t.Fatal("launched before boot completed")
+	}
+	if o.Pending() != 1 {
+		t.Fatalf("pending = %d", o.Pending())
+	}
+	clk.advance(8.0)
+	if len(h.launched) != 1 || h.launched[0] != 99 {
+		t.Fatalf("launched = %v", h.launched)
+	}
+	if len(ready) != 1 || ready[0].ReadyAt != 7.75 || ready[0].Standby {
+		t.Fatalf("ready = %+v", ready)
+	}
+	if got := o.Launches(); len(got) != 1 {
+		t.Fatalf("launch log = %v", got)
+	}
+}
+
+func TestStandbyFastPath(t *testing.T) {
+	clk := &fakeClock{}
+	o := New(Config{BootDelaySec: 7.75, StandbyDelaySec: 0.5, Standby: 1}, clk)
+	h := &fakeHost{name: "h1"}
+	o.AddHost(h)
+	_ = o.Instantiate("h1", 1, stubNF{}, nil)
+	clk.advance(1.0)
+	if len(h.launched) != 1 {
+		t.Fatal("standby launch too slow")
+	}
+	// Second instantiation: pool exhausted, cold boot.
+	_ = o.Instantiate("h1", 2, stubNF{}, nil)
+	clk.advance(2.0)
+	if len(h.launched) != 1 {
+		t.Fatal("cold boot used the standby delay")
+	}
+	clk.advance(10.0)
+	if len(h.launched) != 2 {
+		t.Fatal("cold boot never completed")
+	}
+	ls := o.Launches()
+	if !ls[0].Standby || ls[1].Standby {
+		t.Fatalf("standby flags = %+v", ls)
+	}
+}
+
+func TestUnknownHost(t *testing.T) {
+	o := New(Config{}, &fakeClock{})
+	if err := o.Instantiate("nope", 1, stubNF{}, nil); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFailedLaunchNotLogged(t *testing.T) {
+	clk := &fakeClock{}
+	o := New(Config{BootDelaySec: 1}, clk)
+	h := &fakeHost{name: "h1", fail: errors.New("no cores")}
+	o.AddHost(h)
+	called := false
+	_ = o.Instantiate("h1", 1, stubNF{}, func(Launch) { called = true })
+	clk.advance(5)
+	if called {
+		t.Fatal("onReady called for failed launch")
+	}
+	if len(o.Launches()) != 0 {
+		t.Fatal("failed launch logged")
+	}
+	if o.Pending() != 0 {
+		t.Fatal("pending count leaked")
+	}
+}
+
+func TestHostsListing(t *testing.T) {
+	o := New(Config{}, &fakeClock{})
+	o.AddHost(&fakeHost{name: "a"})
+	o.AddHost(&fakeHost{name: "b"})
+	if hs := o.Hosts(); len(hs) != 2 {
+		t.Fatalf("hosts = %v", hs)
+	}
+}

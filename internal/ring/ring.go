@@ -1,0 +1,207 @@
+// Package ring provides the lock-free ring buffers used as the only
+// communication channel between the NF Manager and network functions.
+//
+// The paper's data plane forbids locks on the packet path: "synchronization
+// primitives such as locks cannot be used since they can take tens of
+// nanoseconds to acquire" (§4.1). Every NF therefore owns a pair of
+// single-producer/single-consumer (SPSC) rings shared with the manager's RX
+// and TX threads. Only small packet descriptors travel through the rings;
+// packet data stays in the shared memory pool (see package mempool).
+package ring
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// pad separates hot atomics onto different cache lines to avoid false
+// sharing between the producer and consumer cores.
+type pad [56]byte
+
+// SPSC is a bounded lock-free single-producer/single-consumer queue of
+// uint64 descriptors. Exactly one goroutine may call Enqueue and exactly one
+// may call Dequeue; the zero value is not usable, construct with NewSPSC.
+//
+// The implementation is the classic Lamport queue: the producer only writes
+// head, the consumer only writes tail, and each observes the other's index
+// with acquire/release semantics provided by sync/atomic.
+type SPSC struct {
+	mask uint64
+	buf  []uint64
+
+	_    pad
+	head atomic.Uint64 // next slot to write (producer-owned)
+	_    pad
+	tail atomic.Uint64 // next slot to read (consumer-owned)
+	_    pad
+
+	// cachedTail/cachedHead reduce cross-core traffic: the producer
+	// re-reads the consumer index only when the ring looks full, and vice
+	// versa. They are plain fields because each is touched by one side only.
+	cachedTail uint64
+	_          pad
+	cachedHead uint64
+}
+
+// NewSPSC returns an SPSC ring with capacity rounded up to the next power of
+// two (minimum 2). Capacity is the number of descriptors the ring can hold.
+func NewSPSC(capacity int) *SPSC {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC{
+		mask: uint64(n - 1),
+		buf:  make([]uint64, n),
+	}
+}
+
+// Cap returns the ring capacity.
+func (r *SPSC) Cap() int { return len(r.buf) }
+
+// Len returns the number of descriptors currently queued. It is an
+// instantaneous snapshot and may be stale by the time it returns; the NF
+// Manager uses it for queue-depth load balancing where staleness is
+// acceptable.
+func (r *SPSC) Len() int {
+	h := r.head.Load()
+	t := r.tail.Load()
+	return int(h - t)
+}
+
+// Enqueue appends d to the ring. It returns false when the ring is full.
+// Must be called from a single producer goroutine.
+func (r *SPSC) Enqueue(d uint64) bool {
+	h := r.head.Load()
+	if h-r.cachedTail > r.mask {
+		r.cachedTail = r.tail.Load()
+		if h-r.cachedTail > r.mask {
+			return false
+		}
+	}
+	r.buf[h&r.mask] = d
+	r.head.Store(h + 1)
+	return true
+}
+
+// Dequeue removes and returns the oldest descriptor. The second return is
+// false when the ring is empty. Must be called from a single consumer
+// goroutine.
+func (r *SPSC) Dequeue() (uint64, bool) {
+	t := r.tail.Load()
+	if t >= r.cachedHead {
+		r.cachedHead = r.head.Load()
+		if t >= r.cachedHead {
+			return 0, false
+		}
+	}
+	d := r.buf[t&r.mask]
+	r.tail.Store(t + 1)
+	return d, true
+}
+
+// DequeueBatch fills dst with up to len(dst) descriptors and returns the
+// number dequeued. Batch draining amortizes the atomic store on the consumer
+// index, mirroring DPDK's burst dequeue.
+func (r *SPSC) DequeueBatch(dst []uint64) int {
+	t := r.tail.Load()
+	if t >= r.cachedHead {
+		r.cachedHead = r.head.Load()
+		if t >= r.cachedHead {
+			return 0
+		}
+	}
+	n := int(r.cachedHead - t)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[(t+uint64(i))&r.mask]
+	}
+	r.tail.Store(t + uint64(n))
+	return n
+}
+
+// EnqueueBatch appends as many of src as fit and returns the number
+// enqueued.
+func (r *SPSC) EnqueueBatch(src []uint64) int {
+	h := r.head.Load()
+	if h+uint64(len(src))-r.cachedTail > r.mask {
+		r.cachedTail = r.tail.Load()
+	}
+	free := int(r.mask + 1 - (h - r.cachedTail))
+	n := len(src)
+	if n > free {
+		n = free
+	}
+	for i := 0; i < n; i++ {
+		r.buf[(h+uint64(i))&r.mask] = src[i]
+	}
+	if n > 0 {
+		r.head.Store(h + uint64(n))
+	}
+	return n
+}
+
+// MPSC is a bounded multi-producer/single-consumer queue used for control
+// messages (cross-layer messages from NFs to the NF Manager, §3.4). Control
+// traffic is orders of magnitude rarer than packet traffic, so a mutex is
+// acceptable here; the packet path never touches an MPSC ring.
+type MPSC struct {
+	mu    sync.Mutex
+	items []any
+	cap   int
+}
+
+// NewMPSC returns a control ring holding at most capacity messages.
+func NewMPSC(capacity int) *MPSC {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MPSC{cap: capacity}
+}
+
+// Push appends m; it returns an error when the ring is full so callers can
+// surface back-pressure instead of blocking the data plane.
+func (r *MPSC) Push(m any) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.items) >= r.cap {
+		return fmt.Errorf("ring: control queue full (cap %d)", r.cap)
+	}
+	r.items = append(r.items, m)
+	return nil
+}
+
+// Pop removes and returns the oldest message, or (nil, false) when empty.
+func (r *MPSC) Pop() (any, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.items) == 0 {
+		return nil, false
+	}
+	m := r.items[0]
+	copy(r.items, r.items[1:])
+	r.items = r.items[:len(r.items)-1]
+	return m, true
+}
+
+// Drain removes and returns all queued messages in FIFO order.
+func (r *MPSC) Drain() []any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.items
+	r.items = nil
+	return out
+}
+
+// Len returns the number of queued control messages.
+func (r *MPSC) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items)
+}

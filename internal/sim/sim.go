@@ -1,0 +1,246 @@
+// Package sim is a deterministic discrete-event simulation core. The
+// time-series and saturation experiments of the paper (Figs. 1, 8–12) run
+// minutes of traffic through multi-host topologies; replaying them in
+// virtual time keeps the reproduction fast and bit-for-bit repeatable
+// under a fixed seed.
+//
+// The core is a binary-heap event queue with a virtual clock. Events
+// scheduled for the same instant fire in scheduling order (a monotone
+// sequence number breaks ties), which the determinism property tests rely
+// on.
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+)
+
+// Time is simulation time in seconds.
+type Time = float64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: a virtual clock, an event queue, and a
+// seeded random source. Not safe for concurrent use — the simulation is
+// single-threaded by design (determinism).
+type Env struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	processed uint64
+	stopped   bool
+}
+
+// NewEnv returns an environment starting at t=0 with the given RNG seed.
+func NewEnv(seed int64) *Env {
+	return &Env{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's seeded random source.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after delay seconds (delay < 0 is clamped to 0).
+func (e *Env) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// At runs fn at absolute time t (clamped to now).
+func (e *Env) At(t Time, fn func()) {
+	e.Schedule(t-e.now, fn)
+}
+
+// Every runs fn at the given period starting after one period, until the
+// simulation ends or fn returns false.
+func (e *Env) Every(period Time, fn func() bool) {
+	if period <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if e.stopped {
+			return
+		}
+		if fn() {
+			e.Schedule(period, tick)
+		}
+	}
+	e.Schedule(period, tick)
+}
+
+// Stop halts the run loop after the current event.
+func (e *Env) Stop() { e.stopped = true }
+
+// Run processes events until the queue is empty or virtual time would
+// exceed until. It returns the number of events processed.
+func (e *Env) Run(until Time) uint64 {
+	e.stopped = false
+	start := e.processed
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.at > e.now {
+			e.now = next.at
+		}
+		next.fn()
+		e.processed++
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.processed - start
+}
+
+// Pending returns the number of queued events.
+func (e *Env) Pending() int { return len(e.events) }
+
+// Processed returns the total number of events processed.
+func (e *Env) Processed() uint64 { return e.processed }
+
+// Exp draws an exponentially distributed delay with the given mean.
+func (e *Env) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return e.rng.ExpFloat64() * mean
+}
+
+// Uniform draws uniformly from [lo, hi).
+func (e *Env) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + e.rng.Float64()*(hi-lo)
+}
+
+// Zipf draws from a Zipf distribution over [0, n) with skew s (s > 1).
+func (e *Env) Zipf(s float64, n uint64) uint64 {
+	if s <= 1 {
+		s = 1.01
+	}
+	z := rand.NewZipf(e.rng, s, 1, n-1)
+	return z.Uint64()
+}
+
+// Queue is a FIFO server with a fixed service rate, modeling an NF or link
+// as a fluid/packet hybrid: jobs are discrete, service times deterministic
+// or caller-supplied. It reports utilization, queue length, and drops when
+// bounded.
+type Queue struct {
+	env *Env
+	// Capacity is the maximum number of queued jobs (0 = unbounded).
+	Capacity int
+	// busy marks the server occupied.
+	busy bool
+	wait []*job
+
+	// Served and Dropped count completed and rejected jobs.
+	Served  uint64
+	Dropped uint64
+
+	busySince Time
+	busyTotal Time
+}
+
+type job struct {
+	service Time
+	done    func()
+}
+
+// NewQueue returns a queue bound to env.
+func NewQueue(env *Env, capacity int) *Queue {
+	return &Queue{env: env, Capacity: capacity}
+}
+
+// Offer submits a job with the given service time; done (may be nil) runs
+// at completion. It returns false when the queue is full (job dropped).
+func (q *Queue) Offer(service Time, done func()) bool {
+	if q.Capacity > 0 && len(q.wait) >= q.Capacity {
+		q.Dropped++
+		return false
+	}
+	j := &job{service: service, done: done}
+	if !q.busy {
+		q.start(j)
+	} else {
+		q.wait = append(q.wait, j)
+	}
+	return true
+}
+
+// Len returns the number of waiting jobs (excluding the one in service).
+func (q *Queue) Len() int { return len(q.wait) }
+
+// Busy reports whether the server is occupied.
+func (q *Queue) Busy() bool { return q.busy }
+
+// Utilization returns the fraction of time busy since the start.
+func (q *Queue) Utilization() float64 {
+	t := q.env.Now()
+	if t == 0 {
+		return 0
+	}
+	total := q.busyTotal
+	if q.busy {
+		total += t - q.busySince
+	}
+	u := total / t
+	return math.Min(u, 1)
+}
+
+func (q *Queue) start(j *job) {
+	q.busy = true
+	q.busySince = q.env.Now()
+	q.env.Schedule(j.service, func() {
+		q.busyTotal += q.env.Now() - q.busySince
+		q.Served++
+		if j.done != nil {
+			j.done()
+		}
+		if len(q.wait) > 0 {
+			next := q.wait[0]
+			copy(q.wait, q.wait[1:])
+			q.wait = q.wait[:len(q.wait)-1]
+			q.start(next)
+		} else {
+			q.busy = false
+		}
+	})
+}
