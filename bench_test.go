@@ -181,6 +181,91 @@ func BenchmarkFlowTableLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkFlowTableLookupBatch measures the amortized per-packet cost of
+// the batched resolver the RX loop uses: one table pass per 64-descriptor
+// burst.
+func BenchmarkFlowTableLookupBatch(b *testing.B) {
+	t := flowtable.New()
+	keys := make([]packet.FlowKey, 1024)
+	for i := range keys {
+		keys[i] = packet.FlowKey{
+			SrcIP:   packet.IPv4(10, 0, byte(i>>8), byte(i)),
+			DstIP:   packet.IPv4(10, 1, 0, 1),
+			SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoUDP,
+		}
+		_, _ = t.Add(flowtable.Rule{
+			Scope: flowtable.Port(0), Match: flowtable.ExactMatch(keys[i]),
+			Actions: []flowtable.Action{flowtable.Forward(1)},
+		})
+	}
+	const burst = 64
+	scopes := make([]flowtable.ServiceID, burst)
+	bkeys := make([]packet.FlowKey, burst)
+	out := make([]*flowtable.Entry, burst)
+	for i := range scopes {
+		scopes[i] = flowtable.Port(0)
+		bkeys[i] = keys[i]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += burst {
+		if hits := t.LookupBatch(scopes, bkeys, out); hits != burst {
+			b.Fatalf("hits = %d", hits)
+		}
+	}
+}
+
+// BenchmarkFlowTableLookupContended measures the lock-free lookup with all
+// CPUs reading one table while a writer churns rules — the seed's RWMutex
+// design serialized the counter writes here.
+func BenchmarkFlowTableLookupContended(b *testing.B) {
+	t := flowtable.New()
+	keys := make([]packet.FlowKey, 1024)
+	for i := range keys {
+		keys[i] = packet.FlowKey{
+			SrcIP:   packet.IPv4(10, 0, byte(i>>8), byte(i)),
+			DstIP:   packet.IPv4(10, 1, 0, 1),
+			SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoUDP,
+		}
+		_, _ = t.Add(flowtable.Rule{
+			Scope: flowtable.Port(0), Match: flowtable.ExactMatch(keys[i]),
+			Actions: []flowtable.Action{flowtable.Forward(1)},
+		})
+	}
+	churnKey := keys[0]
+	stop := make(chan struct{})
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t.UpdateDefault(flowtable.ServiceID(1), flowtable.MatchAll,
+				flowtable.Forward(2), false)
+			// Exact add replaces in place (same key ⇒ same rule identity),
+			// so the table stays bounded for the whole benchmark.
+			_, _ = t.Add(flowtable.Rule{
+				Scope: flowtable.ServiceID(1), Match: flowtable.ExactMatch(churnKey),
+				Actions: []flowtable.Action{flowtable.Forward(2)},
+			})
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := t.Lookup(flowtable.Port(0), keys[i&1023]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+}
+
 // BenchmarkMinQueueSelect measures the §5.1 queue-depth replica pick
 // (paper: ≈15 ns).
 func BenchmarkMinQueueSelect(b *testing.B) {

@@ -1,0 +1,3 @@
+module sdnfv
+
+go 1.24

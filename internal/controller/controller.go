@@ -168,12 +168,21 @@ func (c *Controller) Resolve(scope flowtable.ServiceID, key packet.FlowKey) ([]f
 	}}
 	select {
 	case c.queue <- req:
+	case <-c.done:
+		return nil, errors.New("controller: stopped")
 	default:
 		c.rejected.Add(1)
 		return nil, errors.New("controller: request queue full")
 	}
-	r := <-ch
-	return r.rules, r.err
+	// Wait for the event loop's reply — but never past Stop: a request
+	// still queued when the loop exits would otherwise strand the calling
+	// Flow Controller thread (and the host's Stop) forever.
+	select {
+	case r := <-ch:
+		return r.rules, r.err
+	case <-c.done:
+		return nil, errors.New("controller: stopped")
+	}
 }
 
 // HandleNFMessage is the in-process path for cross-layer messages routed

@@ -51,6 +51,36 @@ func TestResolveNoCompiler(t *testing.T) {
 	}
 }
 
+// TestResolveUnblocksOnStop pins the shutdown bug where a Resolve caller
+// (the host's Flow Controller thread) whose request was still queued when
+// the event loop exited blocked forever, wedging host.Stop.
+func TestResolveUnblocksOnStop(t *testing.T) {
+	c := New(Config{ServiceTime: time.Second, QueueDepth: 4})
+	c.SetCompiler(func(flowtable.ServiceID, packet.FlowKey) ([]flowtable.Rule, error) {
+		return nil, nil
+	})
+	c.Start()
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := c.Resolve(flowtable.Port(0), testKey())
+			errs <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let both requests enqueue
+	go c.Stop()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("resolve after stop should fail")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Resolve still blocked after Stop")
+		}
+	}
+}
+
 func TestQueueOverflowRejected(t *testing.T) {
 	c := New(Config{ServiceTime: 50 * time.Millisecond, QueueDepth: 1})
 	c.SetCompiler(func(flowtable.ServiceID, packet.FlowKey) ([]flowtable.Rule, error) {

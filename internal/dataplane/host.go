@@ -194,18 +194,15 @@ type ctrlMsg struct {
 }
 
 // InstallGraph compiles g into rules (ingress inPort, egress outPort) and
-// installs them.
+// installs them atomically through the batched writer API: each affected
+// table shard publishes one new snapshot for the whole graph.
 func (h *Host) InstallGraph(g *graph.Graph, inPort, outPort int) error {
 	rules, err := g.Rules(inPort, outPort)
 	if err != nil {
 		return err
 	}
-	for _, r := range rules {
-		if _, err := h.table.Add(r); err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err = h.table.AddBatch(rules)
+	return err
 }
 
 // Start launches the manager threads and all NF instances.
@@ -355,12 +352,20 @@ func (h *Host) releaseDesc(d *Desc) {
 	_ = h.pool.Release(d.H)
 }
 
-// rxLoop is the RX thread: drain the NIC ring, look up the flow, dispatch.
+// rxBatch is the burst size of the RX and Flow Controller loops.
+const rxBatch = 64
+
+// rxLoop is the RX thread: drain the NIC ring in bursts, resolve the
+// whole burst against the flow table in one LookupBatch pass (one
+// snapshot load amortized across the burst, §4.1), then dispatch.
 func (h *Host) rxLoop() {
 	const producer = 0
 	var rr uint64
 	idle := 0
-	batch := make([]Desc, 64)
+	batch := make([]Desc, rxBatch)
+	scopes := make([]flowtable.ServiceID, rxBatch)
+	keys := make([]packet.FlowKey, rxBatch)
+	entries := make([]*flowtable.Entry, rxBatch)
 	for !h.stop.Load() {
 		n := h.nicIn.DequeueBatch(batch)
 		if n == 0 {
@@ -368,26 +373,25 @@ func (h *Host) rxLoop() {
 			continue
 		}
 		idle = 0
+		h.rxCount.Add(uint64(n))
+		for i := 0; i < n; i++ {
+			scopes[i] = batch[i].Scope
+			keys[i] = batch[i].Key
+		}
+		h.table.LookupBatch(scopes[:n], keys[:n], entries[:n])
 		for i := 0; i < n; i++ {
 			d := batch[i]
-			h.rxCount.Add(1)
-			h.route(&d, producer, &rr)
+			if entries[i] == nil {
+				// Flow-table miss: punt to the Flow Controller (§4.1).
+				h.missCount.Add(1)
+				if !h.fcIn[producer].Enqueue(d) {
+					h.dropPacket(&d)
+				}
+				continue
+			}
+			h.dispatchEntry(&d, entries[i], producer, &rr)
 		}
 	}
-}
-
-// route resolves the flow-table entry for d's scope and dispatches it.
-func (h *Host) route(d *Desc, producer int, rr *uint64) {
-	e, err := h.table.Lookup(d.Scope, d.Key)
-	if err != nil {
-		// Flow-table miss: punt to the Flow Controller thread (§4.1).
-		h.missCount.Add(1)
-		if !h.fcIn[producer].Enqueue(*d) {
-			h.dropPacket(d)
-		}
-		return
-	}
-	h.dispatchEntry(d, e, producer, rr)
 }
 
 // dispatchEntry applies e to d: parallel fan-out or the default action.
@@ -496,13 +500,15 @@ func (h *Host) dropPacket(d *Desc) {
 	h.releaseDesc(d)
 }
 
-// txLoop is TX thread t: drain the out rings of assigned instances,
-// resolve each NF's decision, and act on it. Thread 0 additionally applies
-// queued cross-layer messages so flow-table rewrites are serialized.
+// txLoop is TX thread t: drain the out rings of assigned instances in
+// bursts, resolve each NF's decision, and act on it. Thread 0
+// additionally applies queued cross-layer messages so flow-table rewrites
+// are serialized.
 func (h *Host) txLoop(t int) {
 	producer := 1 + t
 	var rr uint64
 	idle := 0
+	batch := make([]Desc, rxBatch)
 	for !h.stop.Load() {
 		progressed := false
 		for _, inst := range h.instSnap {
@@ -510,12 +516,14 @@ func (h *Host) txLoop(t int) {
 				continue
 			}
 			for {
-				d, ok := inst.out.Dequeue()
-				if !ok {
+				n := inst.out.DequeueBatch(batch)
+				if n == 0 {
 					break
 				}
 				progressed = true
-				h.completeNF(&d, inst, producer, &rr)
+				for i := 0; i < n; i++ {
+					h.completeNF(&batch[i], inst, producer, &rr)
+				}
 			}
 		}
 		if t == 0 {
@@ -647,20 +655,30 @@ func (h *Host) parJoin(d *Desc, packed mergedAction, producer int) {
 
 // fcLoop is the Flow Controller thread (§4.1): it owns flow-table misses,
 // calls the (possibly slow) miss handler off the critical path, installs
-// returned rules, and re-routes the triggering packets.
+// returned rules through the batched writer API, and re-routes the
+// triggering packets with one LookupBatch pass per burst.
 func (h *Host) fcLoop() {
 	idle := 0
 	var rr uint64
 	producer := h.fcProducerSlot()
+	batch := make([]Desc, rxBatch)
+	scopes := make([]flowtable.ServiceID, rxBatch)
+	keys := make([]packet.FlowKey, rxBatch)
+	entries := make([]*flowtable.Entry, rxBatch)
 	for !h.stop.Load() {
 		progressed := false
 		for _, r := range h.fcIn {
-			for {
-				d, ok := r.Dequeue()
-				if !ok {
-					break
-				}
-				progressed = true
+			n := r.DequeueBatch(batch)
+			if n == 0 {
+				continue
+			}
+			progressed = true
+			// Resolve every miss in the burst first (each handler call may
+			// install rules for later descriptors too), then re-route the
+			// survivors in one table pass.
+			live := 0
+			for i := 0; i < n; i++ {
+				d := batch[i]
 				if h.cfg.MissHandler == nil {
 					h.dropPacket(&d)
 					continue
@@ -670,10 +688,35 @@ func (h *Host) fcLoop() {
 					h.dropPacket(&d)
 					continue
 				}
-				for _, rule := range rules {
-					_, _ = h.table.Add(rule)
+				if _, err := h.table.AddBatch(rules); err != nil {
+					// AddBatch is all-or-nothing; a handler mixing one bad
+					// rule into a valid set must not lose the whole set (and
+					// livelock the packet), so salvage rule by rule.
+					for _, rule := range rules {
+						_, _ = h.table.Add(rule)
+					}
 				}
-				h.route(&d, producer, &rr)
+				batch[live] = d
+				scopes[live] = d.Scope
+				keys[live] = d.Key
+				live++
+			}
+			if live == 0 {
+				continue
+			}
+			h.table.LookupBatch(scopes[:live], keys[:live], entries[:live])
+			for i := 0; i < live; i++ {
+				d := batch[i]
+				if entries[i] == nil {
+					// Still no rule: punt again so the handler gets another
+					// chance once more rules arrive.
+					h.missCount.Add(1)
+					if !h.fcIn[producer].Enqueue(d) {
+						h.dropPacket(&d)
+					}
+					continue
+				}
+				h.dispatchEntry(&d, entries[i], producer, &rr)
 			}
 		}
 		if !progressed {

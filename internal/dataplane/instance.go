@@ -65,37 +65,45 @@ func (in *Instance) offer(p int, d Desc) bool {
 	return false
 }
 
-// run is the NF goroutine: poll all input rings, process, hand the
-// descriptor (with the NF's decision recorded) to the out ring.
+// run is the NF goroutine: drain each input ring in bursts (amortizing
+// the consumer-index atomics, like DPDK's burst dequeue), process, hand
+// the descriptors (with the NF's decision recorded) to the out ring.
 func (in *Instance) run(h *Host) {
 	defer close(in.done)
 	pkt := nf.Packet{}
 	idle := 0
+	batch := make([]Desc, 32)
 	for !in.stop.Load() {
 		progressed := false
 		for _, r := range in.in {
-			d, ok := r.Dequeue()
-			if !ok {
+			n := r.DequeueBatch(batch)
+			if n == 0 {
 				continue
 			}
 			progressed = true
-			in.rxCount.Add(1)
+			in.rxCount.Add(uint64(n))
+			for i := 0; i < n; i++ {
+				d := batch[i]
+				pkt.Handle = d.H
+				pkt.View = &d.View
+				pkt.Key = d.Key
+				pkt.ArrivalNanos = d.ArrivalNanos
+				dec := in.fn.Process(&in.ctx, &pkt)
 
-			pkt.Handle = d.H
-			pkt.View = &d.View
-			pkt.Key = d.Key
-			pkt.ArrivalNanos = d.ArrivalNanos
-			dec := in.fn.Process(&in.ctx, &pkt)
-
-			d.Scope = in.Service
-			d.Verb = dec.Verb
-			d.Dest = dec.Dest
-			for !in.out.Enqueue(d) {
-				if in.stop.Load() {
-					h.releaseDesc(&d)
-					return
+				d.Scope = in.Service
+				d.Verb = dec.Verb
+				d.Dest = dec.Dest
+				for !in.out.Enqueue(d) {
+					if in.stop.Load() {
+						// Release this descriptor and everything still
+						// queued behind it in the burst.
+						for j := i; j < n; j++ {
+							h.releaseDesc(&batch[j])
+						}
+						return
+					}
+					h.pause(&idle)
 				}
-				h.pause(&idle)
 			}
 		}
 		if !progressed {

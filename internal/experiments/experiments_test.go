@@ -280,11 +280,21 @@ func TestFig12HundredfoldGap(t *testing.T) {
 
 func TestMicroCosts(t *testing.T) {
 	r := Micro(42)
-	// Same order of magnitude as the paper's 30 ns / 15 ns.
-	if r.LookupNs <= 0 || r.LookupNs > 500 {
+	// Same order of magnitude as the paper's 30 ns / 15 ns. Race-detector
+	// instrumentation slows the atomic-heavy lookup path by well over an
+	// order of magnitude, so scale the ceilings under -race.
+	lookupMax, minQueueMax := 500.0, 100.0
+	if raceEnabled {
+		lookupMax *= 50
+		minQueueMax *= 50
+	}
+	if r.LookupNs <= 0 || r.LookupNs > lookupMax {
 		t.Fatalf("lookup = %v ns", r.LookupNs)
 	}
-	if r.MinQueueNs <= 0 || r.MinQueueNs > 100 {
+	if r.BatchLookupNs <= 0 || r.BatchLookupNs > lookupMax {
+		t.Fatalf("batched lookup = %v ns", r.BatchLookupNs)
+	}
+	if r.MinQueueNs <= 0 || r.MinQueueNs > minQueueMax {
 		t.Fatalf("min-queue = %v ns", r.MinQueueNs)
 	}
 	if r.SDNLookupMs != 31 {

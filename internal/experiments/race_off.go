@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with the race
+// detector, whose instrumentation inflates the absolute wall-clock costs
+// the micro experiments assert on.
+const raceEnabled = false
