@@ -1,7 +1,11 @@
 // Command sdnfv-ctl runs the SDN controller + SDNFV Application pair: it
 // listens for NF Manager control channels (the openflow package's wire
 // protocol over TCP), compiles a service graph into flow rules on demand
-// (PACKET_IN → FLOW_MODs), and logs cross-layer NF messages.
+// (pipelined PACKET_IN → FLOW_MODs), answers FEATURES/STATS requests,
+// and validates cross-layer NF messages through the typed control API.
+//
+// SIGINT/SIGTERM shut it down gracefully: the listener closes, in-flight
+// requests drain via Controller.Stop, and the process exits 0.
 //
 // Pair it with cmd/sdnfv-host:
 //
@@ -10,21 +14,27 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sdnfv/internal/app"
+	"sdnfv/internal/control"
 	"sdnfv/internal/controller"
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/graph"
-	"sdnfv/internal/nf"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:6653", "southbound listen address")
 	service := flag.Duration("service-time", 0, "artificial per-request controller delay (e.g. 31ms to mimic POX)")
+	workers := flag.Int("workers", 1, "concurrent request processors (1 = POX-like single thread)")
 	exact := flag.Bool("exact", true, "install per-flow exact-match rules (false = wildcard pre-population)")
 	flag.Parse()
 
@@ -38,38 +48,59 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a := app.New(app.Config{IngressPort: 0, EgressPort: 1})
+	a := app.New(app.Config{IngressPort: 0, EgressPort: 1, WildcardRules: !*exact})
 	if err := a.RegisterGraph(g); err != nil {
 		log.Fatal(err)
 	}
-	a.Subscribe(func(src flowtable.ServiceID, m nf.Message) {
+	a.Subscribe(func(src flowtable.ServiceID, m control.Message) {
 		log.Printf("app: accepted NF message from %s: %s", src, m)
 	})
 
-	c := controller.New(controller.Config{ServiceTime: *service})
-	c.SetCompiler(a.Compiler(*exact))
-	c.SetNFMessageHandler(func(src flowtable.ServiceID, m nf.Message) {
-		if !a.HandleNFMessage(src, m) {
-			log.Printf("app: REJECTED NF message from %s: %s", src, m)
-		}
-	})
+	c := controller.New(controller.Config{ServiceTime: *service, Workers: *workers})
+	c.SetNorthbound(a)
 	c.Start()
-	defer c.Stop()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("sdnfv-ctl: serving graph %q on %s (exact=%v)", g.Name, *listen, *exact)
+	log.Printf("sdnfv-ctl: serving graph %q on %s (exact=%v workers=%d)", g.Name, *listen, *exact, *workers)
+
+	stats := func() {
+		st, _ := c.Stats(context.Background())
+		log.Printf("sdnfv-ctl: requests=%d flowmods=%d nfmsgs=%d rejected=%d",
+			st.Requests, st.FlowMods, st.NFMsgs, st.Rejected)
+	}
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
 	go func() {
-		for {
-			st := c.Stats()
-			log.Printf("sdnfv-ctl: requests=%d flowmods=%d nfmsgs=%d rejected=%d",
-				st.Requests, st.FlowMods, st.NFMsgs, st.Rejected)
-			time.Sleep(10 * time.Second)
+		for range ticker.C {
+			stats()
 		}
 	}()
-	if err := c.Serve(ln); err != nil {
-		log.Fatal(err)
+
+	// Graceful shutdown: a signal closes the listener, which unblocks
+	// Serve; then Stop drains in-flight requests and closes the
+	// remaining control channels.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	shuttingDown := make(chan struct{})
+	go func() {
+		s := <-sigs
+		log.Printf("sdnfv-ctl: %s received, shutting down", s)
+		close(shuttingDown)
+		_ = ln.Close()
+	}()
+
+	err = c.Serve(ln)
+	c.Stop()
+	stats()
+	select {
+	case <-shuttingDown:
+		log.Printf("sdnfv-ctl: drained, bye")
+	default:
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Fatal(err)
+		}
 	}
 }

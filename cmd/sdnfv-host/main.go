@@ -1,31 +1,33 @@
 // Command sdnfv-host runs one SDNFV NF host: the NF Manager data plane
-// with a set of demo NFs, connected to an sdnfv-ctl controller over TCP.
-// Flow-table misses are punted to the controller as PACKET_INs by the Flow
-// Controller thread (§4.1); returned FLOW_MODs are installed and traffic
-// proceeds locally. Cross-layer NF messages are forwarded upstream as
-// NF_MESSAGEs.
+// with a set of demo NFs, connected to an sdnfv-ctl controller over TCP
+// through the typed control API. Flow-table misses are pipelined to the
+// controller by the Flow Controller thread (whole bursts of PACKET_INs
+// in flight at once, §4.1); returned FLOW_MODs are batch-installed and
+// traffic proceeds locally. Cross-layer NF messages are forwarded
+// upstream as NF_MESSAGEs.
 //
 // Without a reachable controller the host still runs, using a
 // pre-populated local chain. A built-in traffic generator exercises the
-// path.
+// path. SIGINT/SIGTERM stop the generator, drain the data plane, and
+// exit 0.
 //
 //	sdnfv-host -controller 127.0.0.1:6653 -packets 10000
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net"
-	"sync"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"sdnfv/internal/control"
 	"sdnfv/internal/dataplane"
 	"sdnfv/internal/flowtable"
-	"sdnfv/internal/nf"
 	"sdnfv/internal/nfs"
-	"sdnfv/internal/openflow"
-	"sdnfv/internal/packet"
 	"sdnfv/internal/traffic"
 )
 
@@ -35,55 +37,22 @@ func main() {
 	flows := flag.Int("flows", 8, "concurrent synthetic flows")
 	flag.Parse()
 
-	var (
-		mu   sync.Mutex
-		conn *openflow.Conn
-	)
+	cfg := dataplane.Config{PoolSize: 4096, TXThreads: 1}
 	if *ctlAddr != "" {
-		raw, err := net.DialTimeout("tcp", *ctlAddr, 5*time.Second)
+		dialCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		client, err := control.Dial(dialCtx, *ctlAddr)
+		cancel()
 		if err != nil {
 			log.Fatalf("dial controller: %v", err)
 		}
-		defer raw.Close()
-		conn = openflow.NewConn(raw)
-		if _, err := conn.Send(openflow.Hello{}); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("sdnfv-host: control channel to %s up", *ctlAddr)
-	}
-
-	cfg := dataplane.Config{PoolSize: 4096, TXThreads: 1}
-	if conn != nil {
-		// The Flow Controller thread resolves misses over the wire:
-		// PACKET_IN, then FLOW_MODs until the barrier.
-		cfg.MissHandler = func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
-			mu.Lock()
-			defer mu.Unlock()
-			if _, err := conn.Send(openflow.PacketIn{Scope: scope, Key: key}); err != nil {
-				return nil, err
-			}
-			var rules []flowtable.Rule
-			for {
-				msg, _, err := conn.Recv()
-				if err != nil {
-					return nil, err
-				}
-				switch m := msg.(type) {
-				case openflow.Hello:
-					// Greeting may still be in flight; skip it.
-				case openflow.FlowMod:
-					rules = append(rules, m.Rule)
-				case openflow.Barrier:
-					return rules, nil
-				case openflow.ErrorMsg:
-					return nil, fmt.Errorf("controller error %d: %s", m.Code, m.Text)
-				}
-			}
-		}
-		cfg.MsgHandler = func(src flowtable.ServiceID, m nf.Message) {
-			mu.Lock()
-			defer mu.Unlock()
-			_, _ = conn.Send(openflow.NFMessage{Src: src, Msg: m})
+		defer client.Close()
+		// The Flow Controller thread resolves misses over this channel
+		// with pipelined XID-correlated PacketIns.
+		cfg.Control = client
+		if f, err := client.Features(context.Background()); err == nil {
+			log.Printf("sdnfv-host: control channel to %s up (datapath %#x)", *ctlAddr, f.DatapathID)
+		} else {
+			log.Printf("sdnfv-host: control channel to %s up", *ctlAddr)
 		}
 	}
 
@@ -95,7 +64,7 @@ func main() {
 		RateBps: 1e9, BurstBytes: 1e6,
 		Now: func() float64 { return time.Since(start).Seconds() },
 	}, 0))
-	if conn == nil {
+	if cfg.Control == nil {
 		// Standalone: pre-populate the chain locally.
 		mustRule(host, flowtable.Rule{Scope: flowtable.Port(0), Match: flowtable.MatchAll,
 			Actions: []flowtable.Action{flowtable.Forward(1)}})
@@ -120,8 +89,22 @@ func main() {
 	}
 	defer host.Stop()
 
+	// Graceful shutdown: a signal stops the generator loop and falls
+	// through to the drain + stats path below.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	interrupted := false
+
 	factory := traffic.NewFactory()
+gen:
 	for i := 0; i < *packets; i++ {
+		select {
+		case s := <-sigs:
+			log.Printf("sdnfv-host: %s received, stopping generator", s)
+			interrupted = true
+			break gen
+		default:
+		}
 		spec := traffic.Flow(i%*flows, 512, 0)
 		frame, err := factory.Frame(spec, time.Now().UnixNano())
 		if err != nil {
@@ -134,10 +117,14 @@ func main() {
 			time.Sleep(5 * time.Microsecond)
 		}
 	}
-	select {
-	case <-doneCh:
-	case <-time.After(30 * time.Second):
-		log.Printf("sdnfv-host: timed out waiting for deliveries")
+	if !interrupted {
+		select {
+		case <-doneCh:
+		case s := <-sigs:
+			log.Printf("sdnfv-host: %s received, draining", s)
+		case <-time.After(30 * time.Second):
+			log.Printf("sdnfv-host: timed out waiting for deliveries")
+		}
 	}
 	host.WaitIdle(5 * time.Second)
 

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
+	"sdnfv/internal/app"
+	"sdnfv/internal/controller"
 	"sdnfv/internal/dataplane"
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/graph"
@@ -60,7 +63,20 @@ func main() {
 		fmt.Printf("parallel segment detected: %v -> %v\n\n", segs[0].Members, segs[0].Next)
 	}
 
-	host := dataplane.NewHost(dataplane.Config{PoolSize: 2048, TXThreads: 1})
+	// The full control hierarchy, in process: the SDNFV Application owns
+	// the graph, the controller compiles it on the first miss (wildcard
+	// pre-population), and the host resolves misses and forwards NF
+	// messages through the typed control API.
+	a := app.New(app.Config{IngressPort: 0, EgressPort: 1, WildcardRules: true})
+	if err := a.RegisterGraph(g); err != nil {
+		log.Fatal(err)
+	}
+	ctl := controller.New(controller.Config{})
+	ctl.SetNorthbound(a)
+	ctl.Start()
+	defer ctl.Stop()
+
+	host := dataplane.NewHost(dataplane.Config{PoolSize: 2048, TXThreads: 1, Control: ctl})
 	start := time.Now()
 	fw := &nfs.Firewall{DefaultAllow: true}
 	sampler := &nfs.Sampler{Rate: 1.0} // sample everything in the demo
@@ -77,9 +93,6 @@ func main() {
 	mustNF(host.AddNF(svcDDoS, ddos, 0))
 	mustNF(host.AddNF(svcIDS, ids, 1)) // IDS outranks DDoS in conflicts
 	mustNF(host.AddNF(svcScrubber, scrubber, 0))
-	if err := host.InstallGraph(g, 0, 1); err != nil {
-		log.Fatal(err)
-	}
 
 	var delivered int
 	host.SetOutput(func(int, []byte, *dataplane.Desc) { delivered++ })
@@ -122,7 +135,12 @@ func main() {
 	host.WaitIdle(5 * time.Second)
 
 	st := host.Stats()
-	fmt.Printf("delivered=%d drops=%d ctrlMsgs=%d\n", delivered, st.Drops, st.CtrlMessages)
+	cst, _ := ctl.Stats(context.Background())
+	fmt.Printf("delivered=%d drops=%d ctrlMsgs=%d misses=%d ctl[requests=%d flowmods=%d nfmsgs=%d]\n",
+		delivered, st.Drops, st.CtrlMessages, st.Misses, cst.Requests, cst.FlowMods, cst.NFMsgs)
+	for _, lm := range a.Messages() {
+		fmt.Printf("app log: src=%s accepted=%v %s\n", lm.Src, lm.Accepted, lm.Msg)
+	}
 	fmt.Printf("ids: scanned=%d alerts=%d\n", ids.Scanned(), ids.Alerts())
 	fmt.Printf("scrubber: passed=%d dropped=%d (flagged flow diverted after 1 exploit)\n",
 		scrubber.Passed(), scrubber.Dropped())

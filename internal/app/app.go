@@ -4,17 +4,23 @@
 // compilation for new flows) and the NFV Orchestrator (instantiating NFs),
 // and validates cross-layer messages arriving from NF Managers before
 // they are allowed to affect other hosts (§3.4 "Cross-Layer Control").
+//
+// App implements control.Northbound, so attaching the application tier
+// to a controller is one typed call:
+//
+//	ctl.SetNorthbound(app.New(app.Config{...}))
 package app
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"sdnfv/internal/control"
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/graph"
-	"sdnfv/internal/nf"
 	"sdnfv/internal/packet"
 )
 
@@ -33,6 +39,10 @@ type Config struct {
 	// may rewrite anything the graph allows; untrusted ones are checked
 	// against the graph's edge set, §3.4).
 	TrustNFs bool
+	// WildcardRules selects the paper's pre-population mode: compiled
+	// rules match all flows. The default (false) is per-flow mode,
+	// specializing every rule to the requesting flow's exact 5-tuple.
+	WildcardRules bool
 }
 
 // App is the SDNFV Application.
@@ -44,13 +54,13 @@ type App struct {
 	defGraph  string
 	msgLog    []LoggedMessage
 	policyKV  map[string]any
-	listeners []func(src flowtable.ServiceID, m nf.Message)
+	listeners []func(src flowtable.ServiceID, m control.Message)
 }
 
 // LoggedMessage is one validated cross-layer message.
 type LoggedMessage struct {
 	Src flowtable.ServiceID
-	Msg nf.Message
+	Msg control.Message
 	// Accepted reports whether validation allowed the message.
 	Accepted bool
 	// Reason explains a rejection.
@@ -117,8 +127,7 @@ func (a *App) GraphNames() []string {
 	return names
 }
 
-// CompileRules is the northbound RuleCompiler handed to the SDN
-// controller: it picks the graph for the flow and compiles it to host
+// CompileRules picks the graph for the flow and compiles it to host
 // rules. The compiled rules match all flows (wildcard) — the paper's
 // pre-population mode — unless exact is true, in which case they are
 // specialized to the flow's exact 5-tuple (per-flow mode).
@@ -144,45 +153,50 @@ func (a *App) CompileRules(scope flowtable.ServiceID, key packet.FlowKey, exact 
 	return rules, nil
 }
 
-// Compiler adapts CompileRules to the controller.RuleCompiler signature
-// with the given specialization mode.
-func (a *App) Compiler(exact bool) func(flowtable.ServiceID, packet.FlowKey) ([]flowtable.Rule, error) {
-	return func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
-		return a.CompileRules(scope, key, exact)
-	}
+// CompileFlow implements control.Northbound: the rule compiler the SDN
+// controller invokes per admitted PacketIn, in the specialization mode
+// selected by Config.WildcardRules.
+func (a *App) CompileFlow(_ context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+	return a.CompileRules(scope, key, !a.cfg.WildcardRules)
 }
 
 // Subscribe registers a listener for accepted cross-layer messages.
-func (a *App) Subscribe(fn func(src flowtable.ServiceID, m nf.Message)) {
+func (a *App) Subscribe(fn func(src flowtable.ServiceID, m control.Message)) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.listeners = append(a.listeners, fn)
 }
 
-// HandleNFMessage validates a cross-layer message against the service
-// graphs and records it. It returns whether the message was accepted.
-// Validation enforces the §3.4 constraint that NFs may only steer flows
-// along edges defined in the original service graph.
-func (a *App) HandleNFMessage(src flowtable.ServiceID, m nf.Message) bool {
+// HandleNFMessage implements control.Northbound: it validates a
+// cross-layer message against the service graphs and records it.
+// Refusals are reported as errors wrapping control.ErrRejected with the
+// reason, and every verdict lands in the message log. Validation
+// enforces the §3.4 constraint that NFs may only steer flows along
+// edges defined in the original service graph.
+func (a *App) HandleNFMessage(_ context.Context, src flowtable.ServiceID, m control.Message) error {
 	accepted, reason := a.validate(src, m)
 	a.mu.Lock()
 	a.msgLog = append(a.msgLog, LoggedMessage{Src: src, Msg: m, Accepted: accepted, Reason: reason})
-	if accepted && m.Kind == nf.MsgData {
-		a.policyKV[m.Key] = m.Value
+	if ad, ok := m.(control.AppData); accepted && ok {
+		a.policyKV[ad.Key] = ad.Value
 	}
-	listeners := make([]func(flowtable.ServiceID, nf.Message), len(a.listeners))
+	listeners := make([]func(flowtable.ServiceID, control.Message), len(a.listeners))
 	copy(listeners, a.listeners)
 	a.mu.Unlock()
-	if accepted {
-		for _, fn := range listeners {
-			fn(src, m)
-		}
+	if !accepted {
+		return fmt.Errorf("%w: %s", control.ErrRejected, reason)
 	}
-	return accepted
+	for _, fn := range listeners {
+		fn(src, m)
+	}
+	return nil
 }
 
-func (a *App) validate(src flowtable.ServiceID, m nf.Message) (bool, string) {
-	if a.cfg.TrustNFs || m.Kind == nf.MsgData {
+func (a *App) validate(src flowtable.ServiceID, m control.Message) (bool, string) {
+	if err := m.Validate(); err != nil {
+		return false, fmt.Sprintf("invalid message from %s: %v", src, err)
+	}
+	if _, isData := m.(control.AppData); a.cfg.TrustNFs || isData {
 		return true, ""
 	}
 	a.mu.Lock()
@@ -191,28 +205,40 @@ func (a *App) validate(src flowtable.ServiceID, m nf.Message) (bool, string) {
 		graphs = append(graphs, g)
 	}
 	a.mu.Unlock()
-	switch m.Kind {
-	case nf.MsgChangeDefault:
-		// The new default S->T must be an edge in some registered graph.
+	switch v := m.(type) {
+	case control.ChangeDefault:
+		// The new default Service->Target must be an edge in some
+		// registered graph. A port-encoded Target is an egress link
+		// (the Fig. 8 reroute case); graphs model egress as the Sink
+		// pseudo-vertex, so it is legal iff Service may exit the graph.
+		want := v.Target
+		if v.Target.IsPort() {
+			want = graph.Sink
+		}
 		for _, g := range graphs {
-			for _, e := range g.Out(m.S) {
-				if e.To == m.T {
+			for _, e := range g.Out(v.Service) {
+				if e.To == want {
 					return true, ""
 				}
 			}
 		}
-		return false, fmt.Sprintf("no graph defines edge %s->%s", m.S, m.T)
-	case nf.MsgSkipMe, nf.MsgRequestMe:
-		// S must exist in some registered graph.
-		for _, g := range graphs {
-			if _, ok := g.Vertex(m.S); ok {
-				return true, ""
-			}
-		}
-		return false, fmt.Sprintf("service %s not in any graph", m.S)
+		return false, fmt.Sprintf("no graph defines edge %s->%s", v.Service, v.Target)
+	case control.SkipMe:
+		return a.validateVertex(graphs, v.Service)
+	case control.RequestMe:
+		return a.validateVertex(graphs, v.Service)
 	default:
-		return false, fmt.Sprintf("unknown message kind %d from %s", m.Kind, src)
+		return false, fmt.Sprintf("unhandled message %s from %s", m, src)
 	}
+}
+
+func (a *App) validateVertex(graphs []*graph.Graph, s flowtable.ServiceID) (bool, string) {
+	for _, g := range graphs {
+		if _, ok := g.Vertex(s); ok {
+			return true, ""
+		}
+	}
+	return false, fmt.Sprintf("service %s not in any graph", s)
 }
 
 // Messages returns a copy of the validated-message log.
@@ -222,10 +248,13 @@ func (a *App) Messages() []LoggedMessage {
 	return append([]LoggedMessage(nil), a.msgLog...)
 }
 
-// Policy returns the value stored for key by NF Message data, if any.
+// Policy implements control.Northbound: the value stored for key by
+// AppData messages, if any.
 func (a *App) Policy(key string) (any, bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	v, ok := a.policyKV[key]
 	return v, ok
 }
+
+var _ control.Northbound = (*App)(nil)

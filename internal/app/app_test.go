@@ -1,12 +1,13 @@
 package app
 
 import (
+	"context"
 	"errors"
 	"testing"
 
+	"sdnfv/internal/control"
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/graph"
-	"sdnfv/internal/nf"
 	"sdnfv/internal/packet"
 )
 
@@ -81,10 +82,18 @@ func TestCompileRulesWildcardAndExact(t *testing.T) {
 			t.Fatalf("exact mode produced wildcard: %v", r.Match)
 		}
 	}
-	// The Compiler adapter matches the controller's signature.
-	rc := a.Compiler(true)
-	if _, err := rc(flowtable.Port(0), testKey()); err != nil {
+	// CompileFlow (the control.Northbound surface) honours the
+	// configured specialization mode.
+	exactApp := New(Config{IngressPort: 0, EgressPort: 1})
+	_ = exactApp.RegisterGraph(testGraph(t, "g1"))
+	rules, err = exactApp.CompileFlow(context.Background(), flowtable.Port(0), testKey())
+	if err != nil {
 		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if !r.Match.IsExact() {
+			t.Fatalf("default mode should compile exact rules: %v", r.Match)
+		}
 	}
 }
 
@@ -123,32 +132,41 @@ func TestSelectorPicksGraph(t *testing.T) {
 func TestMessageValidation(t *testing.T) {
 	a := New(Config{})
 	_ = a.RegisterGraph(testGraph(t, "g1")) // edges: src->10->11->sink
+	ctx := context.Background()
 
 	// ChangeDefault along an existing edge: accepted.
-	if !a.HandleNFMessage(10, nf.Message{Kind: nf.MsgChangeDefault, S: 10, T: 11}) {
-		t.Fatal("valid ChangeDefault rejected")
+	if err := a.HandleNFMessage(ctx, 10, control.ChangeDefault{Service: 10, Target: 11}); err != nil {
+		t.Fatalf("valid ChangeDefault rejected: %v", err)
 	}
-	// ChangeDefault along a non-edge: rejected.
-	if a.HandleNFMessage(10, nf.Message{Kind: nf.MsgChangeDefault, S: 11, T: 10}) {
-		t.Fatal("reverse edge accepted")
+	// ChangeDefault along a non-edge: rejected with the typed sentinel.
+	if err := a.HandleNFMessage(ctx, 10, control.ChangeDefault{Service: 11, Target: 10}); !errors.Is(err, control.ErrRejected) {
+		t.Fatalf("reverse edge: %v", err)
+	}
+	// ChangeDefault to an egress port: legal iff the service may exit
+	// the graph (11 -> sink exists; 10 -> sink does not).
+	if err := a.HandleNFMessage(ctx, 11, control.ChangeDefault{Service: 11, Target: flowtable.Port(1)}); err != nil {
+		t.Fatalf("egress reroute rejected: %v", err)
+	}
+	if err := a.HandleNFMessage(ctx, 10, control.ChangeDefault{Service: 10, Target: flowtable.Port(1)}); !errors.Is(err, control.ErrRejected) {
+		t.Fatalf("non-egress service rerouted to port: %v", err)
 	}
 	// SkipMe for a known service: accepted.
-	if !a.HandleNFMessage(11, nf.Message{Kind: nf.MsgSkipMe, S: 11}) {
-		t.Fatal("valid SkipMe rejected")
+	if err := a.HandleNFMessage(ctx, 11, control.SkipMe{Service: 11}); err != nil {
+		t.Fatalf("valid SkipMe rejected: %v", err)
 	}
 	// RequestMe for an unknown service: rejected.
-	if a.HandleNFMessage(99, nf.Message{Kind: nf.MsgRequestMe, S: 99}) {
-		t.Fatal("unknown service accepted")
+	if err := a.HandleNFMessage(ctx, 99, control.RequestMe{Service: 99}); !errors.Is(err, control.ErrRejected) {
+		t.Fatalf("unknown service: %v", err)
 	}
 	// Data messages always pass and update the policy store.
-	if !a.HandleNFMessage(10, nf.Message{Kind: nf.MsgData, Key: "alarm", Value: "on"}) {
-		t.Fatal("data message rejected")
+	if err := a.HandleNFMessage(ctx, 10, control.AppData{Key: "alarm", Value: "on"}); err != nil {
+		t.Fatalf("data message rejected: %v", err)
 	}
 	if v, ok := a.Policy("alarm"); !ok || v != "on" {
 		t.Fatalf("policy = %v %v", v, ok)
 	}
 	log := a.Messages()
-	if len(log) != 5 {
+	if len(log) != 7 {
 		t.Fatalf("log = %d entries", len(log))
 	}
 	accepted := 0
@@ -157,23 +175,32 @@ func TestMessageValidation(t *testing.T) {
 			accepted++
 		}
 	}
-	if accepted != 3 {
+	if accepted != 4 {
 		t.Fatalf("accepted = %d", accepted)
 	}
 }
 
 func TestTrustedNFsSkipValidation(t *testing.T) {
 	a := New(Config{TrustNFs: true})
-	if !a.HandleNFMessage(99, nf.Message{Kind: nf.MsgChangeDefault, S: 1, T: 2}) {
-		t.Fatal("trusted message rejected")
+	if err := a.HandleNFMessage(context.Background(), 99, control.ChangeDefault{Service: 1, Target: 2}); err != nil {
+		t.Fatalf("trusted message rejected: %v", err)
+	}
+}
+
+func TestStructurallyInvalidMessageRejected(t *testing.T) {
+	// Even with trusted NFs, per-variant validation still applies: an
+	// AppData with no key is malformed, not merely unauthorized.
+	a := New(Config{TrustNFs: true})
+	if err := a.HandleNFMessage(context.Background(), 1, control.AppData{}); !errors.Is(err, control.ErrRejected) {
+		t.Fatalf("invalid message: %v", err)
 	}
 }
 
 func TestSubscribe(t *testing.T) {
 	a := New(Config{TrustNFs: true})
-	var got []nf.Message
-	a.Subscribe(func(_ flowtable.ServiceID, m nf.Message) { got = append(got, m) })
-	a.HandleNFMessage(1, nf.Message{Kind: nf.MsgData, Key: "k"})
+	var got []control.Message
+	a.Subscribe(func(_ flowtable.ServiceID, m control.Message) { got = append(got, m) })
+	_ = a.HandleNFMessage(context.Background(), 1, control.AppData{Key: "k"})
 	if len(got) != 1 {
 		t.Fatal("listener not invoked")
 	}

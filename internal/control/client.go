@@ -1,0 +1,335 @@
+package control
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/openflow"
+	"sdnfv/internal/packet"
+)
+
+// Client is the wire Southbound backend: it speaks the openflow
+// package's protocol to a remote controller over one control channel
+// and keeps any number of requests in flight at once, correlating
+// replies by transaction id (XID). A PacketIn's answer is the stream of
+// FlowMods sharing its XID terminated by a Barrier reply; Stats and
+// Features are single-frame request/response pairs.
+//
+// This is what makes the southbound path pipelined: the Flow Controller
+// thread hands ResolveBatch a whole burst of misses and the client
+// writes every PacketIn back to back before the first answer returns,
+// instead of blocking one controller round trip per miss.
+//
+// Client is safe for concurrent use.
+type Client struct {
+	raw net.Conn
+	oc  *openflow.Conn
+
+	sendMu sync.Mutex
+	xid    atomic.Uint32
+
+	mu       sync.Mutex
+	pending  map[uint32]*pendingOp
+	closeErr error
+
+	rejected atomic.Uint64
+}
+
+type opKind uint8
+
+const (
+	opResolve opKind = iota
+	opStats
+	opFeatures
+)
+
+type pendingOp struct {
+	kind  opKind
+	rules []flowtable.Rule
+	done  chan opResult
+}
+
+type opResult struct {
+	rules    []flowtable.Rule
+	stats    Stats
+	features Features
+	err      error
+}
+
+// Dial connects to a controller's southbound listener and performs the
+// HELLO exchange asynchronously.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	raw, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(raw)
+}
+
+// NewClient wraps an established control-channel connection. It sends
+// the client HELLO and starts the reader; the peer's HELLO is consumed
+// asynchronously.
+func NewClient(raw net.Conn) (*Client, error) {
+	c := &Client{
+		raw:     raw,
+		oc:      openflow.NewConn(raw),
+		pending: make(map[uint32]*pendingOp),
+	}
+	if err := c.send(openflow.Hello{}, c.nextXID()); err != nil {
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the channel; in-flight requests fail with ErrStopped.
+func (c *Client) Close() error {
+	c.fail(ErrStopped)
+	return c.raw.Close()
+}
+
+// Rejected returns the number of asynchronous northbound refusals
+// (ErrorMsg frames answering fire-and-forget NF messages).
+func (c *Client) Rejected() uint64 { return c.rejected.Load() }
+
+func (c *Client) nextXID() uint32 { return c.xid.Add(1) }
+
+func (c *Client) send(msg openflow.Message, xid uint32) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.oc.SendXID(msg, xid)
+}
+
+// register files a pending operation under a fresh XID. It must happen
+// before the request frame is written, or a fast reply could race the
+// bookkeeping.
+func (c *Client) register(kind opKind) (uint32, *pendingOp, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeErr != nil {
+		return 0, nil, c.closeErr
+	}
+	xid := c.nextXID()
+	op := &pendingOp{kind: kind, done: make(chan opResult, 1)}
+	c.pending[xid] = op
+	return xid, op, nil
+}
+
+func (c *Client) unregister(xid uint32) {
+	c.mu.Lock()
+	delete(c.pending, xid)
+	c.mu.Unlock()
+}
+
+// complete resolves the pending operation for xid, if any.
+func (c *Client) complete(xid uint32, res opResult) bool {
+	c.mu.Lock()
+	op, ok := c.pending[xid]
+	if ok {
+		delete(c.pending, xid)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if res.err == nil && op.kind == opResolve {
+		res.rules = op.rules
+	}
+	op.done <- res
+	return true
+}
+
+// fail terminates every in-flight operation and refuses new ones.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closeErr == nil {
+		c.closeErr = fmt.Errorf("%w: %v", ErrStopped, err)
+	}
+	failed := c.pending
+	c.pending = make(map[uint32]*pendingOp)
+	closeErr := c.closeErr
+	c.mu.Unlock()
+	for _, op := range failed {
+		op.done <- opResult{err: closeErr}
+	}
+}
+
+func (c *Client) readLoop() {
+	for {
+		msg, hdr, err := c.oc.Recv()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch m := msg.(type) {
+		case openflow.Hello:
+			// Peer greeting; nothing to do.
+		case openflow.Echo:
+			if !m.Reply {
+				_ = c.send(openflow.Echo{Reply: true, Data: m.Data}, hdr.XID)
+			}
+		case openflow.FlowMod:
+			c.mu.Lock()
+			if op, ok := c.pending[hdr.XID]; ok && op.kind == opResolve {
+				op.rules = append(op.rules, m.Rule)
+			}
+			c.mu.Unlock()
+		case openflow.Barrier:
+			if m.Reply {
+				c.complete(hdr.XID, opResult{})
+			}
+		case openflow.ErrorMsg:
+			if !c.complete(hdr.XID, opResult{err: mapWireError(m)}) &&
+				(m.Code == openflow.ErrCodeRejected || m.Code == openflow.ErrCodeInvalid) {
+				// Asynchronous refusal of a fire-and-forget NF message.
+				c.rejected.Add(1)
+			}
+		case openflow.StatsReply:
+			c.complete(hdr.XID, opResult{stats: replyToStats(m)})
+		case openflow.FeaturesReply:
+			c.complete(hdr.XID, opResult{features: Features{
+				DatapathID: m.DatapathID,
+				NumPorts:   int(m.NumPorts),
+				Services:   m.Services,
+			}})
+		}
+	}
+}
+
+// mapWireError lifts a protocol error frame back onto the sentinel
+// taxonomy so errors.Is matches across backends.
+func mapWireError(e openflow.ErrorMsg) error {
+	switch e.Code {
+	case openflow.ErrCodeQueueFull:
+		return fmt.Errorf("%w (remote: %s)", ErrQueueFull, e.Text)
+	case openflow.ErrCodeNoCompiler:
+		return fmt.Errorf("%w (remote: %s)", ErrNoCompiler, e.Text)
+	case openflow.ErrCodeStopped:
+		return fmt.Errorf("%w (remote: %s)", ErrStopped, e.Text)
+	case openflow.ErrCodeRejected:
+		return fmt.Errorf("%w (remote: %s)", ErrRejected, e.Text)
+	case openflow.ErrCodeInvalid:
+		return fmt.Errorf("%w (remote: %s)", ErrInvalidMessage, e.Text)
+	default:
+		return fmt.Errorf("control: remote error %d: %s", e.Code, e.Text)
+	}
+}
+
+// replyToStats undoes the StatsReply field mapping the controller's
+// serveConn applies (see controller.Controller.serveConn): the reply
+// frame's host-counter slots carry the controller's control-plane
+// counters on this channel.
+func replyToStats(r openflow.StatsReply) Stats {
+	return Stats{
+		Requests: r.RxPackets,
+		FlowMods: r.TxPackets,
+		Rejected: r.Drops,
+		NFMsgs:   r.Misses,
+	}
+}
+
+// start registers and writes one PacketIn without waiting for the
+// answer; the returned operation completes when the Barrier or an
+// ErrorMsg for its XID arrives.
+func (c *Client) start(scope flowtable.ServiceID, key packet.FlowKey) (uint32, *pendingOp, error) {
+	xid, op, err := c.register(opResolve)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := c.send(openflow.PacketIn{Scope: scope, Key: key}, xid); err != nil {
+		c.unregister(xid)
+		return 0, nil, fmt.Errorf("%w: %v", ErrStopped, err)
+	}
+	return xid, op, nil
+}
+
+func (c *Client) wait(ctx context.Context, xid uint32, op *pendingOp) opResult {
+	select {
+	case res := <-op.done:
+		return res
+	case <-ctx.Done():
+		c.unregister(xid)
+		return opResult{err: ctx.Err()}
+	}
+}
+
+// Resolve implements Southbound.
+func (c *Client) Resolve(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+	xid, op, err := c.start(scope, key)
+	if err != nil {
+		return nil, err
+	}
+	res := c.wait(ctx, xid, op)
+	return res.rules, res.err
+}
+
+// ResolveBatch implements Southbound: every PacketIn is written before
+// the first answer is awaited, so the whole batch shares one round trip
+// plus the controller's (possibly overlapped) service times.
+func (c *Client) ResolveBatch(ctx context.Context, reqs []ResolveRequest, out []ResolveResult) {
+	xids := make([]uint32, len(reqs))
+	ops := make([]*pendingOp, len(reqs))
+	for i, r := range reqs {
+		xid, op, err := c.start(r.Scope, r.Key)
+		if err != nil {
+			out[i] = ResolveResult{Err: err}
+			continue
+		}
+		xids[i], ops[i] = xid, op
+	}
+	for i, op := range ops {
+		if op == nil {
+			continue
+		}
+		res := c.wait(ctx, xids[i], op)
+		out[i] = ResolveResult{Rules: res.rules, Err: res.err}
+	}
+}
+
+// SendNFMessage implements Southbound. Delivery is asynchronous: the
+// message is validated, framed, and written, and any northbound refusal
+// comes back later as an ErrorMsg counted in Rejected.
+func (c *Client) SendNFMessage(_ context.Context, src flowtable.ServiceID, m Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if err := c.send(openflow.NFMessage{Src: src, Msg: m.Union()}, c.nextXID()); err != nil {
+		return fmt.Errorf("%w: %v", ErrStopped, err)
+	}
+	return nil
+}
+
+// Stats implements Southbound with a StatsRequest round trip.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	xid, op, err := c.register(opStats)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := c.send(openflow.StatsRequest{}, xid); err != nil {
+		c.unregister(xid)
+		return Stats{}, fmt.Errorf("%w: %v", ErrStopped, err)
+	}
+	res := c.wait(ctx, xid, op)
+	return res.stats, res.err
+}
+
+// Features implements Southbound with a FeaturesRequest round trip.
+func (c *Client) Features(ctx context.Context) (Features, error) {
+	xid, op, err := c.register(opFeatures)
+	if err != nil {
+		return Features{}, err
+	}
+	if err := c.send(openflow.FeaturesRequest{}, xid); err != nil {
+		c.unregister(xid)
+		return Features{}, fmt.Errorf("%w: %v", ErrStopped, err)
+	}
+	res := c.wait(ctx, xid, op)
+	return res.features, res.err
+}
+
+var _ Southbound = (*Client)(nil)

@@ -1,0 +1,234 @@
+package control_test
+
+// End-to-end tests of the wire Southbound backend: control.Client
+// dialing a served controller.Controller over TCP loopback, with an
+// app.App northbound on top — the full Fig. 2 hierarchy across a real
+// socket.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"sdnfv/internal/app"
+	"sdnfv/internal/control"
+	"sdnfv/internal/controller"
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/graph"
+	"sdnfv/internal/packet"
+)
+
+func testKey(srcPort uint16) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: packet.IPv4(10, 0, 0, 1), DstIP: packet.IPv4(10, 0, 0, 2),
+		SrcPort: srcPort, DstPort: 80, Proto: packet.ProtoUDP,
+	}
+}
+
+// startWire serves ctl on loopback and dials a Client to it.
+func startWire(t *testing.T, ctl *controller.Controller) *control.Client {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	ctl.Start()
+	t.Cleanup(ctl.Stop)
+	go func() { _ = ctl.Serve(ln) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	client, err := control.Dial(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return client
+}
+
+func testApp(t *testing.T) *app.App {
+	t.Helper()
+	g, err := graph.Chain("wire",
+		graph.Vertex{Service: 1, Name: "fw", ReadOnly: true},
+		graph.Vertex{Service: 2, Name: "mon", ReadOnly: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := app.New(app.Config{IngressPort: 0, EgressPort: 1})
+	if err := a.RegisterGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestClientResolve(t *testing.T) {
+	ctl := controller.New(controller.Config{})
+	ctl.SetNorthbound(testApp(t))
+	client := startWire(t, ctl)
+
+	rules, err := client.Resolve(context.Background(), flowtable.Port(0), testKey(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chain compiles to ingress + 2 services + egress scopes.
+	if len(rules) < 3 {
+		t.Fatalf("rules = %v", rules)
+	}
+	for _, r := range rules {
+		if !r.Match.IsExact() {
+			t.Fatalf("expected per-flow exact rules, got %v", r.Match)
+		}
+	}
+}
+
+func TestClientResolveBatchPipelined(t *testing.T) {
+	// 8 workers, real service time: a pipelined batch of 8 should
+	// complete in roughly one service time, not eight.
+	const svc = 20 * time.Millisecond
+	ctl := controller.New(controller.Config{ServiceTime: svc, Workers: 8})
+	ctl.SetNorthbound(testApp(t))
+	client := startWire(t, ctl)
+
+	const n = 8
+	reqs := make([]control.ResolveRequest, n)
+	out := make([]control.ResolveResult, n)
+	for i := range reqs {
+		reqs[i] = control.ResolveRequest{Scope: flowtable.Port(0), Key: testKey(uint16(2000 + i))}
+	}
+	start := time.Now()
+	client.ResolveBatch(context.Background(), reqs, out)
+	elapsed := time.Since(start)
+	for i, r := range out {
+		if r.Err != nil || len(r.Rules) == 0 {
+			t.Fatalf("slot %d: %+v", i, r)
+		}
+	}
+	if elapsed > 4*svc {
+		t.Fatalf("batch took %v; pipelining should overlap the %v serial cost", elapsed, n*svc)
+	}
+}
+
+func TestClientErrorMapping(t *testing.T) {
+	// No northbound attached: every resolve must surface ErrNoCompiler
+	// across the wire.
+	ctl := controller.New(controller.Config{})
+	client := startWire(t, ctl)
+
+	if _, err := client.Resolve(context.Background(), flowtable.Port(0), testKey(1)); !errors.Is(err, control.ErrNoCompiler) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientStatsAndFeatures(t *testing.T) {
+	ctl := controller.New(controller.Config{DatapathID: 0xabc})
+	ctl.SetNorthbound(testApp(t))
+	client := startWire(t, ctl)
+
+	if _, err := client.Resolve(context.Background(), flowtable.Port(0), testKey(7)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1 || st.FlowMods == 0 || st.Rejected != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	f, err := client.Features(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DatapathID != 0xabc {
+		t.Fatalf("features = %+v", f)
+	}
+}
+
+func TestClientNFMessages(t *testing.T) {
+	a := testApp(t)
+	ctl := controller.New(controller.Config{})
+	ctl.SetNorthbound(a)
+	client := startWire(t, ctl)
+
+	// Legal: 1->2 is a graph edge. Delivery is async; poll the app log.
+	if err := client.SendNFMessage(context.Background(), 1, control.ChangeDefault{
+		Flows: flowtable.MatchAll, Service: 1, Target: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Illegal: 2->1 is not an edge; the refusal comes back as a counted
+	// ErrorMsg.
+	if err := client.SendNFMessage(context.Background(), 2, control.ChangeDefault{
+		Flows: flowtable.MatchAll, Service: 2, Target: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Structurally invalid messages never leave the host.
+	if err := client.SendNFMessage(context.Background(), 1, control.AppData{}); !errors.Is(err, control.ErrInvalidMessage) {
+		t.Fatalf("invalid message: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(a.Messages()) >= 2 && client.Rejected() >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	log := a.Messages()
+	if len(log) != 2 {
+		t.Fatalf("app log = %+v", log)
+	}
+	if !log[0].Accepted || log[1].Accepted {
+		t.Fatalf("verdicts = %+v", log)
+	}
+	if client.Rejected() != 1 {
+		t.Fatalf("rejected counter = %d", client.Rejected())
+	}
+}
+
+func TestClientCloseUnblocks(t *testing.T) {
+	ctl := controller.New(controller.Config{ServiceTime: time.Second})
+	ctl.SetNorthbound(testApp(t))
+	client := startWire(t, ctl)
+
+	errs := make(chan error, 1)
+	go func() {
+		_, err := client.Resolve(context.Background(), flowtable.Port(0), testKey(9))
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_ = client.Close()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, control.ErrStopped) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Resolve still blocked after Close")
+	}
+	// New requests refuse immediately.
+	if _, err := client.Resolve(context.Background(), flowtable.Port(0), testKey(10)); !errors.Is(err, control.ErrStopped) {
+		t.Fatalf("post-close err = %v", err)
+	}
+}
+
+func TestClientContextCancel(t *testing.T) {
+	ctl := controller.New(controller.Config{ServiceTime: time.Second})
+	ctl.SetNorthbound(testApp(t))
+	client := startWire(t, ctl)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Resolve(ctx, flowtable.Port(0), testKey(11))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("Resolve ignored the deadline")
+	}
+}

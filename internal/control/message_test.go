@@ -1,0 +1,129 @@
+package control
+
+import (
+	"errors"
+	"testing"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/graph"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/packet"
+)
+
+func testKey() packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: packet.IPv4(10, 0, 0, 1), DstIP: packet.IPv4(10, 0, 0, 2),
+		SrcPort: 1000, DstPort: 80, Proto: packet.ProtoUDP,
+	}
+}
+
+// TestMessageValidation is the table-driven structural check for every
+// typed variant.
+func TestMessageValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  Message
+		ok   bool
+	}{
+		{"skipme ok", SkipMe{Flows: flowtable.MatchAll, Service: 7}, true},
+		{"skipme zero service", SkipMe{Service: 0}, false},
+		{"skipme sink", SkipMe{Service: graph.Sink}, false},
+		{"skipme port", SkipMe{Service: flowtable.Port(1)}, false},
+
+		{"requestme ok", RequestMe{Flows: flowtable.MatchAll, Service: 9}, true},
+		{"requestme zero service", RequestMe{Service: 0}, false},
+		{"requestme port", RequestMe{Service: flowtable.Port(0)}, false},
+
+		{"changedefault service target", ChangeDefault{Service: 1, Target: 2}, true},
+		{"changedefault egress port target", ChangeDefault{Service: 1, Target: flowtable.Port(3)}, true},
+		{"changedefault zero service", ChangeDefault{Service: 0, Target: 2}, false},
+		{"changedefault port service", ChangeDefault{Service: flowtable.Port(0), Target: 2}, false},
+		{"changedefault zero target", ChangeDefault{Service: 1, Target: 0}, false},
+		{"changedefault sink target", ChangeDefault{Service: 1, Target: graph.Sink}, false},
+		{"changedefault self target", ChangeDefault{Service: 4, Target: 4}, false},
+
+		{"appdata ok", AppData{Key: "alarm", Value: "on"}, true},
+		{"appdata nil value ok", AppData{Key: "ping"}, true},
+		{"appdata empty key", AppData{}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.msg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("want valid, got %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("want invalid, got nil error")
+				}
+				if !errors.Is(err, ErrInvalidMessage) {
+					t.Fatalf("error %v does not wrap ErrInvalidMessage", err)
+				}
+			}
+		})
+	}
+}
+
+// TestConstructorsValidate checks the New* constructors report the same
+// verdicts as Validate.
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewSkipMe(flowtable.MatchAll, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSkipMe(flowtable.MatchAll, flowtable.Port(0)); !errors.Is(err, ErrInvalidMessage) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewRequestMe(flowtable.MatchAll, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewChangeDefault(flowtable.MatchAll, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewChangeDefault(flowtable.MatchAll, 3, 3); !errors.Is(err, ErrInvalidMessage) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewAppData("k", 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAppData("", nil); !errors.Is(err, ErrInvalidMessage) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestUnionRoundTrip checks every variant survives lowering to the
+// legacy record and lifting back.
+func TestUnionRoundTrip(t *testing.T) {
+	key := flowtable.ExactMatch(testKey())
+	msgs := []Message{
+		SkipMe{Flows: key, Service: 7},
+		RequestMe{Flows: flowtable.MatchAll, Service: 9},
+		ChangeDefault{Flows: key, Service: 1, Target: 2},
+		ChangeDefault{Flows: key, Service: 1, Target: flowtable.Port(3)},
+		AppData{Key: "alarm", Value: "on"},
+	}
+	for _, m := range msgs {
+		got, err := FromUnion(m.Union())
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if got.String() != m.String() || got.Kind() != m.Kind() {
+			t.Fatalf("round trip %s != %s", got, m)
+		}
+	}
+}
+
+// TestFromUnionRejects checks the lifting path applies validation and
+// refuses unknown kinds.
+func TestFromUnionRejects(t *testing.T) {
+	bad := []nf.Message{
+		{Kind: nf.MsgKind(99)},
+		{Kind: nf.MsgSkipMe, S: flowtable.Port(0)},
+		{Kind: nf.MsgChangeDefault, S: 1, T: 1},
+		{Kind: nf.MsgData, Key: ""},
+	}
+	for _, u := range bad {
+		if _, err := FromUnion(u); !errors.Is(err, ErrInvalidMessage) {
+			t.Fatalf("%v: err = %v", u, err)
+		}
+	}
+}

@@ -1,19 +1,26 @@
 // Package controller implements the SDN controller of the SDNFV
-// architecture (Fig. 2). Like the paper's POX deployment it processes
-// control requests on a single-threaded event loop — which is exactly what
+// architecture (Fig. 2). Like the paper's POX deployment it defaults to
+// processing control requests one at a time — which is exactly what
 // makes it a bottleneck when the data plane punts too much traffic to it
 // (Fig. 1, Fig. 10). A configurable per-request service time models the
-// controller's processing cost.
+// controller's processing cost, and Config.Workers widens the event
+// loop into a pool for production-style deployments, so pipelined
+// southbound channels can keep several requests in service at once.
 //
-// The controller serves two interfaces:
+// The controller is the in-process backend of the control package's
+// typed API:
 //
-//   - Southbound: an openflow.Conn server accepting NF Manager channels
-//     (PacketIn → FlowMod), see Serve.
-//   - Northbound: the SDNFV Application installs per-graph rule compilers
-//     and receives NF messages (§3.4).
+//   - Southbound: Controller implements control.Southbound directly for
+//     same-process NF Managers, and Serve speaks the openflow wire
+//     protocol (PACKET_IN → FLOW_MODs, pipelined by XID) for remote
+//     ones (control.Client is the matching dialer).
+//   - Northbound: the SDNFV Application attaches as a
+//     control.Northbound via SetNorthbound (rule compilation and
+//     cross-layer message validation, §3.4).
 package controller
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -21,16 +28,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sdnfv/internal/control"
 	"sdnfv/internal/flowtable"
-	"sdnfv/internal/nf"
 	"sdnfv/internal/openflow"
 	"sdnfv/internal/packet"
 )
-
-// RuleCompiler produces the flow rules to install for a new flow first
-// seen at scope. The SDNFV Application provides one (compiled from its
-// service graphs) via SetCompiler.
-type RuleCompiler func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error)
 
 // Config tunes the controller.
 type Config struct {
@@ -38,27 +40,27 @@ type Config struct {
 	// measured SDN lookup is ~31 ms end-to-end with POX. Zero disables
 	// the artificial delay.
 	ServiceTime time.Duration
-	// QueueDepth bounds the single-threaded event queue; requests beyond
-	// it are rejected (the saturation behaviour of Fig. 1). Zero means
-	// 1024.
+	// QueueDepth bounds the event queue; requests beyond it are rejected
+	// with control.ErrQueueFull (the saturation behaviour of Fig. 1).
+	// Zero means 1024.
 	QueueDepth int
+	// Workers is the number of concurrent request processors. Zero or
+	// one reproduces the paper's single-threaded POX bottleneck; larger
+	// values let pipelined southbound channels overlap service times.
+	Workers int
+	// DatapathID identifies this controller in Features replies.
+	DatapathID uint64
 }
 
-// Stats is a snapshot of controller activity.
-type Stats struct {
-	Requests uint64
-	Rejected uint64
-	FlowMods uint64
-	NFMsgs   uint64
-}
-
-// Controller is a single-threaded SDN controller.
+// Controller is an SDN controller: a bounded request queue drained by
+// Config.Workers processors. It implements control.Southbound for
+// in-process NF Managers.
 type Controller struct {
 	cfg Config
 
-	mu       sync.Mutex
-	compiler RuleCompiler
-	onNFMsg  func(src flowtable.ServiceID, m nf.Message)
+	mu    sync.Mutex
+	nb    control.Northbound
+	conns map[net.Conn]struct{}
 
 	queue chan request
 	done  chan struct{}
@@ -71,6 +73,7 @@ type Controller struct {
 }
 
 type request struct {
+	ctx   context.Context
 	scope flowtable.ServiceID
 	key   packet.FlowKey
 	reply func(rules []flowtable.Rule, err error)
@@ -81,46 +84,59 @@ func New(cfg Config) *Controller {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
 	return &Controller{
 		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
 		queue: make(chan request, cfg.QueueDepth),
 		done:  make(chan struct{}),
 	}
 }
 
-// SetCompiler installs the northbound rule compiler.
-func (c *Controller) SetCompiler(rc RuleCompiler) {
+// SetNorthbound attaches the SDNFV Application tier. Without one, every
+// resolve fails with control.ErrNoCompiler and cross-layer messages are
+// counted but dropped.
+func (c *Controller) SetNorthbound(nb control.Northbound) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.compiler = rc
+	c.nb = nb
 }
 
-// SetNFMessageHandler installs the northbound cross-layer message sink.
-func (c *Controller) SetNFMessageHandler(fn func(src flowtable.ServiceID, m nf.Message)) {
+func (c *Controller) northbound() control.Northbound {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.onNFMsg = fn
+	return c.nb
 }
 
-// Start launches the single-threaded event loop.
+// Start launches the worker pool.
 func (c *Controller) Start() {
-	c.wg.Add(1)
-	go func() {
-		defer c.wg.Done()
-		for {
-			select {
-			case <-c.done:
-				return
-			case req := <-c.queue:
-				c.handle(req)
+	for w := 0; w < c.cfg.Workers; w++ {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			for {
+				select {
+				case <-c.done:
+					return
+				case req := <-c.queue:
+					c.handle(req)
+				}
 			}
-		}
-	}()
+		}()
+	}
 }
 
-// Stop terminates the event loop.
+// Stop terminates the workers and closes any live southbound channels;
+// queued and in-flight requests fail with control.ErrStopped.
 func (c *Controller) Stop() {
 	close(c.done)
+	c.mu.Lock()
+	for conn := range c.conns {
+		_ = conn.Close()
+	}
+	c.mu.Unlock()
 	c.wg.Wait()
 }
 
@@ -128,79 +144,134 @@ func (c *Controller) handle(req request) {
 	if c.cfg.ServiceTime > 0 {
 		time.Sleep(c.cfg.ServiceTime)
 	}
-	c.mu.Lock()
-	rc := c.compiler
-	c.mu.Unlock()
-	if rc == nil {
-		req.reply(nil, errors.New("controller: no rule compiler installed"))
+	nb := c.northbound()
+	if nb == nil {
+		req.reply(nil, control.ErrNoCompiler)
 		return
 	}
-	rules, err := rc(req.scope, req.key)
+	rules, err := nb.CompileFlow(req.ctx, req.scope, req.key)
 	if err == nil {
 		c.flowMods.Add(uint64(len(rules)))
 	}
 	req.reply(rules, err)
 }
 
-// Stats returns a snapshot of counters.
-func (c *Controller) Stats() Stats {
-	return Stats{
-		Requests: c.requests.Load(),
-		Rejected: c.rejected.Load(),
-		FlowMods: c.flowMods.Load(),
-		NFMsgs:   c.nfMsgs.Load(),
+// submit admits one request to the event queue; reply runs exactly once
+// unless the controller stops first. Only admitted requests count in
+// Stats.Requests; a full queue refuses with control.ErrQueueFull and
+// counts in Stats.Rejected instead, so Requests+Rejected is the offered
+// load (see control.Stats).
+func (c *Controller) submit(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey, reply func([]flowtable.Rule, error)) error {
+	select {
+	case c.queue <- request{ctx: ctx, scope: scope, key: key, reply: reply}:
+		c.requests.Add(1)
+		return nil
+	case <-c.done:
+		return control.ErrStopped
+	default:
+		c.rejected.Add(1)
+		return control.ErrQueueFull
 	}
 }
 
-// Resolve is the in-process southbound path: an NF Manager's Flow
-// Controller thread calls it on a miss and blocks for the rules (the
-// asynchrony lives in the manager, which calls this off the packet path).
-// It returns an error when the controller queue is full.
-func (c *Controller) Resolve(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
-	c.requests.Add(1)
+// Resolve implements control.Southbound: the in-process southbound path
+// an NF Manager's Flow Controller thread calls on a miss. It blocks
+// until the rules arrive, ctx expires, or the controller stops.
+func (c *Controller) Resolve(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
 	type result struct {
 		rules []flowtable.Rule
 		err   error
 	}
 	ch := make(chan result, 1)
-	req := request{scope: scope, key: key, reply: func(rules []flowtable.Rule, err error) {
+	if err := c.submit(ctx, scope, key, func(rules []flowtable.Rule, err error) {
 		ch <- result{rules, err}
-	}}
-	select {
-	case c.queue <- req:
-	case <-c.done:
-		return nil, errors.New("controller: stopped")
-	default:
-		c.rejected.Add(1)
-		return nil, errors.New("controller: request queue full")
+	}); err != nil {
+		return nil, err
 	}
-	// Wait for the event loop's reply — but never past Stop: a request
-	// still queued when the loop exits would otherwise strand the calling
-	// Flow Controller thread (and the host's Stop) forever.
+	// Wait for a worker's reply — but never past Stop or the deadline: a
+	// request still queued when the pool exits would otherwise strand
+	// the calling Flow Controller thread (and the host's Stop) forever.
 	select {
 	case r := <-ch:
 		return r.rules, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case <-c.done:
-		return nil, errors.New("controller: stopped")
+		return nil, control.ErrStopped
 	}
 }
 
-// HandleNFMessage is the in-process path for cross-layer messages routed
-// via the controller (Fig. 2 step 5).
-func (c *Controller) HandleNFMessage(src flowtable.ServiceID, m nf.Message) {
+// ResolveBatch implements control.Southbound: all requests are admitted
+// before the first answer is awaited, so Config.Workers > 1 overlaps
+// their service times.
+func (c *Controller) ResolveBatch(ctx context.Context, reqs []control.ResolveRequest, out []control.ResolveResult) {
+	type slot struct {
+		ch chan control.ResolveResult
+	}
+	slots := make([]slot, len(reqs))
+	for i, r := range reqs {
+		ch := make(chan control.ResolveResult, 1)
+		slots[i] = slot{ch: ch}
+		if err := c.submit(ctx, r.Scope, r.Key, func(rules []flowtable.Rule, err error) {
+			ch <- control.ResolveResult{Rules: rules, Err: err}
+		}); err != nil {
+			out[i] = control.ResolveResult{Err: err}
+			slots[i].ch = nil
+		}
+	}
+	for i := range slots {
+		if slots[i].ch == nil {
+			continue
+		}
+		select {
+		case res := <-slots[i].ch:
+			out[i] = res
+		case <-ctx.Done():
+			out[i] = control.ResolveResult{Err: ctx.Err()}
+		case <-c.done:
+			out[i] = control.ResolveResult{Err: control.ErrStopped}
+		}
+	}
+}
+
+// SendNFMessage implements control.Southbound: the in-process path for
+// cross-layer messages routed via the controller (Fig. 2 step 5). The
+// message is validated structurally, counted, and handed to the
+// northbound tier, whose policy verdict (control.ErrRejected) is
+// returned synchronously.
+func (c *Controller) SendNFMessage(ctx context.Context, src flowtable.ServiceID, m control.Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
 	c.nfMsgs.Add(1)
-	c.mu.Lock()
-	fn := c.onNFMsg
-	c.mu.Unlock()
-	if fn != nil {
-		fn(src, m)
+	nb := c.northbound()
+	if nb == nil {
+		return nil
 	}
+	return nb.HandleNFMessage(ctx, src, m)
 }
 
-// Serve accepts NF Manager control channels on ln and speaks the openflow
-// package's protocol: HELLO exchange, then PACKET_IN → FLOW_MOD and
-// NF_MESSAGE handling, ECHO and BARRIER support. It returns when ln is
-// closed.
+// Stats implements control.Southbound; see control.Stats for the
+// counters' exact semantics.
+func (c *Controller) Stats(context.Context) (control.Stats, error) {
+	return control.Stats{
+		Requests: c.requests.Load(),
+		Rejected: c.rejected.Load(),
+		FlowMods: c.flowMods.Load(),
+		NFMsgs:   c.nfMsgs.Load(),
+	}, nil
+}
+
+// Features implements control.Southbound with the controller's own
+// identity (it hosts no NF services).
+func (c *Controller) Features(context.Context) (control.Features, error) {
+	return control.Features{DatapathID: c.cfg.DatapathID}, nil
+}
+
+// Serve accepts NF Manager control channels on ln and speaks the
+// openflow package's protocol: HELLO exchange, then pipelined PACKET_IN
+// → FLOW_MOD resolution, NF_MESSAGE, FEATURES, STATS, ECHO, and BARRIER
+// handling. It returns when ln is closed.
 func (c *Controller) Serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
@@ -220,12 +291,46 @@ func (c *Controller) Serve(ln net.Listener) error {
 	}
 }
 
+// errCode maps a resolve error to its wire code so control.Client can
+// lift it back onto the sentinel taxonomy.
+func errCode(err error) uint16 {
+	switch {
+	case errors.Is(err, control.ErrQueueFull):
+		return openflow.ErrCodeQueueFull
+	case errors.Is(err, control.ErrNoCompiler):
+		return openflow.ErrCodeNoCompiler
+	case errors.Is(err, control.ErrStopped):
+		return openflow.ErrCodeStopped
+	case errors.Is(err, control.ErrRejected):
+		return openflow.ErrCodeRejected
+	case errors.Is(err, control.ErrInvalidMessage):
+		return openflow.ErrCodeInvalid
+	default:
+		return openflow.ErrCodeResolve
+	}
+}
+
 func (c *Controller) serveConn(conn net.Conn) error {
+	c.mu.Lock()
+	c.conns[conn] = struct{}{}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+	}()
 	oc := openflow.NewConn(conn)
 	if _, err := oc.Send(openflow.Hello{}); err != nil {
 		return err
 	}
+	// Replies are produced concurrently (PacketIns resolve on the worker
+	// pool and answer out of order); sendMu serializes frame writes.
 	var sendMu sync.Mutex
+	sendXID := func(msg openflow.Message, xid uint32) error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		return oc.SendXID(msg, xid)
+	}
 	for {
 		msg, hdr, err := oc.Recv()
 		if err != nil {
@@ -236,48 +341,89 @@ func (c *Controller) serveConn(conn net.Conn) error {
 			// Peer greeting; nothing to do.
 		case openflow.Echo:
 			if !m.Reply {
-				sendMu.Lock()
-				err = oc.SendXID(openflow.Echo{Reply: true, Data: m.Data}, hdr.XID)
-				sendMu.Unlock()
-				if err != nil {
+				if err := sendXID(openflow.Echo{Reply: true, Data: m.Data}, hdr.XID); err != nil {
 					return err
 				}
 			}
 		case openflow.Barrier:
-			sendMu.Lock()
-			err = oc.SendXID(openflow.Barrier{Reply: true}, hdr.XID)
-			sendMu.Unlock()
-			if err != nil {
-				return err
+			if !m.Reply {
+				if err := sendXID(openflow.Barrier{Reply: true}, hdr.XID); err != nil {
+					return err
+				}
 			}
 		case openflow.PacketIn:
-			rules, rerr := c.Resolve(m.Scope, m.Key)
-			sendMu.Lock()
-			if rerr != nil {
-				err = oc.SendXID(openflow.ErrorMsg{Code: 1, Text: rerr.Error()}, hdr.XID)
-			} else {
+			// Pipelined: admit the request and return to the read loop
+			// immediately; the reply closure ships the XID-correlated
+			// FlowMods (terminated by a Barrier) whenever a worker gets
+			// to it, possibly interleaved with later XIDs.
+			xid := hdr.XID
+			err := c.submit(context.Background(), m.Scope, m.Key, func(rules []flowtable.Rule, rerr error) {
+				if rerr != nil {
+					_ = sendXID(openflow.ErrorMsg{Code: errCode(rerr), Text: rerr.Error()}, xid)
+					return
+				}
 				for _, r := range rules {
-					if err = oc.SendXID(openflow.FlowMod{Rule: r}, hdr.XID); err != nil {
-						break
+					if err := sendXID(openflow.FlowMod{Rule: r}, xid); err != nil {
+						return
 					}
 				}
-				if err == nil {
-					err = oc.SendXID(openflow.Barrier{Reply: true}, hdr.XID)
+				_ = sendXID(openflow.Barrier{Reply: true}, xid)
+			})
+			if err != nil {
+				if err := sendXID(openflow.ErrorMsg{Code: errCode(err), Text: err.Error()}, xid); err != nil {
+					return err
 				}
 			}
-			sendMu.Unlock()
-			if err != nil {
+		case openflow.NFMessage:
+			lifted, lerr := control.FromUnion(m.Msg)
+			if lerr == nil {
+				lerr = c.SendNFMessage(context.Background(), m.Src, lifted)
+			}
+			if lerr != nil {
+				// Asynchronous refusal: the sender observes it as a
+				// counted ErrorMsg, not a blocking round trip. Any
+				// northbound failure that is not structural invalidity
+				// is a rejection from the sender's point of view, so
+				// plain (non-sentinel) errors map to the rejected code
+				// — control.Client only counts rejected/invalid.
+				code := errCode(lerr)
+				if code != openflow.ErrCodeInvalid {
+					code = openflow.ErrCodeRejected
+				}
+				if err := sendXID(openflow.ErrorMsg{Code: code, Text: lerr.Error()}, hdr.XID); err != nil {
+					return err
+				}
+			}
+		case openflow.FeaturesRequest:
+			f, _ := c.Features(context.Background())
+			if err := sendXID(openflow.FeaturesReply{
+				DatapathID: f.DatapathID,
+				NumPorts:   uint16(f.NumPorts),
+				Services:   f.Services,
+			}, hdr.XID); err != nil {
 				return err
 			}
-		case openflow.NFMessage:
-			c.HandleNFMessage(m.Src, m.Msg)
+		case openflow.StatsRequest:
+			// The StatsReply frame predates the control API and carries
+			// host-counter slots; on a controller channel they transport
+			// the control-plane counters instead (control.Client undoes
+			// the mapping): RxPackets=Requests, TxPackets=FlowMods,
+			// Drops=Rejected, Misses=NFMsgs.
+			st, _ := c.Stats(context.Background())
+			if err := sendXID(openflow.StatsReply{
+				RxPackets: st.Requests,
+				TxPackets: st.FlowMods,
+				Drops:     st.Rejected,
+				Misses:    st.NFMsgs,
+			}, hdr.XID); err != nil {
+				return err
+			}
 		default:
-			sendMu.Lock()
-			err = oc.SendXID(openflow.ErrorMsg{Code: 2, Text: fmt.Sprintf("unexpected %s", hdr.Type)}, hdr.XID)
-			sendMu.Unlock()
-			if err != nil {
+			if err := sendXID(openflow.ErrorMsg{Code: openflow.ErrCodeUnexpected, Text: fmt.Sprintf("unexpected %s", hdr.Type)}, hdr.XID); err != nil {
 				return err
 			}
 		}
 	}
 }
+
+var _ control.Southbound = (*Controller)(nil)

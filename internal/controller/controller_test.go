@@ -1,10 +1,13 @@
 package controller
 
 import (
+	"context"
+	"errors"
 	"net"
 	"testing"
 	"time"
 
+	"sdnfv/internal/control"
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/nf"
 	"sdnfv/internal/openflow"
@@ -18,25 +21,33 @@ func testKey() packet.FlowKey {
 	}
 }
 
+// chainNB is a minimal northbound compiling every flow to a one-rule
+// chain at the requesting scope.
+func chainNB() control.Northbound {
+	return control.NorthboundFuncs{
+		CompileFlowFunc: func(_ context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+			return []flowtable.Rule{{
+				Scope:   scope,
+				Match:   flowtable.ExactMatch(key),
+				Actions: []flowtable.Action{flowtable.Forward(10)},
+			}}, nil
+		},
+	}
+}
+
 func TestResolveInProcess(t *testing.T) {
 	c := New(Config{})
-	c.SetCompiler(func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
-		return []flowtable.Rule{{
-			Scope:   scope,
-			Match:   flowtable.ExactMatch(key),
-			Actions: []flowtable.Action{flowtable.Forward(10)},
-		}}, nil
-	})
+	c.SetNorthbound(chainNB())
 	c.Start()
 	defer c.Stop()
-	rules, err := c.Resolve(flowtable.Port(0), testKey())
+	rules, err := c.Resolve(context.Background(), flowtable.Port(0), testKey())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rules) != 1 || rules[0].Scope != flowtable.Port(0) {
 		t.Fatalf("rules = %v", rules)
 	}
-	st := c.Stats()
+	st, _ := c.Stats(context.Background())
 	if st.Requests != 1 || st.FlowMods != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -46,8 +57,25 @@ func TestResolveNoCompiler(t *testing.T) {
 	c := New(Config{})
 	c.Start()
 	defer c.Stop()
-	if _, err := c.Resolve(flowtable.Port(0), testKey()); err == nil {
-		t.Fatal("resolve without compiler should fail")
+	if _, err := c.Resolve(context.Background(), flowtable.Port(0), testKey()); !errors.Is(err, control.ErrNoCompiler) {
+		t.Fatalf("resolve without northbound: %v", err)
+	}
+}
+
+func TestResolveContextDeadline(t *testing.T) {
+	c := New(Config{ServiceTime: time.Second})
+	c.SetNorthbound(chainNB())
+	c.Start()
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Resolve(ctx, flowtable.Port(0), testKey())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("Resolve ignored the deadline")
 	}
 }
 
@@ -56,14 +84,12 @@ func TestResolveNoCompiler(t *testing.T) {
 // the event loop exited blocked forever, wedging host.Stop.
 func TestResolveUnblocksOnStop(t *testing.T) {
 	c := New(Config{ServiceTime: time.Second, QueueDepth: 4})
-	c.SetCompiler(func(flowtable.ServiceID, packet.FlowKey) ([]flowtable.Rule, error) {
-		return nil, nil
-	})
+	c.SetNorthbound(chainNB())
 	c.Start()
 	errs := make(chan error, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			_, err := c.Resolve(flowtable.Port(0), testKey())
+			_, err := c.Resolve(context.Background(), flowtable.Port(0), testKey())
 			errs <- err
 		}()
 	}
@@ -83,80 +109,113 @@ func TestResolveUnblocksOnStop(t *testing.T) {
 
 func TestQueueOverflowRejected(t *testing.T) {
 	c := New(Config{ServiceTime: 50 * time.Millisecond, QueueDepth: 1})
-	c.SetCompiler(func(flowtable.ServiceID, packet.FlowKey) ([]flowtable.Rule, error) {
-		return nil, nil
-	})
+	c.SetNorthbound(chainNB())
 	c.Start()
 	defer c.Stop()
 	// Fire several concurrent requests; with depth 1 and slow service,
-	// some must be rejected.
+	// some must be rejected with the typed sentinel.
 	errs := make(chan error, 8)
 	for i := 0; i < 8; i++ {
 		go func() {
-			_, err := c.Resolve(flowtable.Port(0), testKey())
+			_, err := c.Resolve(context.Background(), flowtable.Port(0), testKey())
 			errs <- err
 		}()
 	}
 	rejected := 0
 	for i := 0; i < 8; i++ {
 		if err := <-errs; err != nil {
+			if !errors.Is(err, control.ErrQueueFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
 			rejected++
 		}
 	}
 	if rejected == 0 {
 		t.Fatal("no requests rejected under overload")
 	}
-	if c.Stats().Rejected == 0 {
+	st, _ := c.Stats(context.Background())
+	if st.Rejected == 0 {
 		t.Fatal("rejection counter not incremented")
+	}
+	// Rejected requests are not admitted: offered = Requests + Rejected.
+	if st.Requests+st.Rejected != 8 {
+		t.Fatalf("requests=%d rejected=%d, want them to partition 8 offered", st.Requests, st.Rejected)
 	}
 }
 
-func TestNFMessageHandler(t *testing.T) {
+func TestResolveBatchOverlapsServiceTimes(t *testing.T) {
+	const svc = 20 * time.Millisecond
+	c := New(Config{ServiceTime: svc, Workers: 8})
+	c.SetNorthbound(chainNB())
+	c.Start()
+	defer c.Stop()
+	reqs := make([]control.ResolveRequest, 8)
+	out := make([]control.ResolveResult, 8)
+	for i := range reqs {
+		k := testKey()
+		k.SrcPort = uint16(3000 + i)
+		reqs[i] = control.ResolveRequest{Scope: flowtable.Port(0), Key: k}
+	}
+	start := time.Now()
+	c.ResolveBatch(context.Background(), reqs, out)
+	elapsed := time.Since(start)
+	for i, r := range out {
+		if r.Err != nil || len(r.Rules) != 1 {
+			t.Fatalf("slot %d: %+v", i, r)
+		}
+	}
+	// Serially this would take 8×20 ms; pipelined across 8 workers it
+	// should land near one service time.
+	if elapsed > 4*svc {
+		t.Fatalf("batch took %v, not overlapped (serial would be %v)", elapsed, 8*svc)
+	}
+}
+
+func TestSendNFMessageRoutesNorthbound(t *testing.T) {
 	c := New(Config{})
-	got := make(chan nf.Message, 1)
-	c.SetNFMessageHandler(func(src flowtable.ServiceID, m nf.Message) {
-		got <- m
+	got := make(chan control.Message, 1)
+	c.SetNorthbound(control.NorthboundFuncs{
+		HandleNFMessageFunc: func(_ context.Context, src flowtable.ServiceID, m control.Message) error {
+			got <- m
+			return nil
+		},
 	})
-	c.HandleNFMessage(50, nf.Message{Kind: nf.MsgRequestMe, S: 50})
+	if err := c.SendNFMessage(context.Background(), 50, control.RequestMe{Service: 50}); err != nil {
+		t.Fatal(err)
+	}
 	select {
 	case m := <-got:
-		if m.Kind != nf.MsgRequestMe {
+		if _, ok := m.(control.RequestMe); !ok {
 			t.Fatalf("message = %v", m)
 		}
 	default:
-		t.Fatal("handler not invoked")
+		t.Fatal("northbound not invoked")
+	}
+	if err := c.SendNFMessage(context.Background(), 50, control.AppData{}); !errors.Is(err, control.ErrInvalidMessage) {
+		t.Fatalf("invalid message: %v", err)
+	}
+	st, _ := c.Stats(context.Background())
+	if st.NFMsgs != 1 {
+		t.Fatalf("nfMsgs = %d", st.NFMsgs)
 	}
 }
 
-// TestServeOverTCP exercises the full southbound wire path: HELLO,
-// PACKET_IN → FLOW_MODs + barrier, ECHO, and NF_MESSAGE.
-func TestServeOverTCP(t *testing.T) {
-	c := New(Config{})
-	c.SetCompiler(func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
-		return []flowtable.Rule{
-			{Scope: scope, Match: flowtable.ExactMatch(key),
-				Actions: []flowtable.Action{flowtable.Forward(10)}},
-			{Scope: flowtable.ServiceID(10), Match: flowtable.ExactMatch(key),
-				Actions: []flowtable.Action{flowtable.Out(1)}},
-		}, nil
-	})
-	nfMsgs := make(chan nf.Message, 1)
-	c.SetNFMessageHandler(func(_ flowtable.ServiceID, m nf.Message) { nfMsgs <- m })
-	c.Start()
-	defer c.Stop()
-
+// dialTest connects a raw openflow.Conn to a served controller and
+// completes the HELLO exchange.
+func dialTest(t *testing.T, c *Controller) *openflow.Conn {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
+	t.Cleanup(func() { _ = ln.Close() })
 	go func() { _ = c.Serve(ln) }()
 
 	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
+	t.Cleanup(func() { _ = conn.Close() })
 	oc := openflow.NewConn(conn)
 
 	// Controller greets first.
@@ -170,12 +229,37 @@ func TestServeOverTCP(t *testing.T) {
 	if _, err := oc.Send(openflow.Hello{}); err != nil {
 		t.Fatal(err)
 	}
+	return oc
+}
+
+// TestServeOverTCP exercises the full southbound wire path: HELLO,
+// PACKET_IN → FLOW_MODs + barrier, ECHO, and NF_MESSAGE.
+func TestServeOverTCP(t *testing.T) {
+	c := New(Config{})
+	nfMsgs := make(chan control.Message, 1)
+	c.SetNorthbound(control.NorthboundFuncs{
+		CompileFlowFunc: func(_ context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+			return []flowtable.Rule{
+				{Scope: scope, Match: flowtable.ExactMatch(key),
+					Actions: []flowtable.Action{flowtable.Forward(10)}},
+				{Scope: flowtable.ServiceID(10), Match: flowtable.ExactMatch(key),
+					Actions: []flowtable.Action{flowtable.Out(1)}},
+			}, nil
+		},
+		HandleNFMessageFunc: func(_ context.Context, _ flowtable.ServiceID, m control.Message) error {
+			nfMsgs <- m
+			return nil
+		},
+	})
+	c.Start()
+	defer c.Stop()
+	oc := dialTest(t, c)
 
 	// Echo.
 	if _, err := oc.Send(openflow.Echo{Data: []byte("hi")}); err != nil {
 		t.Fatal(err)
 	}
-	msg, _, err = oc.Recv()
+	msg, _, err := oc.Recv()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,10 +296,110 @@ func TestServeOverTCP(t *testing.T) {
 	}
 	select {
 	case m := <-nfMsgs:
-		if m.Kind != nf.MsgSkipMe {
+		if _, ok := m.(control.SkipMe); !ok {
 			t.Fatalf("nf msg = %v", m)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("NF message never reached the northbound handler")
+	}
+}
+
+// TestServeFeaturesAndStats covers the request/reply pairs serveConn
+// used to bounce as "unexpected message".
+func TestServeFeaturesAndStats(t *testing.T) {
+	c := New(Config{DatapathID: 0xfeed})
+	c.SetNorthbound(chainNB())
+	c.Start()
+	defer c.Stop()
+	oc := dialTest(t, c)
+
+	if _, err := oc.Send(openflow.FeaturesRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	msg, _, err := oc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, ok := msg.(openflow.FeaturesReply)
+	if !ok || fr.DatapathID != 0xfeed {
+		t.Fatalf("features reply = %+v", msg)
+	}
+
+	// Drive one resolve so the stats are non-trivial.
+	if _, err := oc.Send(openflow.PacketIn{Scope: flowtable.Port(0), Key: testKey()}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		msg, _, err = oc.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, ok := msg.(openflow.Barrier); ok && b.Reply {
+			break
+		}
+	}
+	if _, err := oc.Send(openflow.StatsRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	msg, _, err = oc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := msg.(openflow.StatsReply)
+	if !ok {
+		t.Fatalf("stats reply = %+v", msg)
+	}
+	// serveConn maps Requests→RxPackets and FlowMods→TxPackets.
+	if sr.RxPackets != 1 || sr.TxPackets != 1 {
+		t.Fatalf("mapped stats = %+v", sr)
+	}
+}
+
+// TestServePipelinedPacketIns sends a burst of PacketIns without waiting
+// and checks every one is answered with its own XID-correlated
+// FlowMod+Barrier pair.
+func TestServePipelinedPacketIns(t *testing.T) {
+	c := New(Config{ServiceTime: 5 * time.Millisecond, Workers: 8})
+	c.SetNorthbound(chainNB())
+	c.Start()
+	defer c.Stop()
+	oc := dialTest(t, c)
+
+	const n = 8
+	sent := make(map[uint32]bool, n)
+	for i := 0; i < n; i++ {
+		k := testKey()
+		k.SrcPort = uint16(4000 + i)
+		xid, err := oc.Send(openflow.PacketIn{Scope: flowtable.Port(0), Key: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent[xid] = true
+	}
+	mods := make(map[uint32]int, n)
+	done := make(map[uint32]bool, n)
+	for len(done) < n {
+		msg, hdr, err := oc.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch m := msg.(type) {
+		case openflow.FlowMod:
+			if !sent[hdr.XID] {
+				t.Fatalf("FlowMod for unknown xid %d", hdr.XID)
+			}
+			mods[hdr.XID]++
+		case openflow.Barrier:
+			if m.Reply {
+				done[hdr.XID] = true
+			}
+		default:
+			t.Fatalf("unexpected %T", msg)
+		}
+	}
+	for xid := range sent {
+		if mods[xid] != 1 || !done[xid] {
+			t.Fatalf("xid %d: mods=%d done=%v", xid, mods[xid], done[xid])
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sdnfv/internal/control"
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/graph"
 	"sdnfv/internal/mempool"
@@ -34,14 +36,18 @@ type Config struct {
 	DisableLookupCache bool
 	// SpinLimit is how many empty polls a thread performs before yielding.
 	SpinLimit int
-	// MissHandler, when set, is invoked by the Flow Controller thread for
-	// flow-table misses; it returns the rules to install (it may block —
-	// it runs off the critical path, as in §4.1). When nil, miss packets
-	// are dropped.
-	MissHandler func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error)
-	// MsgHandler receives cross-layer messages after local application
-	// (the hook toward the SDNFV Application, §3.4). May be nil.
-	MsgHandler func(src flowtable.ServiceID, m nf.Message)
+	// Control is the host's typed southbound endpoint (the control
+	// package API). The Flow Controller thread pipelines each burst of
+	// flow-table misses through Control.ResolveBatch off the critical
+	// path (§4.1), and the manager forwards validated cross-layer
+	// messages upstream via Control.SendNFMessage after applying them
+	// locally (§3.4). Both the in-process *controller.Controller and the
+	// wire *control.Client satisfy it. When nil, miss packets are
+	// dropped and messages only take local effect.
+	Control control.Southbound
+	// ResolveTimeout bounds each southbound resolution batch; zero
+	// means 30 s.
+	ResolveTimeout time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -60,6 +66,9 @@ func (c *Config) fillDefaults() {
 	if c.SpinLimit == 0 {
 		c.SpinLimit = 256
 	}
+	if c.ResolveTimeout == 0 {
+		c.ResolveTimeout = 30 * time.Second
+	}
 }
 
 // HostStats is a snapshot of host counters.
@@ -69,6 +78,14 @@ type HostStats struct {
 	Drops        uint64
 	Misses       uint64
 	CtrlMessages uint64
+	// MsgsRejected counts cross-layer messages that were refused:
+	// structurally invalid ones from NFs (dropped before any effect)
+	// plus upstream policy rejections reported synchronously by the
+	// southbound backend. Policy rejections arrive after the message
+	// has already taken local effect — the NF Manager applies messages
+	// autonomously (§3.4 "without touching the controller"); the
+	// application's verdict only gates propagation beyond this host.
+	MsgsRejected uint64
 	Pool         mempool.Stats
 	Table        flowtable.Stats
 }
@@ -112,11 +129,12 @@ type Host struct {
 	parPending []atomic.Int32
 	parBest    []atomic.Uint64
 
-	rxCount   atomic.Uint64
-	txCount   atomic.Uint64
-	dropCount atomic.Uint64
-	missCount atomic.Uint64
-	msgCount  atomic.Uint64
+	rxCount     atomic.Uint64
+	txCount     atomic.Uint64
+	dropCount   atomic.Uint64
+	missCount   atomic.Uint64
+	msgCount    atomic.Uint64
+	msgRejected atomic.Uint64
 
 	stop atomic.Bool
 	wg   sync.WaitGroup
@@ -286,6 +304,7 @@ func (h *Host) Stats() HostStats {
 		Drops:        h.dropCount.Load(),
 		Misses:       h.missCount.Load(),
 		CtrlMessages: h.msgCount.Load(),
+		MsgsRejected: h.msgRejected.Load(),
 		Pool:         h.pool.Stats(),
 		Table:        h.table.Stats(),
 	}
@@ -534,7 +553,7 @@ func (h *Host) txLoop(t int) {
 				}
 				progressed = true
 				cm := m.(ctrlMsg)
-				h.applyMessage(cm.src, cm.msg)
+				h.handleNFMessage(cm.src, cm.msg)
 			}
 		}
 		if !progressed {
@@ -653,10 +672,16 @@ func (h *Host) parJoin(d *Desc, packed mergedAction, producer int) {
 	h.applyAction(d, merged.action(), producer, &rr)
 }
 
-// fcLoop is the Flow Controller thread (§4.1): it owns flow-table misses,
-// calls the (possibly slow) miss handler off the critical path, installs
-// returned rules through the batched writer API, and re-routes the
-// triggering packets with one LookupBatch pass per burst.
+// fcLoop is the Flow Controller thread (§4.1): it owns flow-table misses
+// and resolves each burst through the southbound control API off the
+// critical path. Per drained burst it (1) re-checks the table — a miss
+// enqueued before an earlier resolution landed is stale and dispatches
+// straight away; (2) dedupes the true misses by (scope, key) so a burst
+// of one new flow costs one controller request; (3) pipelines the unique
+// requests in one ResolveBatch call — N misses in flight at once instead
+// of one blocking controller round trip each; (4) installs the returned
+// rules through the batched writer API and re-routes the triggering
+// packets with one LookupBatch pass.
 func (h *Host) fcLoop() {
 	idle := 0
 	var rr uint64
@@ -665,6 +690,9 @@ func (h *Host) fcLoop() {
 	scopes := make([]flowtable.ServiceID, rxBatch)
 	keys := make([]packet.FlowKey, rxBatch)
 	entries := make([]*flowtable.Entry, rxBatch)
+	reqs := make([]control.ResolveRequest, rxBatch)
+	results := make([]control.ResolveResult, rxBatch)
+	slot := make([]int, rxBatch) // descriptor -> unique request index
 	for !h.stop.Load() {
 		progressed := false
 		for _, r := range h.fcIn {
@@ -673,28 +701,71 @@ func (h *Host) fcLoop() {
 				continue
 			}
 			progressed = true
-			// Resolve every miss in the burst first (each handler call may
-			// install rules for later descriptors too), then re-route the
-			// survivors in one table pass.
-			live := 0
+			// Stale-miss filter: dispatch descriptors whose rule has
+			// arrived since they were punted.
+			for i := 0; i < n; i++ {
+				scopes[i] = batch[i].Scope
+				keys[i] = batch[i].Key
+			}
+			h.table.LookupBatch(scopes[:n], keys[:n], entries[:n])
+			miss := 0
 			for i := 0; i < n; i++ {
 				d := batch[i]
-				if h.cfg.MissHandler == nil {
-					h.dropPacket(&d)
+				if entries[i] != nil {
+					h.dispatchEntry(&d, entries[i], producer, &rr)
 					continue
 				}
-				rules, err := h.cfg.MissHandler(d.Scope, d.Key)
-				if err != nil {
+				batch[miss] = d
+				miss++
+			}
+			if miss == 0 {
+				continue
+			}
+			if h.cfg.Control == nil {
+				for i := 0; i < miss; i++ {
+					h.dropPacket(&batch[i])
+				}
+				continue
+			}
+			// Dedupe: one southbound request per distinct (scope, key).
+			uniq := 0
+			seen := make(map[control.ResolveRequest]int, miss)
+			for i := 0; i < miss; i++ {
+				req := control.ResolveRequest{Scope: batch[i].Scope, Key: batch[i].Key}
+				j, ok := seen[req]
+				if !ok {
+					j = uniq
+					seen[req] = j
+					reqs[j] = req
+					uniq++
+				}
+				slot[i] = j
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), h.cfg.ResolveTimeout)
+			h.cfg.Control.ResolveBatch(ctx, reqs[:uniq], results[:uniq])
+			cancel()
+			// Install every returned rule in one batched write, then
+			// re-route the survivors in one table pass.
+			var rules []flowtable.Rule
+			for i := 0; i < uniq; i++ {
+				if results[i].Err == nil {
+					rules = append(rules, results[i].Rules...)
+				}
+			}
+			if _, err := h.table.AddBatch(rules); err != nil {
+				// AddBatch is all-or-nothing; a compiler mixing one bad
+				// rule into a valid set must not lose the whole set (and
+				// livelock the packets), so salvage rule by rule.
+				for _, rule := range rules {
+					_, _ = h.table.Add(rule)
+				}
+			}
+			live := 0
+			for i := 0; i < miss; i++ {
+				d := batch[i]
+				if results[slot[i]].Err != nil {
 					h.dropPacket(&d)
 					continue
-				}
-				if _, err := h.table.AddBatch(rules); err != nil {
-					// AddBatch is all-or-nothing; a handler mixing one bad
-					// rule into a valid set must not lose the whole set (and
-					// livelock the packet), so salvage rule by rule.
-					for _, rule := range rules {
-						_, _ = h.table.Add(rule)
-					}
 				}
 				batch[live] = d
 				scopes[live] = d.Scope
@@ -708,8 +779,8 @@ func (h *Host) fcLoop() {
 			for i := 0; i < live; i++ {
 				d := batch[i]
 				if entries[i] == nil {
-					// Still no rule: punt again so the handler gets another
-					// chance once more rules arrive.
+					// Still no rule: punt again so the controller gets
+					// another chance once more rules arrive.
 					h.missCount.Add(1)
 					if !h.fcIn[producer].Enqueue(d) {
 						h.dropPacket(&d)
@@ -727,47 +798,68 @@ func (h *Host) fcLoop() {
 	}
 }
 
-// ApplyMessage executes a cross-layer message against the local flow table
-// as if sent by src; exported for the controller/application layers, which
-// deliver validated messages downward through the same path (§3.4).
-func (h *Host) ApplyMessage(src flowtable.ServiceID, m nf.Message) {
-	h.applyMessage(src, m)
+// ApplyMessage validates a typed cross-layer message and executes it
+// against the local flow table as if sent by src; exported for the
+// controller/application layers, which deliver validated messages
+// downward through the same path (§3.4). Unlike the NF emission path it
+// does not forward the message back upstream.
+func (h *Host) ApplyMessage(src flowtable.ServiceID, m control.Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	h.applyLocal(src, m)
+	return nil
 }
 
-// applyMessage executes a cross-layer message against the local flow
-// table (§3.4), then forwards it to the SDNFV Application hook.
-func (h *Host) applyMessage(src flowtable.ServiceID, m nf.Message) {
-	switch m.Kind {
-	case nf.MsgSkipMe:
+// handleNFMessage lifts one NF-emitted record into its typed variant,
+// applies it locally, and forwards it upstream through the southbound
+// endpoint. Invalid messages and synchronous upstream rejections are
+// counted in MsgsRejected.
+func (h *Host) handleNFMessage(src flowtable.ServiceID, u nf.Message) {
+	m, err := control.FromUnion(u)
+	if err != nil {
+		h.msgRejected.Add(1)
+		return
+	}
+	h.applyLocal(src, m)
+	if h.cfg.Control != nil {
+		if err := h.cfg.Control.SendNFMessage(context.Background(), src, m); err != nil {
+			h.msgRejected.Add(1)
+		}
+	}
+}
+
+// applyLocal executes a validated cross-layer message against the local
+// flow table (§3.4).
+func (h *Host) applyLocal(_ flowtable.ServiceID, m control.Message) {
+	switch v := m.(type) {
+	case control.SkipMe:
 		// NFs whose default edge leads to S bypass S: their default
 		// becomes S's own default action. The forward(S) edge stays in
 		// the action list so a later RequestMe can restore it.
-		if e := h.lookupAnyRule(m.S); e != nil {
+		if e := h.lookupAnyRule(v.Service); e != nil {
 			if def, ok := e.Default(); ok {
-				for _, sc := range h.table.ScopesWithActionTo(m.Flows, m.S) {
-					h.table.UpdateDefault(sc, m.Flows, def, false)
+				for _, sc := range h.table.ScopesWithActionTo(v.Flows, v.Service) {
+					h.table.UpdateDefault(sc, v.Flows, def, false)
 				}
 			}
 		}
-	case nf.MsgRequestMe:
+	case control.RequestMe:
 		// All nodes with an edge to S make S their default.
-		for _, sc := range h.table.ScopesWithActionTo(m.Flows, m.S) {
-			h.table.UpdateDefault(sc, m.Flows, flowtable.Forward(m.S), true)
+		for _, sc := range h.table.ScopesWithActionTo(v.Flows, v.Service) {
+			h.table.UpdateDefault(sc, v.Flows, flowtable.Forward(v.Service), true)
 		}
-	case nf.MsgChangeDefault:
+	case control.ChangeDefault:
 		// Default rule for service S becomes T (constrained to edges
 		// already present, i.e. the original service graph). T may be a
 		// port-encoded destination (an egress link, as in Fig. 8).
-		newDef := flowtable.Forward(m.T)
-		if m.T.IsPort() {
-			newDef = flowtable.Action{Type: flowtable.ActionOut, Dest: m.T}
+		newDef := flowtable.Forward(v.Target)
+		if v.Target.IsPort() {
+			newDef = flowtable.Action{Type: flowtable.ActionOut, Dest: v.Target}
 		}
-		h.table.UpdateDefault(m.S, m.Flows, newDef, true)
-	case nf.MsgData:
+		h.table.UpdateDefault(v.Service, v.Flows, newDef, true)
+	case control.AppData:
 		// Application data: no local table effect.
-	}
-	if h.cfg.MsgHandler != nil {
-		h.cfg.MsgHandler(src, m)
 	}
 }
 

@@ -1,11 +1,13 @@
 package dataplane
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"sdnfv/internal/control"
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/graph"
 	"sdnfv/internal/nf"
@@ -358,15 +360,17 @@ func TestLoadBalancerRoundRobinSpreads(t *testing.T) {
 	}
 }
 
-func TestFlowControllerMissHandler(t *testing.T) {
+func TestFlowControllerSouthboundResolve(t *testing.T) {
 	var misses atomic.Uint64
 	cfg := Config{
-		MissHandler: func(scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
-			misses.Add(1)
-			return []flowtable.Rule{
-				{Scope: scope, Match: flowtable.ExactMatch(key),
-					Actions: []flowtable.Action{flowtable.Out(2)}},
-			}, nil
+		Control: control.SouthboundFuncs{
+			ResolveFunc: func(_ context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+				misses.Add(1)
+				return []flowtable.Rule{
+					{Scope: scope, Match: flowtable.ExactMatch(key),
+						Actions: []flowtable.Action{flowtable.Out(2)}},
+				}, nil
+			},
 		},
 	}
 	h, out := startHost(t, cfg, nil) // empty flow table: everything misses

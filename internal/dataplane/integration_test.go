@@ -7,11 +7,13 @@ package dataplane_test
 // paper end to end.
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"sdnfv/internal/app"
+	"sdnfv/internal/control"
 	"sdnfv/internal/controller"
 	"sdnfv/internal/dataplane"
 	"sdnfv/internal/flowtable"
@@ -56,13 +58,9 @@ func TestFullHierarchyMissToFlow(t *testing.T) {
 	}
 
 	ctl := controller.New(controller.Config{})
-	ctl.SetCompiler(a.Compiler(true)) // per-flow exact rules
+	ctl.SetNorthbound(a) // App compiles per-flow exact rules by default
 	var appMsgs atomic.Int64
-	ctl.SetNFMessageHandler(func(src flowtable.ServiceID, m nf.Message) {
-		if a.HandleNFMessage(src, m) {
-			appMsgs.Add(1)
-		}
-	})
+	a.Subscribe(func(flowtable.ServiceID, control.Message) { appMsgs.Add(1) })
 	ctl.Start()
 	defer ctl.Stop()
 
@@ -70,9 +68,8 @@ func TestFullHierarchyMissToFlow(t *testing.T) {
 		PoolSize:  512,
 		TXThreads: 1,
 		// The Flow Controller thread resolves misses through the real
-		// controller (in-process southbound).
-		MissHandler: ctl.Resolve,
-		MsgHandler:  ctl.HandleNFMessage,
+		// controller (in-process southbound backend of the control API).
+		Control: ctl,
 	}
 	h := dataplane.NewHost(cfg)
 	fw := &nfs.Firewall{DefaultAllow: true}
@@ -122,8 +119,9 @@ func TestFullHierarchyMissToFlow(t *testing.T) {
 	if h.Stats().Misses <= missesBefore {
 		t.Fatal("second flow should have missed (exact rules)")
 	}
-	if ctl.Stats().Requests == 0 || ctl.Stats().FlowMods == 0 {
-		t.Fatalf("controller stats = %+v", ctl.Stats())
+	cst, _ := ctl.Stats(context.Background())
+	if cst.Requests == 0 || cst.FlowMods == 0 {
+		t.Fatalf("controller stats = %+v", cst)
 	}
 }
 
@@ -149,22 +147,28 @@ func TestCrossLayerMessageReachesApp(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctl := controller.New(controller.Config{})
-	ctl.SetCompiler(a.Compiler(false))
 	var accepted, rejected atomic.Int64
-	ctl.SetNFMessageHandler(func(src flowtable.ServiceID, m nf.Message) {
-		if a.HandleNFMessage(src, m) {
-			accepted.Add(1)
-		} else {
-			rejected.Add(1)
-		}
+	ctl.SetNorthbound(control.NorthboundFuncs{
+		CompileFlowFunc: func(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+			return a.CompileRules(scope, key, false) // wildcard pre-population
+		},
+		HandleNFMessageFunc: func(ctx context.Context, src flowtable.ServiceID, m control.Message) error {
+			err := a.HandleNFMessage(ctx, src, m)
+			if err != nil {
+				rejected.Add(1)
+			} else {
+				accepted.Add(1)
+			}
+			return err
+		},
+		PolicyFunc: a.Policy,
 	})
 	ctl.Start()
 	defer ctl.Stop()
 
 	h := dataplane.NewHost(dataplane.Config{
 		PoolSize: 256, TXThreads: 1,
-		MissHandler: ctl.Resolve,
-		MsgHandler:  ctl.HandleNFMessage,
+		Control: ctl,
 	})
 	sent := false
 	nfA := &nf.FuncAdapter{FnName: "a", RO: true,
@@ -354,7 +358,9 @@ func TestSkipMeAndRequestMe(t *testing.T) {
 	}
 
 	// SkipMe(B): A's default forwards straight to C.
-	h.ApplyMessage(svcB, nf.Message{Kind: nf.MsgSkipMe, Flows: flowtable.MatchAll, S: svcB})
+	if err := h.ApplyMessage(svcB, control.SkipMe{Flows: flowtable.MatchAll, Service: svcB}); err != nil {
+		t.Fatal(err)
+	}
 	send(5)
 	waitCond(t, func() bool { return out.Load() == 10 }, "after SkipMe")
 	if bGot.Load() != 5 {
@@ -366,7 +372,9 @@ func TestSkipMeAndRequestMe(t *testing.T) {
 
 	// RequestMe(B): every scope with an edge to B makes it the default
 	// again.
-	h.ApplyMessage(svcB, nf.Message{Kind: nf.MsgRequestMe, Flows: flowtable.MatchAll, S: svcB})
+	if err := h.ApplyMessage(svcB, control.RequestMe{Flows: flowtable.MatchAll, Service: svcB}); err != nil {
+		t.Fatal(err)
+	}
 	send(5)
 	waitCond(t, func() bool { return out.Load() == 15 }, "after RequestMe")
 	if bGot.Load() != 10 {

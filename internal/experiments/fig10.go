@@ -66,7 +66,8 @@ func fig10Run(seed int64, offered float64, sdnfv bool) float64 {
 			nfPipeline.Offer(nfSetupCost, count)
 			return
 		}
-		ctrl.Submit(count)
+		// A full controller queue loses the flow (control.ErrQueueFull).
+		_ = ctrl.Submit(count)
 	}
 
 	interval := 1 / offered

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 
 	"sdnfv/internal/flowtable"
@@ -114,7 +115,7 @@ func Fig9(seed int64) *Fig9Result {
 				res.DetectedAt = env.Now()
 				// Message → NF Manager → SDNFV Application → orchestrator
 				// boots the scrubber (Fig. 2 step 5).
-				_ = orch.Instantiate("host1", flowtable.ServiceID(99), noopNF{}, nil)
+				_ = orch.Instantiate(context.Background(), "host1", flowtable.ServiceID(99), noopNF{}, nil)
 			}
 			winStart = env.Now()
 			winBytes = 0
@@ -194,7 +195,7 @@ type simHostHandle struct {
 func (h simHostHandle) HostName() string { return h.name }
 
 // Launch implements orchestrator.HostHandle.
-func (h simHostHandle) Launch(flowtable.ServiceID, nf.Function) error {
+func (h simHostHandle) Launch(context.Context, flowtable.ServiceID, nf.Function) error {
 	if h.onLaunch != nil {
 		h.onLaunch()
 	}

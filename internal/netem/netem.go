@@ -12,6 +12,7 @@
 package netem
 
 import (
+	"sdnfv/internal/control"
 	"sdnfv/internal/metrics"
 	"sdnfv/internal/packet"
 	"sdnfv/internal/sim"
@@ -195,17 +196,20 @@ func NewControllerModel(env *sim.Env, serviceSec, rttSec float64, queueCap int) 
 }
 
 // Submit requests a flow decision; done runs when the controller has
-// answered (after queueing, service, and RTT). It returns false when the
-// controller queue overflowed (request dropped).
-func (c *ControllerModel) Submit(done func()) bool {
-	c.Requests.Add(1)
+// answered (after queueing, service, and RTT). Admission control speaks
+// the control package's error taxonomy: a full queue refuses with
+// control.ErrQueueFull (request dropped, counted in Rejected only —
+// mirroring control.Stats semantics, Requests counts admitted requests).
+func (c *ControllerModel) Submit(done func()) error {
 	ok := c.q.Offer(c.ServiceSec, func() {
 		c.env.Schedule(c.RTTSec, done)
 	})
 	if !ok {
 		c.Rejected.Add(1)
+		return control.ErrQueueFull
 	}
-	return ok
+	c.Requests.Add(1)
+	return nil
 }
 
 // QueueLen returns pending control requests.
@@ -260,7 +264,7 @@ func (s *OVSSwitch) Accept(p *SimPacket) {
 	}
 	if s.env.Rand().Float64() < s.MissFraction {
 		s.Punts.Add(1)
-		if !s.Controller.Submit(forward) {
+		if s.Controller.Submit(forward) != nil {
 			s.Drops.Add(1)
 		}
 		return

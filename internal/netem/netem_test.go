@@ -89,7 +89,7 @@ func TestControllerModelSaturation(t *testing.T) {
 	// rest rejected.
 	accepted := 0
 	for i := 0; i < 100; i++ {
-		if c.Submit(func() { served++ }) {
+		if c.Submit(func() { served++ }) == nil {
 			accepted++
 		}
 	}
@@ -102,6 +102,11 @@ func TestControllerModelSaturation(t *testing.T) {
 	}
 	if c.Rejected.Value() != 97 {
 		t.Fatalf("rejected = %d", c.Rejected.Value())
+	}
+	// Requests counts admitted submissions only (control.Stats
+	// semantics): offered = Requests + Rejected.
+	if c.Requests.Value() != 3 {
+		t.Fatalf("requests = %d, want 3", c.Requests.Value())
 	}
 }
 

@@ -246,6 +246,27 @@ func (b Barrier) Type() MsgType {
 }
 func (Barrier) encode(dst []byte) []byte { return dst }
 
+// Error codes carried by ErrorMsg. Wire clients map these back onto the
+// control package's sentinel error taxonomy so errors.Is behaves the
+// same for in-process and remote controllers.
+const (
+	// ErrCodeResolve is a generic rule-compilation failure.
+	ErrCodeResolve uint16 = iota + 1
+	// ErrCodeUnexpected reports a message type the peer does not serve.
+	ErrCodeUnexpected
+	// ErrCodeQueueFull maps to control.ErrQueueFull.
+	ErrCodeQueueFull
+	// ErrCodeNoCompiler maps to control.ErrNoCompiler.
+	ErrCodeNoCompiler
+	// ErrCodeStopped maps to control.ErrStopped.
+	ErrCodeStopped
+	// ErrCodeRejected maps to control.ErrRejected (northbound policy
+	// refused a cross-layer message).
+	ErrCodeRejected
+	// ErrCodeInvalid maps to control.ErrInvalidMessage.
+	ErrCodeInvalid
+)
+
 // ErrorMsg reports a protocol-level failure.
 type ErrorMsg struct {
 	Code uint16

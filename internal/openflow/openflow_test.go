@@ -3,6 +3,7 @@ package openflow
 import (
 	"bytes"
 	"errors"
+	"io"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -186,6 +187,116 @@ func TestFlowModRoundtripProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// exemplarFor returns a representative non-trivial message for every
+// wire type; TestRoundtripEveryMessageType fails when a new MsgType has
+// no exemplar, so coverage cannot silently rot.
+func exemplarFor(t MsgType) Message {
+	key := packet.FlowKey{
+		SrcIP: packet.IPv4(1, 2, 3, 4), DstIP: packet.IPv4(5, 6, 7, 8),
+		SrcPort: 1234, DstPort: 80, Proto: 17,
+	}
+	switch t {
+	case TypeHello:
+		return Hello{}
+	case TypeEchoRequest:
+		return Echo{Data: []byte("ping")}
+	case TypeEchoReply:
+		return Echo{Reply: true, Data: []byte("pong")}
+	case TypeFeaturesRequest:
+		return FeaturesRequest{}
+	case TypeFeaturesReply:
+		return FeaturesReply{DatapathID: 0xfeedface, NumPorts: 4, Services: []flowtable.ServiceID{1, 2, 3}}
+	case TypePacketIn:
+		return PacketIn{Scope: flowtable.Port(2), Key: key, Buffer: []byte{1, 2, 3}}
+	case TypeFlowMod:
+		return FlowMod{Rule: flowtable.Rule{
+			Scope:    9,
+			Match:    flowtable.ExactMatch(key),
+			Actions:  []flowtable.Action{flowtable.Forward(10), flowtable.Drop()},
+			Parallel: true,
+			Priority: 3,
+		}}
+	case TypeNFMessage:
+		return NFMessage{Src: 7, Msg: nf.Message{
+			Kind: nf.MsgChangeDefault, Flows: flowtable.ExactMatch(key), S: 7, T: 8,
+			Key: "k", Value: "v",
+		}}
+	case TypeStatsRequest:
+		return StatsRequest{}
+	case TypeStatsReply:
+		return StatsReply{RxPackets: 1, TxPackets: 2, Drops: 3, Misses: 4, Rules: 5}
+	case TypeBarrierRequest:
+		return Barrier{}
+	case TypeBarrierReply:
+		return Barrier{Reply: true}
+	case TypeError:
+		return ErrorMsg{Code: ErrCodeQueueFull, Text: "full"}
+	default:
+		return nil
+	}
+}
+
+// TestRoundtripEveryMessageType encode/decodes one exemplar per wire
+// type and requires structural equality.
+func TestRoundtripEveryMessageType(t *testing.T) {
+	for mt := TypeHello; mt <= TypeError; mt++ {
+		msg := exemplarFor(mt)
+		if msg == nil {
+			t.Fatalf("no exemplar for %s — extend exemplarFor alongside the protocol", mt)
+		}
+		if msg.Type() != mt {
+			t.Fatalf("exemplar for %s reports type %s", mt, msg.Type())
+		}
+		got := roundtrip(t, msg)
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("roundtrip %s: got %+v want %+v", mt, got, msg)
+		}
+	}
+}
+
+// readerConn adapts a read-only byte stream to the Conn's ReadWriter.
+type readerConn struct {
+	r io.Reader
+}
+
+func (c readerConn) Read(p []byte) (int, error)  { return c.r.Read(p) }
+func (c readerConn) Write(p []byte) (int, error) { return len(p), nil }
+
+// FuzzConnRecv throws arbitrary byte streams at the framing layer: Recv
+// must terminate with a clean error — never panic, hang, or read past
+// the declared frame — on truncated headers, lying length fields, and
+// unknown types.
+func FuzzConnRecv(f *testing.F) {
+	valid, _ := Encode(PacketIn{Scope: flowtable.Port(1), Buffer: []byte{1}}, 3)
+	f.Add(valid)
+	f.Add(valid[:3])                                              // truncated header
+	f.Add(append(valid, 0xff))                                    // trailing garbage
+	f.Add([]byte{Version, 0xEE, 0x00, 0x08, 0, 0, 0, 1})          // unknown type
+	f.Add([]byte{Version, 0x00, 0xff, 0xff, 0, 0, 0, 1})          // length says 64KiB, body absent
+	f.Add([]byte{Version, 0x05, 0x00, 0x04, 0, 0, 0, 1, 9, 9, 9}) // length < header size
+	two := append(append([]byte{}, valid...), valid...)
+	f.Add(two) // back-to-back frames
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(readerConn{r: bytes.NewReader(data)})
+		for i := 0; i < 64; i++ {
+			msg, hdr, err := c.Recv()
+			if err != nil {
+				return // clean termination
+			}
+			if msg == nil {
+				t.Fatalf("nil message with nil error (hdr %+v)", hdr)
+			}
+			if int(hdr.Length) < 8 {
+				t.Fatalf("accepted frame with impossible length %d", hdr.Length)
+			}
+			// A decoded message must re-encode within the wire limit.
+			if _, err := Encode(msg, hdr.XID); err != nil {
+				t.Fatalf("decoded message fails to re-encode: %v", err)
+			}
+		}
+	})
 }
 
 func BenchmarkEncodeDecodeFlowMod(b *testing.B) {

@@ -10,6 +10,7 @@
 package orchestrator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -20,13 +21,15 @@ import (
 
 // HostHandle abstracts the per-host operations the orchestrator needs; the
 // real dataplane.Host and the netem simulator both satisfy it through thin
-// adapters.
+// adapters. Like the rest of the control API (internal/control), the
+// operations are typed and context-aware so callers can bound slow boots.
 type HostHandle interface {
 	// HostName identifies the host.
 	HostName() string
 	// Launch makes service svc available backed by fn; called after the
-	// boot delay has elapsed.
-	Launch(svc flowtable.ServiceID, fn nf.Function) error
+	// boot delay has elapsed. ctx carries the deadline of the
+	// Instantiate call that scheduled the boot.
+	Launch(ctx context.Context, svc flowtable.ServiceID, fn nf.Function) error
 }
 
 // Clock schedules a callback after a virtual or real delay in seconds.
@@ -112,8 +115,10 @@ var ErrUnknownHost = errors.New("orchestrator: unknown host")
 // Instantiate boots fn as service svc on the named host. onReady (may be
 // nil) runs once the NF is launched and registered. The launch completes
 // after the cold-boot delay, or the standby delay when a standby slot is
-// available.
-func (o *Orchestrator) Instantiate(host string, svc flowtable.ServiceID, fn nf.Function, onReady func(Launch)) error {
+// available. Instantiation is asynchronous: Instantiate returns after
+// scheduling the boot, and a ctx cancelled before the boot delay
+// elapses aborts the launch.
+func (o *Orchestrator) Instantiate(ctx context.Context, host string, svc flowtable.ServiceID, fn nf.Function, onReady func(Launch)) error {
 	o.mu.Lock()
 	h, ok := o.hosts[host]
 	if !ok {
@@ -139,7 +144,16 @@ func (o *Orchestrator) Instantiate(host string, svc flowtable.ServiceID, fn nf.F
 			ReadyAt:     o.clock.Now(),
 			Standby:     usedStandby,
 		}
-		err := h.Launch(svc, fn)
+		err := ctx.Err()
+		if err == nil {
+			err = h.Launch(ctx, svc, fn)
+		} else if usedStandby {
+			// Aborted before boot: the pre-booted VM was never used,
+			// so its standby slot goes back to the pool.
+			o.mu.Lock()
+			o.standby[host]++
+			o.mu.Unlock()
+		}
 		o.mu.Lock()
 		o.pending--
 		if err == nil {

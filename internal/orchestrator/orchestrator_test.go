@@ -2,6 +2,7 @@ package orchestrator
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"testing"
 
@@ -52,7 +53,7 @@ type fakeHost struct {
 }
 
 func (h *fakeHost) HostName() string { return h.name }
-func (h *fakeHost) Launch(svc flowtable.ServiceID, _ nf.Function) error {
+func (h *fakeHost) Launch(_ context.Context, svc flowtable.ServiceID, _ nf.Function) error {
 	if h.fail != nil {
 		return h.fail
 	}
@@ -72,7 +73,7 @@ func TestColdBootDelay(t *testing.T) {
 	h := &fakeHost{name: "h1"}
 	o.AddHost(h)
 	var ready []Launch
-	if err := o.Instantiate("h1", 99, stubNF{}, func(l Launch) { ready = append(ready, l) }); err != nil {
+	if err := o.Instantiate(context.Background(), "h1", 99, stubNF{}, func(l Launch) { ready = append(ready, l) }); err != nil {
 		t.Fatal(err)
 	}
 	clk.advance(7.0)
@@ -99,13 +100,13 @@ func TestStandbyFastPath(t *testing.T) {
 	o := New(Config{BootDelaySec: 7.75, StandbyDelaySec: 0.5, Standby: 1}, clk)
 	h := &fakeHost{name: "h1"}
 	o.AddHost(h)
-	_ = o.Instantiate("h1", 1, stubNF{}, nil)
+	_ = o.Instantiate(context.Background(), "h1", 1, stubNF{}, nil)
 	clk.advance(1.0)
 	if len(h.launched) != 1 {
 		t.Fatal("standby launch too slow")
 	}
 	// Second instantiation: pool exhausted, cold boot.
-	_ = o.Instantiate("h1", 2, stubNF{}, nil)
+	_ = o.Instantiate(context.Background(), "h1", 2, stubNF{}, nil)
 	clk.advance(2.0)
 	if len(h.launched) != 1 {
 		t.Fatal("cold boot used the standby delay")
@@ -122,7 +123,7 @@ func TestStandbyFastPath(t *testing.T) {
 
 func TestUnknownHost(t *testing.T) {
 	o := New(Config{}, &fakeClock{})
-	if err := o.Instantiate("nope", 1, stubNF{}, nil); !errors.Is(err, ErrUnknownHost) {
+	if err := o.Instantiate(context.Background(), "nope", 1, stubNF{}, nil); !errors.Is(err, ErrUnknownHost) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -133,7 +134,7 @@ func TestFailedLaunchNotLogged(t *testing.T) {
 	h := &fakeHost{name: "h1", fail: errors.New("no cores")}
 	o.AddHost(h)
 	called := false
-	_ = o.Instantiate("h1", 1, stubNF{}, func(Launch) { called = true })
+	_ = o.Instantiate(context.Background(), "h1", 1, stubNF{}, func(Launch) { called = true })
 	clk.advance(5)
 	if called {
 		t.Fatal("onReady called for failed launch")
@@ -143,6 +144,33 @@ func TestFailedLaunchNotLogged(t *testing.T) {
 	}
 	if o.Pending() != 0 {
 		t.Fatal("pending count leaked")
+	}
+}
+
+func TestCancelledLaunchReturnsStandbySlot(t *testing.T) {
+	clk := &fakeClock{}
+	o := New(Config{BootDelaySec: 7.75, StandbyDelaySec: 0.5, Standby: 1}, clk)
+	h := &fakeHost{name: "h1"}
+	o.AddHost(h)
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = o.Instantiate(ctx, "h1", 1, stubNF{}, nil)
+	cancel() // abort before the boot delay elapses
+	clk.advance(1.0)
+	if len(h.launched) != 0 {
+		t.Fatal("cancelled launch still booted")
+	}
+	if len(o.Launches()) != 0 || o.Pending() != 0 {
+		t.Fatal("cancelled launch logged or leaked pending")
+	}
+	// The unused standby slot is back: the next instantiation must take
+	// the fast path again.
+	_ = o.Instantiate(context.Background(), "h1", 2, stubNF{}, nil)
+	clk.advance(2.0)
+	if len(h.launched) != 1 {
+		t.Fatal("standby slot not returned after cancelled launch")
+	}
+	if ls := o.Launches(); len(ls) != 1 || !ls[0].Standby {
+		t.Fatalf("launch log = %+v", ls)
 	}
 }
 
