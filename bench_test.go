@@ -293,8 +293,7 @@ func engineThroughput(b *testing.B, cfg dataplane.Config, n int) float64 {
 	cfg.TXThreads = 1
 	h := dataplane.NewHost(cfg)
 	var done atomic.Int64
-	_, _ = h.AddNF(10, &nf.FuncAdapter{FnName: "noop", RO: true,
-		ProcessF: func(*nf.Context, *nf.Packet) nf.Decision { return nf.Default() }}, 0)
+	_, _ = h.AddNF(10, &nf.BatchAdapter{FnName: "noop", RO: true}, 0)
 	_, _ = h.Table().Add(flowtable.Rule{Scope: flowtable.Port(0), Match: flowtable.MatchAll,
 		Actions: []flowtable.Action{flowtable.Forward(10)}})
 	_, _ = h.Table().Add(flowtable.Rule{Scope: flowtable.ServiceID(10), Match: flowtable.MatchAll,

@@ -144,6 +144,14 @@ func main() {
 	fmt.Printf("ids: scanned=%d alerts=%d\n", ids.Scanned(), ids.Alerts())
 	fmt.Printf("scrubber: passed=%d dropped=%d (flagged flow diverted after 1 exploit)\n",
 		scrubber.Passed(), scrubber.Dropped())
+	// The IDS keeps its quarantine set in the engine-owned flow store
+	// (SDK v2), so the manager can enumerate flagged flows without any
+	// NF-specific API.
+	fmt.Println("quarantined flows (read via host.FlowState):")
+	host.FlowState(svcIDS, 0).Range(func(k packet.FlowKey, _ any) bool {
+		fmt.Printf("  %s\n", k)
+		return true
+	})
 	fmt.Println("\nfinal flow table (note the per-flow rule installed by the IDS):")
 	fmt.Println(host.Table().Dump())
 }

@@ -1,7 +1,10 @@
 // Application-aware memcached proxy (§5.4): an NF parses L7 memcached get
 // requests, shards keys across backends with a hash, rewrites the packet's
 // destination, and sends it straight out — zero-copy, no kernel sockets,
-// one-sided (responses bypass the proxy entirely).
+// one-sided (responses bypass the proxy entirely). The proxy is a native
+// batch NF (SDK v2): the engine hands it whole request bursts, so the
+// per-packet path is a header rewrite and one decision write, nothing
+// more.
 //
 //	go run ./examples/memcached
 package main

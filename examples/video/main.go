@@ -109,6 +109,10 @@ func main() {
 	fmt.Printf("detector: video=%d other=%d flows\n", detector.VideoFlows(), detector.OtherFlows())
 	fmt.Printf("policy engine: passed=%d throttled=%d\n", engine.Passed(), engine.Throttled())
 	fmt.Printf("transcoder: emitted=%d dropped=%d\n", transcoder.Emitted(), transcoder.Dropped())
+	// SDK v2: the detector's per-flow classifications live in the
+	// engine-owned flow store, inspectable from the manager side.
+	fmt.Printf("detector flow store holds %d classified flows\n",
+		host.FlowState(svcDetector, 0).Len())
 }
 
 func must(err error) {

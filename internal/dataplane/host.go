@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -138,6 +139,12 @@ type Host struct {
 
 	stop atomic.Bool
 	wg   sync.WaitGroup
+	// lifeMu serializes lifecycle operations (AddNF, ReplaceNF, Start,
+	// Stop, NamedHost.Launch). It keeps Stop's single-consumer ring drain
+	// exclusive, and it lets user Init/Close hooks run OUTSIDE h.mu so a
+	// hook may call inspection APIs (FlowState, Instances, Stats). Hooks
+	// must not call lifecycle methods — that self-deadlocks on lifeMu.
+	lifeMu sync.Mutex
 }
 
 // NewHost builds a Host from cfg.
@@ -174,13 +181,21 @@ func (h *Host) fcProducerSlot() int { return 1 + h.cfg.TXThreads }
 
 // AddNF registers a replica of service svc running fn. priority breaks
 // action-conflict ties among parallel NFs (higher wins). Must be called
-// before Start.
-func (h *Host) AddNF(svc flowtable.ServiceID, fn nf.Function, priority uint16) (*Instance, error) {
+// before Start. The engine attaches a per-replica flow-state store to the
+// NF's context and buffers its cross-layer messages per burst.
+func (h *Host) AddNF(svc flowtable.ServiceID, fn nf.BatchFunction, priority uint16) (*Instance, error) {
+	h.lifeMu.Lock()
+	defer h.lifeMu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.addLocked(svc, fn, priority)
+}
+
+// addLocked registers a replica under h.mu.
+func (h *Host) addLocked(svc flowtable.ServiceID, fn nf.BatchFunction, priority uint16) (*Instance, error) {
 	if svc.IsPort() || svc == graph.Source || svc == graph.Sink {
 		return nil, fmt.Errorf("dataplane: invalid service id %s", svc)
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.started {
 		return nil, errors.New("dataplane: host already started")
 	}
@@ -190,20 +205,151 @@ func (h *Host) AddNF(svc flowtable.ServiceID, fn nf.Function, priority uint16) (
 		Priority: priority,
 		fn:       fn,
 		readOnly: fn.ReadOnly(),
-		done:     make(chan struct{}),
 	}
 	inst.ctx = nf.Context{
 		Service:  svc,
 		Instance: inst.Index,
+		// The flow store belongs to the replica slot, not the function:
+		// Stop/Start cycles and same-implementation ReplaceNF keep it,
+		// and the manager can inspect it (FlowState) for §3.4-style
+		// per-flow decisions.
+		Flows: nf.NewFlowState(),
 		Emit: func(m nf.Message) {
 			if err := h.ctrl.Push(ctrlMsg{src: svc, msg: m}); err == nil {
 				h.msgCount.Add(1)
 			}
 		},
 	}
+	inst.ctx.BufferEmits(true)
 	h.services[svc] = append(h.services[svc], inst)
 	h.instances = append(h.instances, inst)
 	return inst, nil
+}
+
+// ReplaceNF swaps the function backing replica index of service svc for
+// fn, closing the outgoing NF if it is still open (normally Host.Stop
+// has closed it already — Close runs once per successful Init). The
+// replica's flow-state store is kept when the replacement is the same NF
+// implementation, so the §3.4 per-flow decisions accumulated by the old
+// NF survive an upgrade; replacing with a different implementation
+// clears it. Only valid while the host is stopped.
+func (h *Host) ReplaceNF(svc flowtable.ServiceID, index int, fn nf.BatchFunction) error {
+	h.lifeMu.Lock()
+	defer h.lifeMu.Unlock()
+	h.mu.Lock()
+	if h.started {
+		h.mu.Unlock()
+		return errors.New("dataplane: host already started")
+	}
+	insts := h.services[svc]
+	if index < 0 || index >= len(insts) {
+		h.mu.Unlock()
+		return fmt.Errorf("dataplane: no replica %d of service %s", index, svc)
+	}
+	inst := insts[index]
+	h.mu.Unlock()
+	h.replace(inst, fn)
+	return nil
+}
+
+// closeInst runs an instance's Close hook if (and only if) a matching
+// successful Init ran: Close fires at most once per Init. Caller holds
+// lifeMu (which guards opened and keeps the hook outside h.mu).
+func (h *Host) closeInst(inst *Instance) {
+	if !inst.opened {
+		return
+	}
+	inst.opened = false
+	_ = nf.CloseNF(inst.fn)
+}
+
+// replace swaps an instance's function; caller holds lifeMu and the host
+// is stopped. The outgoing NF is closed if it is still open (an NF
+// replaced between Stop and Start has normally been closed by Stop
+// already). When the replacement is a different NF implementation, the
+// replica's flow store is cleared — the survive-replacement guarantee is
+// for upgrades of the same NF, and handing one NF's state values to
+// another would only poison it.
+func (h *Host) replace(inst *Instance, fn nf.BatchFunction) {
+	h.closeInst(inst)
+	if !sameNFImpl(inst.fn, fn) {
+		inst.ctx.Flows.Clear()
+	}
+	h.mu.Lock()
+	inst.fn = fn
+	inst.readOnly = fn.ReadOnly()
+	h.mu.Unlock()
+}
+
+// sameNFImpl reports whether two functions are the same NF
+// implementation for the state-survival check: same concrete type
+// (looking through the PerPacket shim, whose wrapper type would conflate
+// all v1 NFs) and same name (adapter types like FuncAdapter/BatchAdapter
+// would otherwise conflate unrelated NFs built from them).
+func sameNFImpl(a, b nf.BatchFunction) bool {
+	return nfImplType(a) == nfImplType(b) && a.Name() == b.Name()
+}
+
+// nfImplType identifies the implementation type behind fn, unwrapping
+// the PerPacket shim.
+func nfImplType(fn nf.BatchFunction) reflect.Type {
+	if u, ok := fn.(interface{ Unwrap() nf.Function }); ok {
+		return reflect.TypeOf(u.Unwrap())
+	}
+	return reflect.TypeOf(fn)
+}
+
+// FlowState returns the engine-owned per-flow store of replica index of
+// service svc (nil when the replica does not exist). The manager and
+// control layers use it to inspect NF flow state.
+func (h *Host) FlowState(svc flowtable.ServiceID, index int) *nf.FlowState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	insts := h.services[svc]
+	if index < 0 || index >= len(insts) {
+		return nil
+	}
+	return insts[index].ctx.Flows
+}
+
+// NamedHost adapts a Host to the orchestrator's HostHandle: Launch makes
+// svc available backed by fn, adding a first replica or replacing replica
+// 0 (which runs the outgoing NF's Close hook and keeps its flow state).
+// Launches land while the host is stopped — between Stop and Start —
+// matching the paper's VM (re)boot model.
+type NamedHost struct {
+	Name string
+	*Host
+}
+
+// HostName implements orchestrator.HostHandle.
+func (n NamedHost) HostName() string { return n.Name }
+
+// Launch implements orchestrator.HostHandle. The replace-or-add decision
+// and the mutation happen in one critical section, so two concurrent
+// launches of the same service cannot both add a replica.
+func (n NamedHost) Launch(ctx context.Context, svc flowtable.ServiceID, fn nf.BatchFunction) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	h := n.Host
+	h.lifeMu.Lock()
+	defer h.lifeMu.Unlock()
+	h.mu.Lock()
+	insts := h.services[svc]
+	started := h.started
+	h.mu.Unlock()
+	if len(insts) > 0 {
+		if started {
+			return errors.New("dataplane: host already started")
+		}
+		h.replace(insts[0], fn)
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := h.addLocked(svc, fn, 0)
+	return err
 }
 
 type ctrlMsg struct {
@@ -223,14 +369,70 @@ func (h *Host) InstallGraph(g *graph.Graph, inPort, outPort int) error {
 	return err
 }
 
-// Start launches the manager threads and all NF instances.
+// NFInitError reports an NF whose Init lifecycle hook failed, aborting
+// Host.Start.
+type NFInitError struct {
+	Service  flowtable.ServiceID
+	Instance int
+	Err      error
+}
+
+// Error implements error.
+func (e *NFInitError) Error() string {
+	return fmt.Sprintf("dataplane: NF init failed for %s replica %d: %v", e.Service, e.Instance, e.Err)
+}
+
+// Unwrap exposes the NF's own error for errors.Is/As.
+func (e *NFInitError) Unwrap() error { return e.Err }
+
+// Start runs every NF's Init hook, then launches the manager threads and
+// all NF instances. An Init error aborts the start: already-initialized
+// NFs are closed again, no thread is launched, and the typed *NFInitError
+// identifies the failing replica. The host stays stopped and can be
+// started again (e.g. after ReplaceNF).
 func (h *Host) Start() error {
+	h.lifeMu.Lock()
+	defer h.lifeMu.Unlock()
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.started {
+		h.mu.Unlock()
 		return errors.New("dataplane: already started")
 	}
+	insts := append([]*Instance(nil), h.instances...)
+	h.mu.Unlock()
+
+	// Run the Init hooks outside h.mu, so a hook may use inspection APIs
+	// (FlowState, Instances, Stats); lifeMu keeps the instance set and
+	// lifecycle state stable meanwhile. Announcements the hooks send stay
+	// buffered until every Init has succeeded, so an aborted start leaves
+	// no half-started announcements behind (and messages queued by a
+	// previous run are untouched).
+	for i, inst := range insts {
+		if err := nf.InitNF(inst.fn, &inst.ctx); err != nil {
+			for _, prev := range insts[:i] {
+				prev.ctx.DropEmits()
+				h.closeInst(prev)
+			}
+			inst.ctx.DropEmits()
+			return &NFInitError{Service: inst.Service, Instance: inst.Index, Err: err}
+		}
+		inst.opened = true
+	}
+	for _, inst := range insts {
+		// Deliver the announcement messages the hooks sent (§3.4, e.g. a
+		// scrubber's RequestMe); they are drained once TX thread 0 runs.
+		inst.ctx.FlushEmits()
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.started = true
+	// Unlatch the stop flags a previous Stop left set (they gate Inject
+	// while the host is down).
+	h.stop.Store(false)
+	for _, inst := range h.instances {
+		inst.stop.Store(false)
+	}
 
 	// Snapshot routing state for lock-free fast-path reads.
 	h.svcSnap = make(map[flowtable.ServiceID][]*Instance, len(h.services))
@@ -272,9 +474,15 @@ func (h *Host) Start() error {
 	return nil
 }
 
-// Stop halts all threads and waits for them to exit. The host can be
-// started again afterwards.
+// Stop halts all threads, waits for them to exit, releases every
+// descriptor still queued in a ring (so no pool buffer leaks across a
+// stop), and runs each NF's Close hook. The host can be started again
+// afterwards; per-replica flow state survives. Safe to call
+// concurrently: the drain consumes the rings single-threaded, so only
+// one Stop runs at a time and late callers return once it is done.
 func (h *Host) Stop() {
+	h.lifeMu.Lock()
+	defer h.lifeMu.Unlock()
 	h.mu.Lock()
 	if !h.started {
 		h.mu.Unlock()
@@ -286,14 +494,53 @@ func (h *Host) Stop() {
 		inst.stop.Store(true)
 	}
 	h.wg.Wait()
+	h.drainRings()
 	h.mu.Lock()
 	h.started = false
-	h.stop.Store(false)
-	for _, inst := range h.instSnap {
-		inst.stop.Store(false)
-		inst.done = make(chan struct{})
-	}
+	// h.stop (and the per-instance flags) stay latched until the next
+	// Start: an Inject arriving after the drain must keep being refused,
+	// or its descriptor would sit in nicIn defeating the no-leak
+	// guarantee above.
+	snap := h.instSnap
 	h.mu.Unlock()
+	// Close hooks run outside h.mu (lifeMu still held), so an NF's Close
+	// may use inspection APIs.
+	for _, inst := range snap {
+		h.closeInst(inst)
+	}
+}
+
+// drainRings releases descriptors left in flight when the threads
+// stopped: packets in the NIC/FC rings, in instance input rings, and in
+// instance out rings. Each queued descriptor holds exactly one pool
+// reference, so one release each is exact — the instance stop path has
+// already released (only) the part of its burst the out ring never
+// accepted. Runs with all producer/consumer threads stopped.
+func (h *Host) drainRings() {
+	drain := func(r *ring.SPSCOf[Desc]) {
+		for {
+			d, ok := r.Dequeue()
+			if !ok {
+				return
+			}
+			h.releaseDesc(&d)
+		}
+	}
+	// injectMu pairs with Inject's stop check: any Inject that slipped in
+	// before the stop flag enqueued under the lock we now hold, so its
+	// descriptor is visible to this drain.
+	h.injectMu.Lock()
+	drain(h.nicIn)
+	h.injectMu.Unlock()
+	for _, r := range h.fcIn {
+		drain(r)
+	}
+	for _, inst := range h.instSnap {
+		for _, r := range inst.in {
+			drain(r)
+		}
+		drain(inst.out)
+	}
 }
 
 // Stats returns a counter snapshot.
@@ -356,6 +603,16 @@ func (h *Host) Inject(port int, frame []byte) error {
 		d.Key = v.FlowKey()
 	}
 	h.injectMu.Lock()
+	if h.stop.Load() {
+		// The host is stopping or stopped (the flag stays latched until
+		// the next Start): Stop's ring drain (which also takes injectMu)
+		// must observe every enqueued descriptor, so refuse frames
+		// instead of leaking them past the drain.
+		h.injectMu.Unlock()
+		_ = h.pool.Release(hd)
+		h.dropCount.Add(1)
+		return errors.New("dataplane: host stopped")
+	}
 	ok := h.nicIn.Enqueue(d)
 	h.injectMu.Unlock()
 	if !ok {

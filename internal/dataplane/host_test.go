@@ -88,14 +88,21 @@ const (
 	svcC flowtable.ServiceID = 12
 )
 
+// ppNF builds a read-only per-packet NF through the v1 PerPacket shim, so
+// the engine tests cover the shim path end to end (native batch NFs are
+// covered by the nfs suite and lifecycle tests).
+func ppNF(name string, f func(ctx *nf.Context, p *nf.Packet) nf.Decision) nf.BatchFunction {
+	return nf.PerPacket(&nf.FuncAdapter{FnName: name, RO: true, ProcessF: f})
+}
+
 func TestSingleNFChain(t *testing.T) {
 	var processed atomic.Uint64
 	h, out := startHost(t, Config{}, func(h *Host) {
-		fn := &nf.FuncAdapter{FnName: "count", RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision {
+		fn := ppNF("count",
+			func(_ *nf.Context, _ *nf.Packet) nf.Decision {
 				processed.Add(1)
 				return nf.Default()
-			}}
+			})
 		if _, err := h.AddNF(svcA, fn, 0); err != nil {
 			t.Fatal(err)
 		}
@@ -135,14 +142,13 @@ func mustAdd(t *testing.T, h *Host, r flowtable.Rule) {
 func TestSequentialChainOrder(t *testing.T) {
 	var mu sync.Mutex
 	var order []string
-	mkNF := func(name string) nf.Function {
-		return &nf.FuncAdapter{FnName: name, RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision {
-				mu.Lock()
-				order = append(order, name)
-				mu.Unlock()
-				return nf.Default()
-			}}
+	mkNF := func(name string) nf.BatchFunction {
+		return ppNF(name, func(_ *nf.Context, _ *nf.Packet) nf.Decision {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nf.Default()
+		})
 	}
 	h, out := startHost(t, Config{}, func(h *Host) {
 		_, _ = h.AddNF(svcA, mkNF("A"), 0)
@@ -168,8 +174,8 @@ func TestSequentialChainOrder(t *testing.T) {
 
 func TestDiscardVerb(t *testing.T) {
 	h, out := startHost(t, Config{}, func(h *Host) {
-		drop := &nf.FuncAdapter{FnName: "drop", RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Discard() }}
+		drop := ppNF("drop",
+			func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Discard() })
 		_, _ = h.AddNF(svcA, drop, 0)
 		mustAdd(t, h, flowtable.Rule{Scope: flowtable.Port(0), Match: flowtable.MatchAll,
 			Actions: []flowtable.Action{flowtable.Forward(svcA)}})
@@ -195,12 +201,12 @@ func TestSendToValidation(t *testing.T) {
 	var cGot atomic.Uint64
 	var bGot atomic.Uint64
 	h, out := startHost(t, Config{}, func(h *Host) {
-		toC := &nf.FuncAdapter{FnName: "toC", RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.SendTo(svcC) }}
-		bNF := &nf.FuncAdapter{FnName: "b", RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { bGot.Add(1); return nf.Default() }}
-		cNF := &nf.FuncAdapter{FnName: "c", RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { cGot.Add(1); return nf.Default() }}
+		toC := ppNF("toC",
+			func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.SendTo(svcC) })
+		bNF := ppNF("b",
+			func(_ *nf.Context, _ *nf.Packet) nf.Decision { bGot.Add(1); return nf.Default() })
+		cNF := ppNF("c",
+			func(_ *nf.Context, _ *nf.Packet) nf.Decision { cGot.Add(1); return nf.Default() })
 		_, _ = h.AddNF(svcA, toC, 0)
 		_, _ = h.AddNF(svcB, bNF, 0)
 		_, _ = h.AddNF(svcC, cNF, 0)
@@ -226,10 +232,10 @@ func TestSendToValidation(t *testing.T) {
 func TestSendToAllowed(t *testing.T) {
 	var cGot atomic.Uint64
 	h, out := startHost(t, Config{}, func(h *Host) {
-		toC := &nf.FuncAdapter{FnName: "toC", RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.SendTo(svcC) }}
-		cNF := &nf.FuncAdapter{FnName: "c", RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { cGot.Add(1); return nf.Default() }}
+		toC := ppNF("toC",
+			func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.SendTo(svcC) })
+		cNF := ppNF("c",
+			func(_ *nf.Context, _ *nf.Packet) nf.Decision { cGot.Add(1); return nf.Default() })
 		_, _ = h.AddNF(svcA, toC, 0)
 		_, _ = h.AddNF(svcC, cNF, 0)
 		mustAdd(t, h, flowtable.Rule{Scope: flowtable.Port(0), Match: flowtable.MatchAll,
@@ -250,9 +256,9 @@ func TestSendToAllowed(t *testing.T) {
 func TestParallelDispatchRefcounts(t *testing.T) {
 	var aGot, bGot atomic.Uint64
 	h, out := startHost(t, Config{}, func(h *Host) {
-		mk := func(c *atomic.Uint64) nf.Function {
-			return &nf.FuncAdapter{FnName: "ro", RO: true,
-				ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { c.Add(1); return nf.Default() }}
+		mk := func(c *atomic.Uint64) nf.BatchFunction {
+			return ppNF("ro",
+				func(_ *nf.Context, _ *nf.Packet) nf.Decision { c.Add(1); return nf.Default() })
 		}
 		_, _ = h.AddNF(svcA, mk(&aGot), 0)
 		_, _ = h.AddNF(svcB, mk(&bGot), 0)
@@ -281,10 +287,10 @@ func TestParallelDispatchRefcounts(t *testing.T) {
 
 func TestParallelConflictDropWins(t *testing.T) {
 	h, out := startHost(t, Config{}, func(h *Host) {
-		pass := &nf.FuncAdapter{FnName: "pass", RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Default() }}
-		drop := &nf.FuncAdapter{FnName: "drop", RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Discard() }}
+		pass := ppNF("pass",
+			func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Default() })
+		drop := ppNF("drop",
+			func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Discard() })
 		_, _ = h.AddNF(svcA, pass, 0)
 		_, _ = h.AddNF(svcB, drop, 0)
 		mustAdd(t, h, flowtable.Rule{Scope: flowtable.Port(0), Match: flowtable.MatchAll,
@@ -312,8 +318,8 @@ func TestLoadBalancerFlowHashAffinity(t *testing.T) {
 	h, out := startHost(t, Config{LoadBalancer: LBFlowHash}, func(h *Host) {
 		for i := 0; i < 2; i++ {
 			i := i
-			fn := &nf.FuncAdapter{FnName: "r", RO: true,
-				ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { got[i].Add(1); return nf.Default() }}
+			fn := ppNF("r",
+				func(_ *nf.Context, _ *nf.Packet) nf.Decision { got[i].Add(1); return nf.Default() })
 			_, _ = h.AddNF(svcA, fn, 0)
 		}
 		mustAdd(t, h, flowtable.Rule{Scope: flowtable.Port(0), Match: flowtable.MatchAll,
@@ -339,8 +345,8 @@ func TestLoadBalancerRoundRobinSpreads(t *testing.T) {
 	h, out := startHost(t, Config{LoadBalancer: LBRoundRobin}, func(h *Host) {
 		for i := 0; i < 2; i++ {
 			i := i
-			fn := &nf.FuncAdapter{FnName: "r", RO: true,
-				ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { got[i].Add(1); return nf.Default() }}
+			fn := ppNF("r",
+				func(_ *nf.Context, _ *nf.Packet) nf.Decision { got[i].Add(1); return nf.Default() })
 			_, _ = h.AddNF(svcA, fn, 0)
 		}
 		mustAdd(t, h, flowtable.Rule{Scope: flowtable.Port(0), Match: flowtable.MatchAll,
@@ -398,8 +404,8 @@ func TestCrossLayerChangeDefault(t *testing.T) {
 	release := make(chan struct{})
 	h, out := startHost(t, Config{}, func(h *Host) {
 		first := true
-		aNF := &nf.FuncAdapter{FnName: "a", RO: true,
-			ProcessF: func(ctx *nf.Context, p *nf.Packet) nf.Decision {
+		aNF := ppNF("a",
+			func(ctx *nf.Context, p *nf.Packet) nf.Decision {
 				if first {
 					first = false
 					ctx.Send(nf.Message{
@@ -411,11 +417,11 @@ func TestCrossLayerChangeDefault(t *testing.T) {
 					close(release)
 				}
 				return nf.Default()
-			}}
-		bNF := &nf.FuncAdapter{FnName: "b", RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { bGot.Add(1); return nf.Default() }}
-		cNF := &nf.FuncAdapter{FnName: "c", RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { cGot.Add(1); return nf.Default() }}
+			})
+		bNF := ppNF("b",
+			func(_ *nf.Context, _ *nf.Packet) nf.Decision { bGot.Add(1); return nf.Default() })
+		cNF := ppNF("c",
+			func(_ *nf.Context, _ *nf.Packet) nf.Decision { cGot.Add(1); return nf.Default() })
 		_, _ = h.AddNF(svcA, aNF, 0)
 		_, _ = h.AddNF(svcB, bNF, 0)
 		_, _ = h.AddNF(svcC, cNF, 0)
@@ -462,9 +468,9 @@ func TestInstallGraphEndToEnd(t *testing.T) {
 
 	var aGot, bGot, cGot atomic.Uint64
 	h, out := startHost(t, Config{}, func(h *Host) {
-		mk := func(c *atomic.Uint64) nf.Function {
-			return &nf.FuncAdapter{FnName: "x", RO: true,
-				ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { c.Add(1); return nf.Default() }}
+		mk := func(c *atomic.Uint64) nf.BatchFunction {
+			return ppNF("x",
+				func(_ *nf.Context, _ *nf.Packet) nf.Decision { c.Add(1); return nf.Default() })
 		}
 		_, _ = h.AddNF(svcA, mk(&aGot), 0)
 		_, _ = h.AddNF(svcB, mk(&bGot), 0)
@@ -490,8 +496,8 @@ func TestInstallGraphEndToEnd(t *testing.T) {
 func TestLookupCacheAblation(t *testing.T) {
 	for _, disable := range []bool{false, true} {
 		h, out := startHost(t, Config{DisableLookupCache: disable}, func(h *Host) {
-			_, _ = h.AddNF(svcA, &nf.FuncAdapter{FnName: "n", RO: true,
-				ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Default() }}, 0)
+			_, _ = h.AddNF(svcA, ppNF("n",
+				func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Default() }), 0)
 			mustAdd(t, h, flowtable.Rule{Scope: flowtable.Port(0), Match: flowtable.MatchAll,
 				Actions: []flowtable.Action{flowtable.Forward(svcA)}})
 			mustAdd(t, h, flowtable.Rule{Scope: svcA, Match: flowtable.MatchAll,
@@ -509,8 +515,8 @@ func TestLookupCacheAblation(t *testing.T) {
 
 func TestHostRestart(t *testing.T) {
 	h, out := startHost(t, Config{}, func(h *Host) {
-		_, _ = h.AddNF(svcA, &nf.FuncAdapter{FnName: "n", RO: true,
-			ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Default() }}, 0)
+		_, _ = h.AddNF(svcA, ppNF("n",
+			func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Default() }), 0)
 		mustAdd(t, h, flowtable.Rule{Scope: flowtable.Port(0), Match: flowtable.MatchAll,
 			Actions: []flowtable.Action{flowtable.Forward(svcA)}})
 		mustAdd(t, h, flowtable.Rule{Scope: svcA, Match: flowtable.MatchAll,
@@ -544,8 +550,7 @@ func TestAddNFValidation(t *testing.T) {
 	}
 }
 
-// NoopFn returns a minimal no-op NF for tests.
-func NoopFn() nf.Function {
-	return &nf.FuncAdapter{FnName: "noop", RO: true,
-		ProcessF: func(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Default() }}
+// NoopFn returns a minimal native-batch no-op NF for tests.
+func NoopFn() nf.BatchFunction {
+	return &nf.BatchAdapter{FnName: "noop", RO: true}
 }

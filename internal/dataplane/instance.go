@@ -8,6 +8,10 @@ import (
 	"sdnfv/internal/ring"
 )
 
+// nfBatch is the burst size of the NF instance loop: one DequeueBatch →
+// ProcessBatch → EnqueueBatch pass moves up to this many descriptors.
+const nfBatch = 64
+
 // Instance is one running NF "VM": a network function plus its private
 // rings. Each producer thread in the manager (the RX thread and every TX
 // thread) gets its own SPSC ring into the instance so that every ring has
@@ -16,7 +20,7 @@ type Instance struct {
 	Service  flowtable.ServiceID
 	Index    int // replica number within the service
 	Priority uint16
-	fn       nf.Function
+	fn       nf.BatchFunction
 	readOnly bool
 
 	// in[p] is written by producer p (0 = RX thread, 1+i = TX thread i).
@@ -32,7 +36,11 @@ type Instance struct {
 	rxCount   atomic.Uint64
 	dropCount atomic.Uint64 // ring-full drops into this instance
 	stop      atomic.Bool
-	done      chan struct{}
+
+	// opened tracks the Init/Close pairing: true between a successful
+	// Init and the matching Close (guarded by Host.lifeMu, which
+	// serializes all lifecycle operations).
+	opened bool
 }
 
 // Name returns the NF's name.
@@ -46,6 +54,11 @@ func (in *Instance) Processed() uint64 { return in.rxCount.Load() }
 
 // InputDrops returns packets dropped because the instance's rings were full.
 func (in *Instance) InputDrops() uint64 { return in.dropCount.Load() }
+
+// Flows exposes the instance's engine-owned per-flow state store, so the
+// manager (and tests) can inspect NF flow state for §3.4-style per-flow
+// decisions.
+func (in *Instance) Flows() *nf.FlowState { return in.ctx.Flows }
 
 // backlog returns the total queued descriptors across input rings.
 func (in *Instance) backlog() int {
@@ -65,46 +78,67 @@ func (in *Instance) offer(p int, d Desc) bool {
 	return false
 }
 
-// run is the NF goroutine: drain each input ring in bursts (amortizing
-// the consumer-index atomics, like DPDK's burst dequeue), process, hand
-// the descriptors (with the NF's decision recorded) to the out ring.
+// run is the NF goroutine: one burst pass per input ring — DequeueBatch,
+// one ProcessBatch call over the whole burst with a single decision
+// array, EnqueueBatch onto the out ring — amortizing the ring atomics and
+// the NF interface call across the burst (like DPDK's burst mode, and
+// like VPP's vectorized graph nodes). Cross-layer messages buffered
+// during the burst are flushed (deduped) once per burst.
 func (in *Instance) run(h *Host) {
-	defer close(in.done)
-	pkt := nf.Packet{}
 	idle := 0
-	batch := make([]Desc, 32)
+	descs := make([]Desc, nfBatch)
+	pkts := make([]nf.Packet, nfBatch)
+	decs := make([]nf.Decision, nfBatch)
 	for !in.stop.Load() {
 		progressed := false
 		for _, r := range in.in {
-			n := r.DequeueBatch(batch)
+			n := r.DequeueBatch(descs)
 			if n == 0 {
 				continue
 			}
 			progressed = true
 			in.rxCount.Add(uint64(n))
 			for i := 0; i < n; i++ {
-				d := batch[i]
-				pkt.Handle = d.H
-				pkt.View = &d.View
-				pkt.Key = d.Key
-				pkt.ArrivalNanos = d.ArrivalNanos
-				dec := in.fn.Process(&in.ctx, &pkt)
-
-				d.Scope = in.Service
-				d.Verb = dec.Verb
-				d.Dest = dec.Dest
-				for !in.out.Enqueue(d) {
-					if in.stop.Load() {
-						// Release this descriptor and everything still
-						// queued behind it in the burst.
-						for j := i; j < n; j++ {
-							h.releaseDesc(&batch[j])
-						}
-						return
+				d := &descs[i]
+				pkts[i] = nf.Packet{
+					Handle:       d.H,
+					View:         &d.View,
+					Key:          d.Key,
+					ArrivalNanos: d.ArrivalNanos,
+				}
+			}
+			// The decision slots arrive zeroed (Default) per the
+			// BatchFunction contract.
+			clear(decs[:n])
+			in.fn.ProcessBatch(&in.ctx, pkts[:n], decs[:n])
+			for i := 0; i < n; i++ {
+				descs[i].Scope = in.Service
+				descs[i].Verb = decs[i].Verb
+				descs[i].Dest = decs[i].Dest
+			}
+			// Hand the burst to the TX thread; spin when the out ring is
+			// full. On stop, every descriptor not yet owned by the ring is
+			// released exactly once — EnqueueBatch has already transferred
+			// ownership of the first `off`, so only the remainder is ours.
+			off := 0
+			for off < n {
+				k := in.out.EnqueueBatch(descs[off:n])
+				off += k
+				if off == n {
+					break
+				}
+				if in.stop.Load() {
+					for j := off; j < n; j++ {
+						h.releaseDesc(&descs[j])
 					}
+					in.ctx.FlushEmits()
+					return
+				}
+				if k == 0 {
 					h.pause(&idle)
 				}
 			}
+			in.ctx.FlushEmits()
 		}
 		if !progressed {
 			h.pause(&idle)

@@ -171,22 +171,20 @@ func TestCrossLayerMessageReachesApp(t *testing.T) {
 		Control: ctl,
 	})
 	sent := false
-	nfA := &nf.FuncAdapter{FnName: "a", RO: true,
-		ProcessF: func(ctx *nf.Context, p *nf.Packet) nf.Decision {
-			if !sent {
+	nfA := &nf.BatchAdapter{FnName: "a", RO: true,
+		ProcessBatchF: func(ctx *nf.Context, batch []nf.Packet, _ []nf.Decision) {
+			if !sent && len(batch) > 0 {
 				sent = true
 				// Legal: A->B is a graph edge.
 				ctx.Send(nf.Message{Kind: nf.MsgChangeDefault,
-					Flows: flowtable.ExactMatch(p.Key), S: svcA, T: svcB})
+					Flows: flowtable.ExactMatch(batch[0].Key), S: svcA, T: svcB})
 				// Illegal: B->A is not a graph edge; the app must log a
 				// rejection (the manager is constrained anyway).
 				ctx.Send(nf.Message{Kind: nf.MsgChangeDefault,
-					Flows: flowtable.ExactMatch(p.Key), S: svcB, T: svcA})
+					Flows: flowtable.ExactMatch(batch[0].Key), S: svcB, T: svcA})
 			}
-			return nf.Default()
 		}}
-	nfB := &nf.FuncAdapter{FnName: "b", RO: true,
-		ProcessF: func(*nf.Context, *nf.Packet) nf.Decision { return nf.Default() }}
+	nfB := &nf.BatchAdapter{FnName: "b", RO: true}
 	if _, err := h.AddNF(svcA, nfA, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -237,13 +235,19 @@ func TestParallelPriorityConflict(t *testing.T) {
 	)
 	h := dataplane.NewHost(dataplane.Config{PoolSize: 256, TXThreads: 1})
 	var xGot, yGot atomic.Int64
-	mk := func(dest flowtable.ServiceID) nf.Function {
-		return &nf.FuncAdapter{FnName: "par", RO: true,
-			ProcessF: func(*nf.Context, *nf.Packet) nf.Decision { return nf.SendTo(dest) }}
+	mk := func(dest flowtable.ServiceID) nf.BatchFunction {
+		return &nf.BatchAdapter{FnName: "par", RO: true,
+			ProcessBatchF: func(_ *nf.Context, batch []nf.Packet, out []nf.Decision) {
+				for i := range batch {
+					out[i] = nf.SendTo(dest)
+				}
+			}}
 	}
-	sink := func(c *atomic.Int64) nf.Function {
-		return &nf.FuncAdapter{FnName: "sink", RO: true,
-			ProcessF: func(*nf.Context, *nf.Packet) nf.Decision { c.Add(1); return nf.Default() }}
+	sink := func(c *atomic.Int64) nf.BatchFunction {
+		return &nf.BatchAdapter{FnName: "sink", RO: true,
+			ProcessBatchF: func(_ *nf.Context, batch []nf.Packet, _ []nf.Decision) {
+				c.Add(int64(len(batch)))
+			}}
 	}
 	if _, err := h.AddNF(svcL, mk(svcX), 1); err != nil { // low priority
 		t.Fatal(err)
@@ -303,13 +307,12 @@ func TestSkipMeAndRequestMe(t *testing.T) {
 	)
 	h := dataplane.NewHost(dataplane.Config{PoolSize: 256, TXThreads: 1})
 	var bGot, cGot atomic.Int64
-	pass := func(c *atomic.Int64) nf.Function {
-		return &nf.FuncAdapter{FnName: "p", RO: true,
-			ProcessF: func(*nf.Context, *nf.Packet) nf.Decision {
+	pass := func(c *atomic.Int64) nf.BatchFunction {
+		return &nf.BatchAdapter{FnName: "p", RO: true,
+			ProcessBatchF: func(_ *nf.Context, batch []nf.Packet, _ []nf.Decision) {
 				if c != nil {
-					c.Add(1)
+					c.Add(int64(len(batch)))
 				}
-				return nf.Default()
 			}}
 	}
 	if _, err := h.AddNF(svcA, pass(nil), 0); err != nil {

@@ -195,24 +195,25 @@ type simHostHandle struct {
 func (h simHostHandle) HostName() string { return h.name }
 
 // Launch implements orchestrator.HostHandle.
-func (h simHostHandle) Launch(context.Context, flowtable.ServiceID, nf.Function) error {
+func (h simHostHandle) Launch(context.Context, flowtable.ServiceID, nf.BatchFunction) error {
 	if h.onLaunch != nil {
 		h.onLaunch()
 	}
 	return nil
 }
 
-// noopNF is a minimal nf.Function for orchestrator launches in simulation.
+// noopNF is a minimal nf.BatchFunction for orchestrator launches in
+// simulation.
 type noopNF struct{}
 
-// Name implements nf.Function.
+// Name implements nf.BatchFunction.
 func (noopNF) Name() string { return "sim-noop" }
 
-// ReadOnly implements nf.Function.
+// ReadOnly implements nf.BatchFunction.
 func (noopNF) ReadOnly() bool { return true }
 
-// Process implements nf.Function.
-func (noopNF) Process(*nf.Context, *nf.Packet) nf.Decision { return nf.Default() }
+// ProcessBatch implements nf.BatchFunction.
+func (noopNF) ProcessBatch(*nf.Context, []nf.Packet, []nf.Decision) {}
 
 func init() {
 	register("fig9", func(seed int64) Result { return Fig9(seed) })

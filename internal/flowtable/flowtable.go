@@ -178,6 +178,22 @@ func (m Match) Specificity() int {
 // IsExact reports whether every field is concrete.
 func (m Match) IsExact() bool { return m.Specificity() == 5 }
 
+// Equal reports whether two matches select the same flows. Pointer fields
+// compare by pointed-to value, not identity, so two ExactMatch results for
+// the same key are equal.
+func (m Match) Equal(o Match) bool {
+	return eqField(m.SrcIP, o.SrcIP) && eqField(m.DstIP, o.DstIP) &&
+		eqField(m.SrcPort, o.SrcPort) && eqField(m.DstPort, o.DstPort) &&
+		eqField(m.Proto, o.Proto)
+}
+
+func eqField[T comparable](a, b *T) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
+}
+
 // exactKey converts an exact match to its FlowKey.
 func (m Match) exactKey() packet.FlowKey {
 	return packet.FlowKey{SrcIP: *m.SrcIP, DstIP: *m.DstIP, SrcPort: *m.SrcPort, DstPort: *m.DstPort, Proto: *m.Proto}

@@ -1,0 +1,106 @@
+package nf
+
+import (
+	"sync"
+
+	"sdnfv/internal/packet"
+)
+
+// flowStateShards is the shard count of a FlowState. Sharding keeps the
+// NF goroutine's per-packet accesses and the manager's concurrent
+// inspection off the same lock.
+const flowStateShards = 16
+
+// FlowState is a per-flow state store keyed by the packet 5-tuple. The
+// engine owns one per NF instance and attaches it to the instance's
+// Context, so state survives NF restarts and replacement and the manager
+// can inspect it for §3.4-style per-flow decisions. It replaces the
+// private ad-hoc maps NFs used to keep.
+//
+// Access is safe for one writer (the NF goroutine) plus any number of
+// concurrent readers; all operations lock only the shard the key hashes
+// to.
+type FlowState struct {
+	shards [flowStateShards]flowShard
+}
+
+type flowShard struct {
+	mu sync.RWMutex
+	m  map[packet.FlowKey]any
+}
+
+// NewFlowState returns an empty store.
+func NewFlowState() *FlowState {
+	s := &FlowState{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[packet.FlowKey]any)
+	}
+	return s
+}
+
+func (s *FlowState) shard(k packet.FlowKey) *flowShard {
+	return &s.shards[k.Hash()%flowStateShards]
+}
+
+// Get returns the state stored for flow k.
+func (s *FlowState) Get(k packet.FlowKey) (any, bool) {
+	sh := s.shard(k)
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Set stores v as flow k's state.
+func (s *FlowState) Set(k packet.FlowKey, v any) {
+	sh := s.shard(k)
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// Delete removes flow k's state.
+func (s *FlowState) Delete(k packet.FlowKey) {
+	sh := s.shard(k)
+	sh.mu.Lock()
+	delete(sh.m, k)
+	sh.mu.Unlock()
+}
+
+// Len returns the number of flows with state.
+func (s *FlowState) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for every (flow, state) pair until fn returns false.
+// fn must not mutate the store; snapshot keys first for that.
+func (s *FlowState) Range(fn func(k packet.FlowKey, v any) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.m {
+			if !fn(k, v) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Clear drops all per-flow state.
+func (s *FlowState) Clear() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		clear(sh.m)
+		sh.mu.Unlock()
+	}
+}

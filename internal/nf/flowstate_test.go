@@ -1,0 +1,107 @@
+package nf
+
+import (
+	"sync"
+	"testing"
+
+	"sdnfv/internal/packet"
+)
+
+func fsKey(n byte) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: packet.IPv4(10, 0, 0, n), DstIP: packet.IPv4(10, 1, 0, 1),
+		SrcPort: uint16(n), DstPort: 80, Proto: packet.ProtoUDP,
+	}
+}
+
+func TestFlowStateBasics(t *testing.T) {
+	s := NewFlowState()
+	k := fsKey(1)
+	if _, ok := s.Get(k); ok {
+		t.Fatal("empty store had state")
+	}
+	s.Set(k, 42)
+	if v, ok := s.Get(k); !ok || v.(int) != 42 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	s.Set(k, 43) // overwrite
+	if v, _ := s.Get(k); v.(int) != 43 {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+	s.Set(fsKey(2), "x")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Delete(k)
+	if _, ok := s.Get(k); ok || s.Len() != 1 {
+		t.Fatal("Delete did not remove")
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("Clear left state")
+	}
+}
+
+func TestFlowStateRange(t *testing.T) {
+	s := NewFlowState()
+	for i := byte(0); i < 50; i++ {
+		s.Set(fsKey(i), int(i))
+	}
+	sum, visits := 0, 0
+	s.Range(func(_ packet.FlowKey, v any) bool {
+		sum += v.(int)
+		visits++
+		return true
+	})
+	if visits != 50 || sum != 49*50/2 {
+		t.Fatalf("Range visited %d sum %d", visits, sum)
+	}
+	// Early stop.
+	visits = 0
+	s.Range(func(packet.FlowKey, any) bool { visits++; return false })
+	if visits != 1 {
+		t.Fatalf("Range ignored stop: %d visits", visits)
+	}
+}
+
+// TestFlowStateConcurrentReaders models the engine contract: one writer
+// (the NF goroutine) plus concurrent manager inspection. Run under -race.
+func TestFlowStateConcurrentReaders(t *testing.T) {
+	s := NewFlowState()
+	done := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() { // writer: churn flows until told to stop
+		defer writer.Done()
+		i := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s.Set(fsKey(byte(i%64)), i)
+			if i%3 == 0 {
+				s.Delete(fsKey(byte((i + 1) % 64)))
+			}
+			i++
+		}
+	}()
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() { // readers: Get/Len/Range concurrently
+			defer readers.Done()
+			for i := 0; i < 5_000; i++ {
+				s.Get(fsKey(byte(i % 64)))
+				if i%100 == 0 {
+					s.Len()
+					s.Range(func(packet.FlowKey, any) bool { return true })
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(done)
+	writer.Wait()
+}

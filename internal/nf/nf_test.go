@@ -1,9 +1,11 @@
 package nf
 
 import (
+	"fmt"
 	"testing"
 
 	"sdnfv/internal/flowtable"
+	"sdnfv/internal/packet"
 )
 
 func TestDecisionConstructors(t *testing.T) {
@@ -73,5 +75,136 @@ func TestFuncAdapter(t *testing.T) {
 	}
 	if d := f.Process(&Context{}, &Packet{}); d.Verb != VerbDiscard || !called {
 		t.Fatal("adapter did not delegate")
+	}
+}
+
+func TestPerPacketShim(t *testing.T) {
+	var seen int
+	fn := PerPacket(&FuncAdapter{FnName: "pp", RO: true,
+		ProcessF: func(_ *Context, p *Packet) Decision {
+			seen++
+			if p.Key.SrcPort%2 == 0 {
+				return Discard()
+			}
+			return Default()
+		}})
+	if fn.Name() != "pp" || !fn.ReadOnly() {
+		t.Fatal("shim metadata wrong")
+	}
+	batch := make([]Packet, 5)
+	for i := range batch {
+		batch[i].Key.SrcPort = uint16(i)
+	}
+	out := make([]Decision, 5)
+	fn.ProcessBatch(&Context{}, batch, out)
+	if seen != 5 {
+		t.Fatalf("shim called Process %d times, want 5", seen)
+	}
+	for i := range out {
+		wantDiscard := i%2 == 0
+		if (out[i].Verb == VerbDiscard) != wantDiscard {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+	// Shims of plain functions have pass-through lifecycle hooks.
+	if err := InitNF(fn, &Context{}); err != nil {
+		t.Fatalf("Init through shim = %v", err)
+	}
+	if err := CloseNF(fn); err != nil {
+		t.Fatalf("Close through shim = %v", err)
+	}
+}
+
+// lifecycleFn is a v1 Function with hooks, to prove the shim forwards them.
+type lifecycleFn struct {
+	FuncAdapter
+	inits, closes int
+	initErr       error
+}
+
+func (l *lifecycleFn) Init(*Context) error { l.inits++; return l.initErr }
+func (l *lifecycleFn) Close() error        { l.closes++; return nil }
+
+func TestPerPacketShimForwardsLifecycle(t *testing.T) {
+	l := &lifecycleFn{FuncAdapter: FuncAdapter{FnName: "l", RO: true,
+		ProcessF: func(*Context, *Packet) Decision { return Default() }}}
+	fn := PerPacket(l)
+	if err := InitNF(fn, &Context{}); err != nil || l.inits != 1 {
+		t.Fatalf("Init not forwarded: err=%v inits=%d", err, l.inits)
+	}
+	if err := CloseNF(fn); err != nil || l.closes != 1 {
+		t.Fatalf("Close not forwarded: err=%v closes=%d", err, l.closes)
+	}
+	l.initErr = errMock
+	if err := InitNF(fn, &Context{}); err != errMock {
+		t.Fatalf("Init error not forwarded: %v", err)
+	}
+}
+
+var errMock = fmt.Errorf("mock failure")
+
+func TestBatchAdapterLifecycle(t *testing.T) {
+	inits, closes := 0, 0
+	a := &BatchAdapter{
+		FnName: "ba", RO: true,
+		InitF:  func(*Context) error { inits++; return nil },
+		CloseF: func() error { closes++; return nil },
+	}
+	if err := InitNF(a, &Context{}); err != nil || inits != 1 {
+		t.Fatal("InitF not invoked")
+	}
+	if err := CloseNF(a); err != nil || closes != 1 {
+		t.Fatal("CloseF not invoked")
+	}
+	// Nil ProcessBatchF leaves decisions untouched (Default).
+	out := []Decision{Discard()}
+	a.ProcessBatch(&Context{}, make([]Packet, 1), out)
+	if out[0].Verb != VerbDiscard {
+		t.Fatal("nil ProcessBatchF mutated out")
+	}
+	// NFs without hooks are fine too.
+	plain := PerPacket(&FuncAdapter{FnName: "p", ProcessF: func(*Context, *Packet) Decision { return Default() }})
+	if err := InitNF(plain, &Context{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferedEmitFlushDedupes(t *testing.T) {
+	var got []Message
+	c := Context{Service: 7, Emit: func(m Message) { got = append(got, m) }}
+	c.BufferEmits(true)
+	k := packet.FlowKey{SrcIP: packet.IPv4(10, 0, 0, 1), SrcPort: 1, DstPort: 2, Proto: 17}
+	// A burst where one flow triggers the same ChangeDefault repeatedly,
+	// interleaved with data records (never collapsed) and a distinct
+	// steering message.
+	cd := Message{Kind: MsgChangeDefault, Flows: flowtable.ExactMatch(k), S: 7, T: 9}
+	for i := 0; i < 3; i++ {
+		c.Send(cd)
+		c.Send(Message{Kind: MsgData, S: 7, Key: "n", Value: i})
+	}
+	c.Send(Message{Kind: MsgRequestMe, Flows: flowtable.MatchAll, S: 7})
+	c.Send(Message{Kind: MsgRequestMe, Flows: flowtable.MatchAll, S: 7})
+	if len(got) != 0 {
+		t.Fatalf("buffered Send delivered early: %v", got)
+	}
+	if n := c.FlushEmits(); n != 5 {
+		t.Fatalf("FlushEmits = %d, want 5 (1 ChangeDefault + 3 data + 1 RequestMe)", n)
+	}
+	if len(got) != 5 {
+		t.Fatalf("delivered %d messages: %v", len(got), got)
+	}
+	if got[0].Kind != MsgChangeDefault || got[1].Kind != MsgData || got[4].Kind != MsgRequestMe {
+		t.Fatalf("order/dedupe wrong: %v", got)
+	}
+	// Buffer resets between bursts: the same message sends again next burst.
+	c.Send(cd)
+	if n := c.FlushEmits(); n != 1 {
+		t.Fatalf("second-burst flush = %d, want 1", n)
+	}
+	// Unbuffered contexts deliver immediately (v1 behavior).
+	c.BufferEmits(false)
+	c.Send(cd)
+	if len(got) != 7 {
+		t.Fatalf("unbuffered Send not immediate: %d", len(got))
 	}
 }

@@ -36,7 +36,9 @@ func (c FlowClass) String() string {
 // packet size and rate over a time window (the paper uses two seconds).
 // When a flow's class changes, the detector issues a ChangeDefault message
 // steering ants to the fast (low-latency) path and elephants to the bulk
-// path — the QoS scenario of Fig. 8.
+// path — the QoS scenario of Fig. 8. Per-flow window state lives in the
+// engine-owned flow store, so the manager can read each flow's current
+// class directly and classifications survive a detector restart.
 type AntDetector struct {
 	// WindowSec is the observation interval (paper: 2 s).
 	WindowSec float64
@@ -54,54 +56,72 @@ type AntDetector struct {
 	// OnReclassify, when set, observes classification changes (tests).
 	OnReclassify func(k packet.FlowKey, c FlowClass)
 
-	flows map[packet.FlowKey]*antFlowState
+	flows *nf.FlowState
 
 	reclassifications atomic.Uint64
 }
 
+// antFlowState is the per-flow window aggregate. The window fields are
+// owned by the NF goroutine; only class is read concurrently (Class), so
+// it is atomic.
 type antFlowState struct {
 	winStart float64
 	bytes    float64
 	packets  float64
-	class    FlowClass
+	class    atomic.Uint32 // FlowClass
 }
 
-// Name implements nf.Function.
+// Name implements nf.BatchFunction.
 func (a *AntDetector) Name() string { return "ant-detector" }
 
-// ReadOnly implements nf.Function.
+// ReadOnly implements nf.BatchFunction.
 func (a *AntDetector) ReadOnly() bool { return true }
 
-// Process implements nf.Function.
-func (a *AntDetector) Process(ctx *nf.Context, p *nf.Packet) nf.Decision {
-	if a.flows == nil {
-		a.flows = make(map[packet.FlowKey]*antFlowState)
-	}
+// Init implements nf.Initializer, binding the engine-owned flow store so
+// Class can answer manager queries.
+func (a *AntDetector) Init(ctx *nf.Context) error {
+	a.flows = ctx.FlowState()
+	return nil
+}
+
+// ProcessBatch implements nf.BatchFunction. All packets of the burst
+// share one clock read: window boundaries are two seconds, bursts are
+// microseconds.
+func (a *AntDetector) ProcessBatch(ctx *nf.Context, batch []nf.Packet, _ []nf.Decision) {
 	now := 0.0
 	if a.Now != nil {
 		now = a.Now()
 	}
-	st, ok := a.flows[p.Key]
-	if !ok {
-		st = &antFlowState{winStart: now}
-		a.flows[p.Key] = st
-	}
-	st.bytes += float64(len(p.View.Buf()))
-	st.packets++
-
 	win := a.WindowSec
 	if win <= 0 {
 		win = 2
 	}
-	if now-st.winStart >= win {
+	for i := range batch {
+		p := &batch[i]
+		var st *antFlowState
+		if v, ok := a.flows.Get(p.Key); ok {
+			// Comma-ok: tolerate foreign values in an inherited store
+			// rather than panicking the dataplane.
+			st, _ = v.(*antFlowState)
+		}
+		if st == nil {
+			st = &antFlowState{winStart: now}
+			a.flows.Set(p.Key, st)
+		}
+		st.bytes += float64(len(p.View.Buf()))
+		st.packets++
+
+		if now-st.winStart < win {
+			continue
+		}
 		rateBps := st.bytes * 8 / (now - st.winStart)
 		meanSize := st.bytes / st.packets
 		newClass := ClassElephant
 		if rateBps <= a.AntBpsLimit && meanSize <= a.SmallPacketBytes {
 			newClass = ClassAnt
 		}
-		if newClass != st.class {
-			st.class = newClass
+		if newClass != FlowClass(st.class.Load()) {
+			st.class.Store(uint32(newClass))
 			a.reclassifications.Add(1)
 			dest := a.SlowPath
 			if newClass == ClassAnt {
@@ -122,13 +142,19 @@ func (a *AntDetector) Process(ctx *nf.Context, p *nf.Packet) nf.Decision {
 		st.bytes = 0
 		st.packets = 0
 	}
-	return nf.Default()
 }
 
-// Class returns the current classification of flow k.
+// Class returns the current classification of flow k. Safe to call from
+// the manager while the detector is processing: the class field is
+// atomic (the rest of the window state stays NF-private).
 func (a *AntDetector) Class(k packet.FlowKey) FlowClass {
-	if st, ok := a.flows[k]; ok {
-		return st.class
+	if a.flows == nil {
+		return ClassUnknown
+	}
+	if v, ok := a.flows.Get(k); ok {
+		if st, ok := v.(*antFlowState); ok {
+			return FlowClass(st.class.Load())
+		}
 	}
 	return ClassUnknown
 }
@@ -136,4 +162,7 @@ func (a *AntDetector) Class(k packet.FlowKey) FlowClass {
 // Reclassifications returns the number of class changes observed.
 func (a *AntDetector) Reclassifications() uint64 { return a.reclassifications.Load() }
 
-var _ nf.Function = (*AntDetector)(nil)
+var (
+	_ nf.BatchFunction = (*AntDetector)(nil)
+	_ nf.Initializer   = (*AntDetector)(nil)
+)

@@ -30,28 +30,37 @@ type Backend struct {
 	Port uint16
 }
 
-// Name implements nf.Function.
+// Name implements nf.BatchFunction.
 func (m *MemcachedProxy) Name() string { return "memcached-proxy" }
 
-// ReadOnly implements nf.Function; the proxy rewrites headers.
+// ReadOnly implements nf.BatchFunction; the proxy rewrites headers.
 func (m *MemcachedProxy) ReadOnly() bool { return false }
 
-// Process implements nf.Function.
-func (m *MemcachedProxy) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
-	if len(m.Servers) == 0 || !p.View.Valid() || p.View.Proto() != packet.ProtoUDP {
-		return nf.Default()
+// ProcessBatch implements nf.BatchFunction.
+func (m *MemcachedProxy) ProcessBatch(_ *nf.Context, batch []nf.Packet, out []nf.Decision) {
+	if len(m.Servers) == 0 {
+		return
 	}
-	key, ok := ParseMemcachedGet(p.View.Payload())
-	if !ok {
-		m.malformed.Add(1)
-		return nf.Default()
+	var proxied, malformed uint64
+	for i := range batch {
+		p := &batch[i]
+		if !p.View.Valid() || p.View.Proto() != packet.ProtoUDP {
+			continue
+		}
+		key, ok := ParseMemcachedGet(p.View.Payload())
+		if !ok {
+			malformed++
+			continue
+		}
+		b := m.Servers[hashKey(key)%uint64(len(m.Servers))]
+		p.View.SetDstIP(b.IP)
+		p.View.SetDstPort(b.Port)
+		p.View.UpdateChecksums()
+		proxied++
+		out[i] = nf.Out(m.OutPort)
 	}
-	b := m.Servers[hashKey(key)%uint64(len(m.Servers))]
-	p.View.SetDstIP(b.IP)
-	p.View.SetDstPort(b.Port)
-	p.View.UpdateChecksums()
-	m.proxied.Add(1)
-	return nf.Out(m.OutPort)
+	m.proxied.Add(proxied)
+	m.malformed.Add(malformed)
 }
 
 // Proxied returns the number of requests rewritten.
@@ -60,7 +69,7 @@ func (m *MemcachedProxy) Proxied() uint64 { return m.proxied.Load() }
 // Malformed returns the number of undecodable requests.
 func (m *MemcachedProxy) Malformed() uint64 { return m.malformed.Load() }
 
-var _ nf.Function = (*MemcachedProxy)(nil)
+var _ nf.BatchFunction = (*MemcachedProxy)(nil)
 
 // memcached UDP frames carry an 8-byte frame header (request id, sequence,
 // datagram count, reserved) before the text protocol.

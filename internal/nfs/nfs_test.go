@@ -1,6 +1,7 @@
 package nfs
 
 import (
+	"errors"
 	"testing"
 
 	"sdnfv/internal/flowtable"
@@ -34,6 +35,18 @@ func udpKey(n byte) packet.FlowKey {
 	}
 }
 
+// proc drives one packet through an NF's batch interface, the way the
+// engine does (decision slot pre-zeroed to Default).
+func proc(fn nf.BatchFunction, ctx *nf.Context, p *nf.Packet) nf.Decision {
+	if ctx == nil {
+		ctx = &nf.Context{}
+	}
+	batch := [1]nf.Packet{*p}
+	out := [1]nf.Decision{}
+	fn.ProcessBatch(ctx, batch[:], out[:])
+	return out[0]
+}
+
 // msgCollector captures cross-layer messages.
 type msgCollector struct {
 	msgs []nf.Message
@@ -45,15 +58,38 @@ func (c *msgCollector) ctx(svc flowtable.ServiceID) *nf.Context {
 
 func TestNoOpAndCounter(t *testing.T) {
 	p := mkPacket(t, udpKey(1), []byte("x"))
-	if d := (NoOp{}).Process(nil, p); d.Verb != nf.VerbDefault {
+	if d := proc(NoOp{}, nil, p); d.Verb != nf.VerbDefault {
 		t.Fatalf("NoOp decision = %v", d)
 	}
 	c := &Counter{}
 	for i := 0; i < 3; i++ {
-		c.Process(nil, p)
+		proc(c, nil, p)
 	}
 	if c.Packets() != 3 || c.Bytes() == 0 {
 		t.Fatalf("counter = %d pkts %d bytes", c.Packets(), c.Bytes())
+	}
+}
+
+func TestCounterBatchAggregation(t *testing.T) {
+	// A whole burst accounts in one pass: counters equal the burst totals.
+	c := &Counter{}
+	p := mkPacket(t, udpKey(1), []byte("abcdef"))
+	batch := make([]nf.Packet, 32)
+	out := make([]nf.Decision, 32)
+	for i := range batch {
+		batch[i] = *p
+	}
+	c.ProcessBatch(&nf.Context{}, batch, out)
+	if c.Packets() != 32 {
+		t.Fatalf("packets = %d, want 32", c.Packets())
+	}
+	if c.Bytes() != 32*uint64(len(p.View.Buf())) {
+		t.Fatalf("bytes = %d", c.Bytes())
+	}
+	for i := range out {
+		if out[i].Verb != nf.VerbDefault {
+			t.Fatalf("decision %d = %v, want default", i, out[i])
+		}
 	}
 }
 
@@ -63,7 +99,7 @@ func TestComputeIntensiveIsReadOnly(t *testing.T) {
 		t.Fatal("compute NF must be read-only for parallel dispatch")
 	}
 	p := mkPacket(t, udpKey(1), []byte("payload"))
-	if d := ci.Process(nil, p); d.Verb != nf.VerbDefault {
+	if d := proc(ci, nil, p); d.Verb != nf.VerbDefault {
 		t.Fatalf("decision = %v", d)
 	}
 }
@@ -76,10 +112,10 @@ func TestFirewallRules(t *testing.T) {
 		},
 		DefaultAllow: true,
 	}
-	if d := fw.Process(nil, mkPacket(t, bad, nil)); d.Verb != nf.VerbDiscard {
+	if d := proc(fw, nil, mkPacket(t, bad, nil)); d.Verb != nf.VerbDiscard {
 		t.Fatalf("blocked flow passed: %v", d)
 	}
-	if d := fw.Process(nil, mkPacket(t, udpKey(1), nil)); d.Verb != nf.VerbDefault {
+	if d := proc(fw, nil, mkPacket(t, udpKey(1), nil)); d.Verb != nf.VerbDefault {
 		t.Fatalf("allowed flow dropped: %v", d)
 	}
 	if fw.Allowed() != 1 || fw.Denied() != 1 {
@@ -87,8 +123,33 @@ func TestFirewallRules(t *testing.T) {
 	}
 	// Default-deny posture.
 	fw2 := &Firewall{}
-	if d := fw2.Process(nil, mkPacket(t, udpKey(2), nil)); d.Verb != nf.VerbDiscard {
+	if d := proc(fw2, nil, mkPacket(t, udpKey(2), nil)); d.Verb != nf.VerbDiscard {
 		t.Fatal("default-deny firewall passed a packet")
+	}
+}
+
+func TestFirewallMixedBatch(t *testing.T) {
+	// Per-packet decisions inside one burst stay independent.
+	bad := udpKey(66)
+	fw := &Firewall{
+		Rules:        []FirewallRule{{Match: flowtable.MatchSrcIP(bad.SrcIP), Allow: false}},
+		DefaultAllow: true,
+	}
+	batch := []nf.Packet{
+		*mkPacket(t, udpKey(1), nil),
+		*mkPacket(t, bad, nil),
+		*mkPacket(t, udpKey(2), nil),
+	}
+	out := make([]nf.Decision, len(batch))
+	fw.ProcessBatch(&nf.Context{}, batch, out)
+	if out[0].Verb != nf.VerbDefault || out[2].Verb != nf.VerbDefault {
+		t.Fatalf("clean packets in mixed batch: %v %v", out[0], out[2])
+	}
+	if out[1].Verb != nf.VerbDiscard {
+		t.Fatalf("blocked packet in mixed batch: %v", out[1])
+	}
+	if fw.Allowed() != 2 || fw.Denied() != 1 {
+		t.Fatalf("counters = %d/%d", fw.Allowed(), fw.Denied())
 	}
 }
 
@@ -96,19 +157,19 @@ func TestSamplerFlowConsistency(t *testing.T) {
 	s := &Sampler{Rate: 0.5, Bypass: 42}
 	k := udpKey(7)
 	p := mkPacket(t, k, nil)
-	first := s.Process(nil, p)
+	first := proc(s, nil, p)
 	for i := 0; i < 10; i++ {
-		if d := s.Process(nil, p); d != first {
+		if d := proc(s, nil, p); d != first {
 			t.Fatal("sampler flip-flopped within one flow")
 		}
 	}
 	// Rate 0 bypasses everything; rate 1 samples everything.
 	s0 := &Sampler{Rate: 0, Bypass: 42}
-	if d := s0.Process(nil, p); d.Verb != nf.VerbSendTo || d.Dest != 42 {
+	if d := proc(s0, nil, p); d.Verb != nf.VerbSendTo || d.Dest != 42 {
 		t.Fatalf("rate-0 sampler: %v", d)
 	}
 	s1 := &Sampler{Rate: 1, Bypass: 42}
-	if d := s1.Process(nil, p); d.Verb != nf.VerbDefault {
+	if d := proc(s1, nil, p); d.Verb != nf.VerbDefault {
 		t.Fatalf("rate-1 sampler: %v", d)
 	}
 }
@@ -117,8 +178,11 @@ func TestIDSDetectsAndRedirects(t *testing.T) {
 	col := &msgCollector{}
 	ids := &IDS{Matcher: DefaultIDSSignatures(), Scrubber: 99}
 	ctx := col.ctx(50)
+	if err := ids.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
 	evil := mkPacket(t, udpKey(3), []byte("GET /?q=' OR '1'='1 HTTP/1.1"))
-	if d := ids.Process(ctx, evil); d.Verb != nf.VerbSendTo || d.Dest != 99 {
+	if d := proc(ids, ctx, evil); d.Verb != nf.VerbSendTo || d.Dest != 99 {
 		t.Fatalf("exploit not redirected: %v", d)
 	}
 	if len(col.msgs) != 1 || col.msgs[0].Kind != nf.MsgChangeDefault || col.msgs[0].T != 99 {
@@ -126,15 +190,26 @@ func TestIDSDetectsAndRedirects(t *testing.T) {
 	}
 	// Subsequent packets of the flagged flow divert even without payload.
 	clean := mkPacket(t, udpKey(3), []byte("innocent"))
-	if d := ids.Process(ctx, clean); d.Verb != nf.VerbSendTo {
+	if d := proc(ids, ctx, clean); d.Verb != nf.VerbSendTo {
 		t.Fatal("flagged flow forgot its state")
 	}
 	// Other flows pass.
-	if d := ids.Process(ctx, mkPacket(t, udpKey(4), []byte("hello"))); d.Verb != nf.VerbDefault {
+	if d := proc(ids, ctx, mkPacket(t, udpKey(4), []byte("hello"))); d.Verb != nf.VerbDefault {
 		t.Fatal("clean flow diverted")
 	}
 	if ids.Alerts() != 1 {
 		t.Fatalf("alerts = %d", ids.Alerts())
+	}
+	// The quarantine set is flow state: visible through the context store.
+	if _, flagged := ctx.FlowState().Get(udpKey(3)); !flagged {
+		t.Fatal("flagged flow not in the engine-owned store")
+	}
+}
+
+func TestIDSInitRejectsNilMatcher(t *testing.T) {
+	ids := &IDS{Scrubber: 99}
+	if err := ids.Init(&nf.Context{}); !errors.Is(err, ErrNoSignatures) {
+		t.Fatalf("Init = %v, want ErrNoSignatures", err)
 	}
 }
 
@@ -147,13 +222,16 @@ func TestDDoSDetectorThreshold(t *testing.T) {
 		Now:          func() float64 { return now },
 	}
 	ctx := col.ctx(60)
+	if err := d.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
 	p := mkPacket(t, udpKey(5), make([]byte, 400))
-	d.Process(ctx, p)
+	proc(d, ctx, p)
 	if len(col.msgs) != 0 {
 		t.Fatal("alarm before threshold")
 	}
-	d.Process(ctx, p) // cumulative window volume crosses 1000B
-	d.Process(ctx, p)
+	proc(d, ctx, p) // cumulative window volume crosses 1000B
+	proc(d, ctx, p)
 	if len(col.msgs) != 1 {
 		t.Fatalf("alarm count = %d", len(col.msgs))
 	}
@@ -161,12 +239,19 @@ func TestDDoSDetectorThreshold(t *testing.T) {
 		t.Fatalf("alarm message = %v", col.msgs[0])
 	}
 	// Only one alarm per prefix.
-	d.Process(ctx, p)
+	proc(d, ctx, p)
 	if len(col.msgs) != 1 {
 		t.Fatal("duplicate alarms")
 	}
 	if d.Alarms() != 1 {
 		t.Fatalf("Alarms = %d", d.Alarms())
+	}
+	// Close drops the window aggregates.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d.winBytes != nil {
+		t.Fatal("Close kept window state")
 	}
 }
 
@@ -174,10 +259,10 @@ func TestScrubber(t *testing.T) {
 	s := &Scrubber{Malicious: func(p *nf.Packet) bool {
 		return p.Key.SrcIP == packet.IPv4(10, 0, 0, 66)
 	}}
-	if d := s.Process(nil, mkPacket(t, udpKey(66), nil)); d.Verb != nf.VerbDiscard {
+	if d := proc(s, nil, mkPacket(t, udpKey(66), nil)); d.Verb != nf.VerbDiscard {
 		t.Fatal("malicious packet passed")
 	}
-	if d := s.Process(nil, mkPacket(t, udpKey(1), nil)); d.Verb != nf.VerbDefault {
+	if d := proc(s, nil, mkPacket(t, udpKey(1), nil)); d.Verb != nf.VerbDefault {
 		t.Fatal("clean packet dropped")
 	}
 	col := &msgCollector{}
@@ -187,17 +272,30 @@ func TestScrubber(t *testing.T) {
 	}
 }
 
+func TestScrubberAnnouncesOnInit(t *testing.T) {
+	// The Init lifecycle hook sends the §5.2 RequestMe announcement.
+	col := &msgCollector{}
+	m := flowtable.MatchAll
+	s := &Scrubber{AnnounceFlows: &m}
+	if err := s.Init(col.ctx(99)); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.msgs) != 1 || col.msgs[0].Kind != nf.MsgRequestMe || col.msgs[0].S != 99 {
+		t.Fatalf("Init announcement = %v", col.msgs)
+	}
+}
+
 func TestVideoDetectorClassification(t *testing.T) {
 	col := &msgCollector{}
 	vd := &VideoDetector{PolicyEngine: 70, Bypass: 71, RewriteDefaults: true}
 	ctx := col.ctx(69)
 
 	video := mkPacket(t, udpKey(10), []byte("HTTP/1.1 200 OK\r\nContent-Type: video/mp4\r\n\r\n"))
-	if d := vd.Process(ctx, video); d.Verb != nf.VerbSendTo || d.Dest != 70 {
+	if d := proc(vd, ctx, video); d.Verb != nf.VerbSendTo || d.Dest != 70 {
 		t.Fatalf("video flow: %v", d)
 	}
 	html := mkPacket(t, udpKey(11), []byte("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n"))
-	if d := vd.Process(ctx, html); d.Verb != nf.VerbSendTo || d.Dest != 71 {
+	if d := proc(vd, ctx, html); d.Verb != nf.VerbSendTo || d.Dest != 71 {
 		t.Fatalf("html flow: %v", d)
 	}
 	// Non-video flows get a ChangeDefault so they skip the policy path.
@@ -206,7 +304,7 @@ func TestVideoDetectorClassification(t *testing.T) {
 	}
 	// Unknown content continues on the default path.
 	unknown := mkPacket(t, udpKey(12), []byte("binarydata"))
-	if d := vd.Process(ctx, unknown); d.Verb != nf.VerbDefault {
+	if d := proc(vd, ctx, unknown); d.Verb != nf.VerbDefault {
 		t.Fatalf("unknown flow: %v", d)
 	}
 	if vd.VideoFlows() != 1 || vd.OtherFlows() != 1 {
@@ -221,11 +319,11 @@ func TestPolicyEngineThrottleFlip(t *testing.T) {
 	ctx := col.ctx(79)
 	p := mkPacket(t, udpKey(20), nil)
 
-	if d := pe.Process(ctx, p); d.Verb != nf.VerbSendTo || d.Dest != 81 {
+	if d := proc(pe, ctx, p); d.Verb != nf.VerbSendTo || d.Dest != 81 {
 		t.Fatalf("unthrottled: %v", d)
 	}
 	state.SetThrottle(true)
-	if d := pe.Process(ctx, p); d.Dest != 80 {
+	if d := proc(pe, ctx, p); d.Dest != 80 {
 		t.Fatalf("throttled: %v", d)
 	}
 	// The flip must have produced a RequestMe (recall all flows).
@@ -251,12 +349,12 @@ func TestQualityDetector(t *testing.T) {
 	}
 	low := udpKey(1)
 	low.SrcPort = 400
-	if d := qd.Process(nil, mkPacket(t, low, nil)); d.Dest != 81 {
+	if d := proc(qd, nil, mkPacket(t, low, nil)); d.Dest != 81 {
 		t.Fatalf("low-bitrate flow transcoded: %v", d)
 	}
 	high := udpKey(2)
 	high.SrcPort = 4000
-	if d := qd.Process(nil, mkPacket(t, high, nil)); d.Dest != 80 {
+	if d := proc(qd, nil, mkPacket(t, high, nil)); d.Dest != 80 {
 		t.Fatalf("high-bitrate flow skipped: %v", d)
 	}
 }
@@ -266,7 +364,7 @@ func TestTranscoderHalvesRate(t *testing.T) {
 	p := mkPacket(t, udpKey(1), nil)
 	drops, passes := 0, 0
 	for i := 0; i < 1000; i++ {
-		if tr.Process(nil, p).Verb == nf.VerbDiscard {
+		if proc(tr, nil, p).Verb == nf.VerbDiscard {
 			drops++
 		} else {
 			passes++
@@ -284,8 +382,11 @@ func TestCacheLRU(t *testing.T) {
 	c := &Cache{Capacity: 2, OutPort: 3, KeyOf: func(p *nf.Packet) string {
 		return string(p.View.Payload())
 	}}
+	if err := c.Init(&nf.Context{}); err != nil {
+		t.Fatal(err)
+	}
 	get := func(key string) nf.Decision {
-		return c.Process(nil, mkPacket(t, udpKey(1), []byte(key)))
+		return proc(c, nil, mkPacket(t, udpKey(1), []byte(key)))
 	}
 	if d := get("a"); d.Verb != nf.VerbDefault {
 		t.Fatal("miss should follow default path")
@@ -301,6 +402,13 @@ func TestCacheLRU(t *testing.T) {
 	if c.Hits() != 1 {
 		t.Fatalf("hits = %d", c.Hits())
 	}
+	// Close releases the content index.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.entries != nil || c.lru != nil {
+		t.Fatal("Close kept the cache index")
+	}
 }
 
 func TestShaperTokenBucket(t *testing.T) {
@@ -308,18 +416,18 @@ func TestShaperTokenBucket(t *testing.T) {
 	s := &Shaper{RateBps: 8000, BurstBytes: 1000, Now: func() float64 { return now }}
 	p := mkPacket(t, udpKey(1), make([]byte, 400-packet.EthHeaderLen-packet.IPv4HeaderLen-packet.UDPHeaderLen))
 	// Burst allows ~2 packets of ~400B, then drops.
-	if s.Process(nil, p).Verb != nf.VerbDefault {
+	if proc(s, nil, p).Verb != nf.VerbDefault {
 		t.Fatal("first packet shaped")
 	}
-	if s.Process(nil, p).Verb != nf.VerbDefault {
+	if proc(s, nil, p).Verb != nf.VerbDefault {
 		t.Fatal("second packet shaped")
 	}
-	if s.Process(nil, p).Verb != nf.VerbDiscard {
+	if proc(s, nil, p).Verb != nf.VerbDiscard {
 		t.Fatal("burst exceeded but passed")
 	}
 	// After a second, 1000 bytes of tokens refill.
 	now = 1.0
-	if s.Process(nil, p).Verb != nf.VerbDefault {
+	if proc(s, nil, p).Verb != nf.VerbDefault {
 		t.Fatal("refilled bucket still dropping")
 	}
 	if s.Shaped() != 1 {
@@ -336,12 +444,15 @@ func TestAntDetectorReclassification(t *testing.T) {
 		FastPath: 90, SlowPath: 91,
 	}
 	ctx := col.ctx(89)
+	if err := ad.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
 	k := udpKey(30)
 	small := mkPacket(t, k, make([]byte, 20))
 	// Low-rate small packets over a window: classified ant.
 	for i := 0; i < 6; i++ {
 		now += 0.6
-		ad.Process(ctx, small)
+		proc(ad, ctx, small)
 	}
 	if ad.Class(k) != ClassAnt {
 		t.Fatalf("class = %v, want ant", ad.Class(k))
@@ -353,7 +464,7 @@ func TestAntDetectorReclassification(t *testing.T) {
 	big := mkPacket(t, k, make([]byte, 1400))
 	for i := 0; i < 40; i++ {
 		now += 0.06
-		ad.Process(ctx, big)
+		proc(ad, ctx, big)
 	}
 	if ad.Class(k) != ClassElephant {
 		t.Fatalf("class = %v, want elephant", ad.Class(k))
@@ -364,6 +475,10 @@ func TestAntDetectorReclassification(t *testing.T) {
 	}
 	if ad.Reclassifications() < 2 {
 		t.Fatalf("reclassifications = %d", ad.Reclassifications())
+	}
+	// The window state is in the engine-owned store, not a private map.
+	if ctx.FlowState().Len() != 1 {
+		t.Fatalf("flow store holds %d flows, want 1", ctx.FlowState().Len())
 	}
 }
 
@@ -383,7 +498,7 @@ func TestMemcachedProxyRewrites(t *testing.T) {
 	k := udpKey(40)
 	k.DstPort = 11211
 	p := mkPacket(t, k, payload[:n])
-	d := proxy.Process(nil, p)
+	d := proc(proxy, nil, p)
 	if d.Verb != nf.VerbOut || d.Dest.PortNum() != 2 {
 		t.Fatalf("decision = %v", d)
 	}
@@ -396,7 +511,7 @@ func TestMemcachedProxyRewrites(t *testing.T) {
 	}
 	// Same key always maps to the same backend.
 	p2 := mkPacket(t, k, payload[:n])
-	proxy.Process(nil, p2)
+	proc(proxy, nil, p2)
 	if p2.View.DstIP() != dst {
 		t.Fatal("key-to-backend mapping unstable")
 	}
@@ -438,17 +553,23 @@ func BenchmarkMemcachedProxyNF(b *testing.B) {
 	frame := make([]byte, 512)
 	fn, _ := bd.Build(frame, payload[:n])
 	v, _ := packet.Parse(frame[:fn])
-	p := &nf.Packet{View: &v, Key: v.FlowKey()}
+	ctx := &nf.Context{}
+	batch := [1]nf.Packet{{View: &v, Key: v.FlowKey()}}
+	out := [1]nf.Decision{}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		proxy.Process(nil, p)
+		out[0] = nf.Decision{}
+		proxy.ProcessBatch(ctx, batch[:], out[:])
 	}
 }
 
 func BenchmarkIDSProcess(b *testing.B) {
 	ids := &IDS{Matcher: DefaultIDSSignatures(), Scrubber: 99}
 	ctx := &nf.Context{Service: 50}
+	if err := ids.Init(ctx); err != nil {
+		b.Fatal(err)
+	}
 	bd := packet.Builder{
 		SrcIP: packet.IPv4(10, 0, 0, 1), DstIP: packet.IPv4(10, 1, 0, 1),
 		SrcPort: 5000, DstPort: 80, Proto: packet.ProtoUDP,
@@ -456,10 +577,12 @@ func BenchmarkIDSProcess(b *testing.B) {
 	frame := make([]byte, 2048)
 	n, _ := bd.Build(frame, []byte("GET /products?id=42 HTTP/1.1\r\nHost: example.com\r\n\r\n"))
 	v, _ := packet.Parse(frame[:n])
-	p := &nf.Packet{View: &v, Key: v.FlowKey()}
+	batch := [1]nf.Packet{{View: &v, Key: v.FlowKey()}}
+	out := [1]nf.Decision{}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ids.Process(ctx, p)
+		out[0] = nf.Decision{}
+		ids.ProcessBatch(ctx, batch[:], out[:])
 	}
 }

@@ -5,10 +5,15 @@
 // Shaper), flow-characterization NFs (Ant Detector), the application-aware
 // memcached proxy, and benchmarking NFs (NoOp, ComputeIntensive).
 //
-// Every NF is a plain struct implementing nf.Function. NFs keep per-flow
-// state in ordinary maps: each instance is driven by a single goroutine, so
-// no locking is needed (the same argument the paper makes for per-thread
-// flow state in §4.2).
+// Every NF is a plain struct implementing nf.BatchFunction natively: the
+// engine hands it a whole burst and a decision array, so per-burst costs
+// (clock reads, state-store lookups, counter updates) are hoisted out of
+// the per-packet loop. Per-flow state lives in the engine-owned
+// nf.FlowState reached through the context, not in private maps, which
+// lets the manager inspect it and lets state survive NF restarts. Each
+// instance is driven by a single goroutine, so NFs need no locking of
+// their own (the same argument the paper makes for per-thread flow state
+// in §4.2); the flow store itself is safe for concurrent manager reads.
 package nfs
 
 import (
@@ -18,19 +23,21 @@ import (
 )
 
 // NoOp performs no processing and follows the default path; the paper's
-// Table 2 latency baseline NF.
+// Table 2 latency baseline NF. The decision array arrives zeroed
+// (Default), so the batch body is empty — the true floor of the dispatch
+// path.
 type NoOp struct{}
 
-// Name implements nf.Function.
+// Name implements nf.BatchFunction.
 func (NoOp) Name() string { return "noop" }
 
-// ReadOnly implements nf.Function; NoOp never touches packet bytes.
+// ReadOnly implements nf.BatchFunction; NoOp never touches packet bytes.
 func (NoOp) ReadOnly() bool { return true }
 
-// Process implements nf.Function.
-func (NoOp) Process(_ *nf.Context, _ *nf.Packet) nf.Decision { return nf.Default() }
+// ProcessBatch implements nf.BatchFunction.
+func (NoOp) ProcessBatch(_ *nf.Context, _ []nf.Packet, _ []nf.Decision) {}
 
-var _ nf.Function = NoOp{}
+var _ nf.BatchFunction = NoOp{}
 
 // ComputeIntensive burns a configurable number of arithmetic iterations
 // per packet, reading the payload — the "intensive computation" NF behind
@@ -42,48 +49,53 @@ type ComputeIntensive struct {
 	sink uint64
 }
 
-// Name implements nf.Function.
+// Name implements nf.BatchFunction.
 func (c *ComputeIntensive) Name() string { return "compute" }
 
-// ReadOnly implements nf.Function.
+// ReadOnly implements nf.BatchFunction.
 func (c *ComputeIntensive) ReadOnly() bool { return true }
 
-// Process implements nf.Function.
-func (c *ComputeIntensive) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
-	var acc uint64 = 1469598103934665603
-	payload := p.View.Buf()
+// ProcessBatch implements nf.BatchFunction.
+func (c *ComputeIntensive) ProcessBatch(_ *nf.Context, batch []nf.Packet, _ []nf.Decision) {
 	n := c.Iterations
 	if n <= 0 {
 		n = 1000
 	}
-	for i := 0; i < n; i++ {
-		acc ^= uint64(payload[i%len(payload)])
-		acc *= 1099511628211
+	var acc uint64 = 1469598103934665603
+	for pi := range batch {
+		payload := batch[pi].View.Buf()
+		for i := 0; i < n; i++ {
+			acc ^= uint64(payload[i%len(payload)])
+			acc *= 1099511628211
+		}
 	}
 	c.sink = acc
-	return nf.Default()
 }
 
-var _ nf.Function = (*ComputeIntensive)(nil)
+var _ nf.BatchFunction = (*ComputeIntensive)(nil)
 
 // Counter counts packets and bytes; a read-only monitoring NF used in
-// tests and examples.
+// tests and examples. The batch path performs one atomic add per counter
+// per burst instead of one per packet.
 type Counter struct {
 	packets atomic.Uint64
 	bytes   atomic.Uint64
 }
 
-// Name implements nf.Function.
+// Name implements nf.BatchFunction.
 func (c *Counter) Name() string { return "counter" }
 
-// ReadOnly implements nf.Function.
+// ReadOnly implements nf.BatchFunction.
 func (c *Counter) ReadOnly() bool { return true }
 
-// Process implements nf.Function.
-func (c *Counter) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
-	c.packets.Add(1)
-	c.bytes.Add(uint64(len(p.View.Buf())))
-	return nf.Default()
+// ProcessBatch implements nf.BatchFunction.
+func (c *Counter) ProcessBatch(_ *nf.Context, batch []nf.Packet, _ []nf.Decision) {
+	var bytes uint64
+	for i := range batch {
+		bytes += uint64(len(batch[i].View.Buf()))
+	}
+	c.packets.Add(uint64(len(batch)))
+	c.bytes.Add(bytes)
 }
 
 // Packets returns the packet count.
@@ -92,4 +104,4 @@ func (c *Counter) Packets() uint64 { return c.packets.Load() }
 // Bytes returns the byte count.
 func (c *Counter) Bytes() uint64 { return c.bytes.Load() }
 
-var _ nf.Function = (*Counter)(nil)
+var _ nf.BatchFunction = (*Counter)(nil)

@@ -7,14 +7,14 @@ import (
 
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/nf"
-	"sdnfv/internal/packet"
 )
 
 // VideoDetector analyzes HTTP response headers to detect video content in
 // a flow (§2.2). Video flows follow the default edge toward the Policy
 // Engine; everything else takes the bypass edge. Once a flow's content
 // type is known, the detector issues a ChangeDefault so later packets of a
-// non-video flow skip the policy path entirely (§5.3).
+// non-video flow skip the policy path entirely (§5.3). Per-flow
+// classifications live in the engine-owned flow store.
 type VideoDetector struct {
 	// PolicyEngine is the default destination for video flows.
 	PolicyEngine flowtable.ServiceID
@@ -23,8 +23,6 @@ type VideoDetector struct {
 	// RewriteDefaults controls whether the detector installs
 	// ChangeDefault rules for classified flows (the SDNFV mode of §5.3).
 	RewriteDefaults bool
-
-	state map[packet.FlowKey]uint8 // 0 unknown, 1 video, 2 other
 
 	videoFlows atomic.Uint64
 	otherFlows atomic.Uint64
@@ -43,47 +41,55 @@ var videoContentTypes = [][]byte{
 	[]byte("Content-Type: application/dash+xml"),
 }
 
-// Name implements nf.Function.
+// Name implements nf.BatchFunction.
 func (v *VideoDetector) Name() string { return "video-detector" }
 
-// ReadOnly implements nf.Function.
+// ReadOnly implements nf.BatchFunction.
 func (v *VideoDetector) ReadOnly() bool { return true }
 
-// Process implements nf.Function.
-func (v *VideoDetector) Process(ctx *nf.Context, p *nf.Packet) nf.Decision {
-	if v.state == nil {
-		v.state = make(map[packet.FlowKey]uint8)
-	}
-	st := v.state[p.Key]
-	if st == flowUnknown {
-		st = v.classify(p)
-		if st != flowUnknown {
-			v.state[p.Key] = st
-			if st == flowVideo {
-				v.videoFlows.Add(1)
-			} else {
-				v.otherFlows.Add(1)
-			}
-			if v.RewriteDefaults && st == flowOther {
-				// Non-video flows skip the policy engine from now on.
-				ctx.Send(nf.Message{
-					Kind:  nf.MsgChangeDefault,
-					Flows: flowtable.ExactMatch(p.Key),
-					S:     ctx.Service,
-					T:     v.Bypass,
-				})
+// ProcessBatch implements nf.BatchFunction.
+func (v *VideoDetector) ProcessBatch(ctx *nf.Context, batch []nf.Packet, out []nf.Decision) {
+	flows := ctx.FlowState()
+	for i := range batch {
+		p := &batch[i]
+		st := flowUnknown
+		if cached, ok := flows.Get(p.Key); ok {
+			// Comma-ok: a foreign value (store inherited from another NF
+			// outside the engine's type-change clearing) reclassifies
+			// instead of panicking the dataplane.
+			if c, ok := cached.(uint8); ok {
+				st = c
 			}
 		}
-	}
-	switch st {
-	case flowVideo:
-		return steer(v.PolicyEngine)
-	case flowOther:
-		return steer(v.Bypass)
-	default:
-		// Not enough information yet (e.g. handshake packets): pass along
-		// the policy path so nothing is missed.
-		return nf.Default()
+		if st == flowUnknown {
+			st = v.classify(p)
+			if st != flowUnknown {
+				flows.Set(p.Key, st)
+				if st == flowVideo {
+					v.videoFlows.Add(1)
+				} else {
+					v.otherFlows.Add(1)
+				}
+				if v.RewriteDefaults && st == flowOther {
+					// Non-video flows skip the policy engine from now on.
+					ctx.Send(nf.Message{
+						Kind:  nf.MsgChangeDefault,
+						Flows: flowtable.ExactMatch(p.Key),
+						S:     ctx.Service,
+						T:     v.Bypass,
+					})
+				}
+			}
+		}
+		switch st {
+		case flowVideo:
+			out[i] = steer(v.PolicyEngine)
+		case flowOther:
+			out[i] = steer(v.Bypass)
+		default:
+			// Not enough information yet (e.g. handshake packets): pass
+			// along the policy path so nothing is missed.
+		}
 	}
 }
 
@@ -112,7 +118,7 @@ func (v *VideoDetector) VideoFlows() uint64 { return v.videoFlows.Load() }
 // OtherFlows returns the number of flows classified as non-video.
 func (v *VideoDetector) OtherFlows() uint64 { return v.otherFlows.Load() }
 
-var _ nf.Function = (*VideoDetector)(nil)
+var _ nf.BatchFunction = (*VideoDetector)(nil)
 
 // PolicyState is the shared, atomically-updated policy consulted by
 // PolicyEngine instances. The SDNFV Application flips Throttle during the
@@ -132,7 +138,8 @@ func (s *PolicyState) Throttle() bool { return s.throttle.Load() }
 // (which stands in for "available network bandwidth, time of day and
 // financial agreements", §2.2). Because every packet of a video flow
 // passes through it, a policy flip affects existing flows immediately —
-// the property Fig. 11 measures.
+// the property Fig. 11 measures. The flows already given a per-flow
+// default rule are tracked in the engine-owned flow store.
 type PolicyEngine struct {
 	State *PolicyState
 	// Transcoder is where throttled flows go.
@@ -144,58 +151,61 @@ type PolicyEngine struct {
 	// flips (the SDNFV mode of §5.3).
 	RewriteDefaults bool
 
-	lastPolicy  bool
-	havePolicy  bool
-	perFlowSent map[packet.FlowKey]bool
+	lastPolicy bool
+	havePolicy bool
 
 	throttled atomic.Uint64
 	passed    atomic.Uint64
 }
 
-// Name implements nf.Function.
+// Name implements nf.BatchFunction.
 func (e *PolicyEngine) Name() string { return "policy-engine" }
 
-// ReadOnly implements nf.Function.
+// ReadOnly implements nf.BatchFunction.
 func (e *PolicyEngine) ReadOnly() bool { return true }
 
-// Process implements nf.Function.
-func (e *PolicyEngine) Process(ctx *nf.Context, p *nf.Packet) nf.Decision {
+// ProcessBatch implements nf.BatchFunction. The policy is read once per
+// burst; a flip between bursts is what Fig. 11 observes.
+func (e *PolicyEngine) ProcessBatch(ctx *nf.Context, batch []nf.Packet, out []nf.Decision) {
 	throttle := e.State != nil && e.State.Throttle()
-	if e.perFlowSent == nil {
-		e.perFlowSent = make(map[packet.FlowKey]bool)
+	perFlowSent := ctx.FlowState()
+	if e.RewriteDefaults && e.havePolicy && throttle != e.lastPolicy {
+		// Policy flip: pull every flow back through the policy engine
+		// so their defaults can be rewritten (§5.3: "the policy change
+		// causes the Policy NF to issue a RequestMe message").
+		ctx.Send(nf.Message{Kind: nf.MsgRequestMe, Flows: flowtable.MatchAll, S: ctx.Service})
+		perFlowSent.Clear()
 	}
-	if e.RewriteDefaults {
-		if e.havePolicy && throttle != e.lastPolicy {
-			// Policy flip: pull every flow back through the policy engine
-			// so their defaults can be rewritten (§5.3: "the policy change
-			// causes the Policy NF to issue a RequestMe message").
-			ctx.Send(nf.Message{Kind: nf.MsgRequestMe, Flows: flowtable.MatchAll, S: ctx.Service})
-			for k := range e.perFlowSent {
-				delete(e.perFlowSent, k)
-			}
-		}
-		e.lastPolicy = throttle
-		e.havePolicy = true
-		if !e.perFlowSent[p.Key] {
-			e.perFlowSent[p.Key] = true
-			dest := e.Bypass
-			if throttle {
-				dest = e.Transcoder
-			}
-			ctx.Send(nf.Message{
-				Kind:  nf.MsgChangeDefault,
-				Flows: flowtable.ExactMatch(p.Key),
-				S:     ctx.Service,
-				T:     dest,
-			})
-		}
-	}
+	e.lastPolicy = throttle
+	e.havePolicy = true
+
+	dest := e.Bypass
 	if throttle {
-		e.throttled.Add(1)
-		return steer(e.Transcoder)
+		dest = e.Transcoder
 	}
-	e.passed.Add(1)
-	return steer(e.Bypass)
+	var throttled, passed uint64
+	for i := range batch {
+		p := &batch[i]
+		if e.RewriteDefaults {
+			if _, sent := perFlowSent.Get(p.Key); !sent {
+				perFlowSent.Set(p.Key, true)
+				ctx.Send(nf.Message{
+					Kind:  nf.MsgChangeDefault,
+					Flows: flowtable.ExactMatch(p.Key),
+					S:     ctx.Service,
+					T:     dest,
+				})
+			}
+		}
+		if throttle {
+			throttled++
+		} else {
+			passed++
+		}
+		out[i] = steer(dest)
+	}
+	e.throttled.Add(throttled)
+	e.passed.Add(passed)
 }
 
 // steer maps a destination to the right per-packet decision: services are
@@ -213,7 +223,7 @@ func (e *PolicyEngine) Throttled() uint64 { return e.throttled.Load() }
 // Passed returns the number of packets passed unmodified.
 func (e *PolicyEngine) Passed() uint64 { return e.passed.Load() }
 
-var _ nf.Function = (*PolicyEngine)(nil)
+var _ nf.BatchFunction = (*PolicyEngine)(nil)
 
 // QualityDetector checks whether a video flow can still meet its target
 // quality after transcoding (§2.2): flows whose advertised bitrate is
@@ -230,21 +240,24 @@ type QualityDetector struct {
 	BitrateOf func(p *nf.Packet) int
 }
 
-// Name implements nf.Function.
+// Name implements nf.BatchFunction.
 func (q *QualityDetector) Name() string { return "quality-detector" }
 
-// ReadOnly implements nf.Function.
+// ReadOnly implements nf.BatchFunction.
 func (q *QualityDetector) ReadOnly() bool { return true }
 
-// Process implements nf.Function.
-func (q *QualityDetector) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
-	if q.BitrateOf != nil && q.BitrateOf(p) <= q.MinBitrateKbps {
-		return steer(q.Bypass)
+// ProcessBatch implements nf.BatchFunction.
+func (q *QualityDetector) ProcessBatch(_ *nf.Context, batch []nf.Packet, out []nf.Decision) {
+	for i := range batch {
+		if q.BitrateOf != nil && q.BitrateOf(&batch[i]) <= q.MinBitrateKbps {
+			out[i] = steer(q.Bypass)
+			continue
+		}
+		out[i] = steer(q.Transcoder)
 	}
-	return steer(q.Transcoder)
 }
 
-var _ nf.Function = (*QualityDetector)(nil)
+var _ nf.BatchFunction = (*QualityDetector)(nil)
 
 // Transcoder emulates bitrate reduction the same way the paper's
 // evaluation does: "the transcoder ... emulates down sampling by dropping
@@ -258,28 +271,35 @@ type Transcoder struct {
 	emitted atomic.Uint64
 }
 
-// Name implements nf.Function.
+// Name implements nf.BatchFunction.
 func (t *Transcoder) Name() string { return "transcoder" }
 
-// ReadOnly implements nf.Function; the (emulated) transcoder does not
+// ReadOnly implements nf.BatchFunction; the (emulated) transcoder does not
 // rewrite bytes, but it is stateful per packet sequence, so mark it
 // non-read-only to keep it out of parallel segments.
 func (t *Transcoder) ReadOnly() bool { return false }
 
-// Process implements nf.Function.
-func (t *Transcoder) Process(_ *nf.Context, _ *nf.Packet) nf.Decision {
-	t.counter++
+// ProcessBatch implements nf.BatchFunction.
+func (t *Transcoder) ProcessBatch(_ *nf.Context, batch []nf.Packet, out []nf.Decision) {
 	ratio := t.DropRatio
 	if ratio <= 0 {
 		ratio = 0.5
 	}
-	// Deterministic thinning: drop when the accumulated phase crosses 1.
-	if float64(t.counter)*ratio-float64(t.dropped.Load()) >= 1 {
-		t.dropped.Add(1)
-		return nf.Discard()
+	var dropped, emitted uint64
+	base := t.dropped.Load()
+	for i := range batch {
+		t.counter++
+		// Deterministic thinning: drop when the accumulated phase
+		// crosses 1.
+		if float64(t.counter)*ratio-float64(base+dropped) >= 1 {
+			dropped++
+			out[i] = nf.Discard()
+			continue
+		}
+		emitted++
 	}
-	t.emitted.Add(1)
-	return nf.Default()
+	t.dropped.Add(dropped)
+	t.emitted.Add(emitted)
 }
 
 // Dropped returns packets removed by downsampling.
@@ -288,12 +308,13 @@ func (t *Transcoder) Dropped() uint64 { return t.dropped.Load() }
 // Emitted returns packets passed through.
 func (t *Transcoder) Emitted() uint64 { return t.emitted.Load() }
 
-var _ nf.Function = (*Transcoder)(nil)
+var _ nf.BatchFunction = (*Transcoder)(nil)
 
 // Cache is an LRU content cache keyed by a caller-supplied key extractor
 // (§2.2: "The video flow passes through a Cache so that subsequent
 // requests can be served locally"). A hit short-circuits the chain: the
-// packet exits immediately through OutPort.
+// packet exits immediately through OutPort. The Close lifecycle hook
+// releases the cached entries.
 type Cache struct {
 	// Capacity is the number of entries retained.
 	Capacity int
@@ -309,42 +330,57 @@ type Cache struct {
 	misses atomic.Uint64
 }
 
-// Name implements nf.Function.
+// Name implements nf.BatchFunction.
 func (c *Cache) Name() string { return "cache" }
 
-// ReadOnly implements nf.Function.
+// ReadOnly implements nf.BatchFunction.
 func (c *Cache) ReadOnly() bool { return false }
 
-// Process implements nf.Function.
-func (c *Cache) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
-	if c.KeyOf == nil {
-		return nf.Default()
-	}
-	key := c.KeyOf(p)
-	if key == "" {
-		return nf.Default()
-	}
+// Init implements nf.Initializer, allocating the LRU index.
+func (c *Cache) Init(_ *nf.Context) error {
 	if c.entries == nil {
 		c.entries = make(map[string]*list.Element)
 		c.lru = list.New()
 	}
-	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		c.hits.Add(1)
-		return nf.Out(c.OutPort)
+	return nil
+}
+
+// Close implements nf.Closer, releasing the cached content index.
+func (c *Cache) Close() error {
+	c.entries = nil
+	c.lru = nil
+	return nil
+}
+
+// ProcessBatch implements nf.BatchFunction. Init must have run (the
+// engine guarantees it; standalone drivers call it directly).
+func (c *Cache) ProcessBatch(_ *nf.Context, batch []nf.Packet, out []nf.Decision) {
+	if c.KeyOf == nil {
+		return
 	}
-	c.misses.Add(1)
-	cap := c.Capacity
-	if cap <= 0 {
-		cap = 1024
+	capacity := c.Capacity
+	if capacity <= 0 {
+		capacity = 1024
 	}
-	for c.lru.Len() >= cap {
-		back := c.lru.Back()
-		c.lru.Remove(back)
-		delete(c.entries, back.Value.(string))
+	for i := range batch {
+		key := c.KeyOf(&batch[i])
+		if key == "" {
+			continue
+		}
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			c.hits.Add(1)
+			out[i] = nf.Out(c.OutPort)
+			continue
+		}
+		c.misses.Add(1)
+		for c.lru.Len() >= capacity {
+			back := c.lru.Back()
+			c.lru.Remove(back)
+			delete(c.entries, back.Value.(string))
+		}
+		c.entries[key] = c.lru.PushFront(key)
 	}
-	c.entries[key] = c.lru.PushFront(key)
-	return nf.Default()
 }
 
 // Hits returns the cache hit count.
@@ -353,7 +389,11 @@ func (c *Cache) Hits() uint64 { return c.hits.Load() }
 // Misses returns the cache miss count.
 func (c *Cache) Misses() uint64 { return c.misses.Load() }
 
-var _ nf.Function = (*Cache)(nil)
+var (
+	_ nf.BatchFunction = (*Cache)(nil)
+	_ nf.Initializer   = (*Cache)(nil)
+	_ nf.Closer        = (*Cache)(nil)
+)
 
 // Shaper enforces a rate limit with a token bucket; packets exceeding the
 // rate are dropped ("a traffic Shaper, which may limit the flow's rate to
@@ -374,14 +414,15 @@ type Shaper struct {
 	passed atomic.Uint64
 }
 
-// Name implements nf.Function.
+// Name implements nf.BatchFunction.
 func (s *Shaper) Name() string { return "shaper" }
 
-// ReadOnly implements nf.Function.
+// ReadOnly implements nf.BatchFunction.
 func (s *Shaper) ReadOnly() bool { return false }
 
-// Process implements nf.Function.
-func (s *Shaper) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
+// ProcessBatch implements nf.BatchFunction. The bucket refills once per
+// burst — the packets of a burst arrive together on the engine clock.
+func (s *Shaper) ProcessBatch(_ *nf.Context, batch []nf.Packet, out []nf.Decision) {
 	now := 0.0
 	if s.Now != nil {
 		now = s.Now()
@@ -400,14 +441,19 @@ func (s *Shaper) Process(_ *nf.Context, p *nf.Packet) nf.Decision {
 	if s.tokens > burst {
 		s.tokens = burst
 	}
-	size := float64(len(p.View.Buf()))
-	if s.tokens >= size {
-		s.tokens -= size
-		s.passed.Add(1)
-		return nf.Default()
+	var shaped, passed uint64
+	for i := range batch {
+		size := float64(len(batch[i].View.Buf()))
+		if s.tokens >= size {
+			s.tokens -= size
+			passed++
+			continue
+		}
+		shaped++
+		out[i] = nf.Discard()
 	}
-	s.shaped.Add(1)
-	return nf.Discard()
+	s.shaped.Add(shaped)
+	s.passed.Add(passed)
 }
 
 // Shaped returns packets dropped by the shaper.
@@ -416,4 +462,4 @@ func (s *Shaper) Shaped() uint64 { return s.shaped.Load() }
 // Passed returns packets conforming to the rate.
 func (s *Shaper) Passed() uint64 { return s.passed.Load() }
 
-var _ nf.Function = (*Shaper)(nil)
+var _ nf.BatchFunction = (*Shaper)(nil)

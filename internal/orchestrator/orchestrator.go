@@ -28,8 +28,9 @@ type HostHandle interface {
 	HostName() string
 	// Launch makes service svc available backed by fn; called after the
 	// boot delay has elapsed. ctx carries the deadline of the
-	// Instantiate call that scheduled the boot.
-	Launch(ctx context.Context, svc flowtable.ServiceID, fn nf.Function) error
+	// Instantiate call that scheduled the boot. Hosts run the outgoing
+	// NF's Close hook when a launch replaces an existing instance.
+	Launch(ctx context.Context, svc flowtable.ServiceID, fn nf.BatchFunction) error
 }
 
 // Clock schedules a callback after a virtual or real delay in seconds.
@@ -118,7 +119,7 @@ var ErrUnknownHost = errors.New("orchestrator: unknown host")
 // available. Instantiation is asynchronous: Instantiate returns after
 // scheduling the boot, and a ctx cancelled before the boot delay
 // elapses aborts the launch.
-func (o *Orchestrator) Instantiate(ctx context.Context, host string, svc flowtable.ServiceID, fn nf.Function, onReady func(Launch)) error {
+func (o *Orchestrator) Instantiate(ctx context.Context, host string, svc flowtable.ServiceID, fn nf.BatchFunction, onReady func(Launch)) error {
 	o.mu.Lock()
 	h, ok := o.hosts[host]
 	if !ok {

@@ -53,7 +53,7 @@ type fakeHost struct {
 }
 
 func (h *fakeHost) HostName() string { return h.name }
-func (h *fakeHost) Launch(_ context.Context, svc flowtable.ServiceID, _ nf.Function) error {
+func (h *fakeHost) Launch(_ context.Context, svc flowtable.ServiceID, _ nf.BatchFunction) error {
 	if h.fail != nil {
 		return h.fail
 	}
@@ -63,9 +63,9 @@ func (h *fakeHost) Launch(_ context.Context, svc flowtable.ServiceID, _ nf.Funct
 
 type stubNF struct{}
 
-func (stubNF) Name() string                                { return "stub" }
-func (stubNF) ReadOnly() bool                              { return true }
-func (stubNF) Process(*nf.Context, *nf.Packet) nf.Decision { return nf.Default() }
+func (stubNF) Name() string                                         { return "stub" }
+func (stubNF) ReadOnly() bool                                       { return true }
+func (stubNF) ProcessBatch(*nf.Context, []nf.Packet, []nf.Decision) {}
 
 func TestColdBootDelay(t *testing.T) {
 	clk := &fakeClock{}

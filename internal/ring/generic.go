@@ -72,6 +72,32 @@ func (r *SPSCOf[T]) Dequeue() (T, bool) {
 	return v, true
 }
 
+// EnqueueBatch appends as many elements of src as fit and returns the
+// number enqueued (possibly 0 when full). The mirror of DequeueBatch: one
+// release-store on the producer index covers the whole burst, so the NF
+// out-path pays one atomic per burst instead of one per descriptor.
+// Single producer only.
+func (r *SPSCOf[T]) EnqueueBatch(src []T) int {
+	h := r.head.Load()
+	if h+uint64(len(src))-r.cachedTail > r.mask+1 {
+		// Looks too full for the whole burst: refresh the consumer index
+		// once and enqueue whatever actually fits.
+		r.cachedTail = r.tail.Load()
+	}
+	free := r.mask + 1 - (h - r.cachedTail)
+	n := uint64(len(src))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(h+i)&r.mask] = src[i]
+	}
+	if n > 0 {
+		r.head.Store(h + n)
+	}
+	return int(n)
+}
+
 // DequeueBatch fills dst and returns the count dequeued. Single consumer.
 func (r *SPSCOf[T]) DequeueBatch(dst []T) int {
 	var zero T

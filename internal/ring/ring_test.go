@@ -244,6 +244,51 @@ func TestSPSCOfStructs(t *testing.T) {
 	}
 }
 
+func TestSPSCOfEnqueueBatch(t *testing.T) {
+	r := NewSPSCOf[int](4)
+	// Partial fit: capacity 4, offering 6 accepts exactly 4.
+	if n := r.EnqueueBatch([]int{1, 2, 3, 4, 5, 6}); n != 4 {
+		t.Fatalf("EnqueueBatch into empty ring = %d, want 4", n)
+	}
+	// Full ring accepts nothing.
+	if n := r.EnqueueBatch([]int{7}); n != 0 {
+		t.Fatalf("EnqueueBatch into full ring = %d, want 0", n)
+	}
+	// Empty burst is a no-op.
+	if n := r.EnqueueBatch(nil); n != 0 {
+		t.Fatalf("EnqueueBatch(nil) = %d, want 0", n)
+	}
+	// FIFO order preserved, and freed space is reusable.
+	for want := 1; want <= 2; want++ {
+		if v, ok := r.Dequeue(); !ok || v != want {
+			t.Fatalf("Dequeue = %d,%v want %d", v, ok, want)
+		}
+	}
+	if n := r.EnqueueBatch([]int{8, 9, 10}); n != 2 {
+		t.Fatalf("EnqueueBatch after partial drain = %d, want 2", n)
+	}
+	// Drain everything (DequeueBatch may return partial views while its
+	// cached producer index is stale) and check FIFO order.
+	var drained []int
+	buf := make([]int, 8)
+	for {
+		n := r.DequeueBatch(buf)
+		if n == 0 {
+			break
+		}
+		drained = append(drained, buf[:n]...)
+	}
+	want := []int{3, 4, 8, 9}
+	if len(drained) != len(want) {
+		t.Fatalf("drained %v, want %v", drained, want)
+	}
+	for i := range want {
+		if drained[i] != want[i] {
+			t.Fatalf("drained %v, want %v", drained, want)
+		}
+	}
+}
+
 func TestSPSCOfConcurrentFIFO(t *testing.T) {
 	const n = 30_000
 	type item struct{ seq uint64 }

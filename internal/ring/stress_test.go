@@ -113,6 +113,74 @@ func TestSPSCBatchStress(t *testing.T) {
 	wg.Wait()
 }
 
+// TestSPSCOfBatchStress exercises the generic ring the way the NF
+// instance loop drives it — EnqueueBatch bursts of varying size against a
+// DequeueBatch consumer on a tiny ring — and checks order and integrity
+// of every struct element under -race.
+func TestSPSCOfBatchStress(t *testing.T) {
+	type desc struct {
+		Seq  uint64
+		A, B uint64 // mirrors of Seq; a torn write would disagree
+	}
+	const total = 200_000
+	r := NewSPSCOf[desc](16)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		buf := make([]desc, 13)
+		for base := uint64(0); base < total; {
+			n := uint64(1 + base%uint64(len(buf)))
+			if base+n > total {
+				n = total - base
+			}
+			for i := uint64(0); i < n; i++ {
+				s := base + i
+				buf[i] = desc{Seq: s, A: s * 7, B: ^s}
+			}
+			sent := uint64(0)
+			for sent < n {
+				k := r.EnqueueBatch(buf[sent:n])
+				if k == 0 {
+					runtime.Gosched()
+					continue
+				}
+				sent += uint64(k)
+			}
+			base += n
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		batch := make([]desc, 9)
+		next := uint64(0)
+		for next < total {
+			var n int
+			if next%2 == 0 {
+				n = r.DequeueBatch(batch)
+			} else if d, ok := r.Dequeue(); ok {
+				batch[0], n = d, 1
+			}
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < n; i++ {
+				d := batch[i]
+				if d.Seq != next || d.A != next*7 || d.B != ^next {
+					t.Errorf("torn or reordered descriptor at %d: %+v", next, d)
+					return
+				}
+				next++
+			}
+		}
+	}()
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("ring not drained: %d left", r.Len())
+	}
+}
+
 // TestSPSCOfStress pushes struct descriptors (the generic ring carries the
 // data plane's ~100-byte Desc) through a tiny ring and checks that no
 // element is torn: every field of a received value must agree.
