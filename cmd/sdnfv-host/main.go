@@ -24,10 +24,13 @@ import (
 	"syscall"
 	"time"
 
+	"sdnfv/internal/autoscale"
 	"sdnfv/internal/control"
 	"sdnfv/internal/dataplane"
 	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
 	"sdnfv/internal/nfs"
+	"sdnfv/internal/orchestrator"
 	"sdnfv/internal/traffic"
 )
 
@@ -35,6 +38,9 @@ func main() {
 	ctlAddr := flag.String("controller", "", "controller address (empty = standalone with local rules)")
 	packets := flag.Int("packets", 10000, "packets to generate")
 	flows := flag.Int("flows", 8, "concurrent synthetic flows")
+	autoScale := flag.Bool("autoscale", true, "autoscale the counter service from its queue telemetry")
+	scaleMin := flag.Int("scale-min", 1, "autoscale: minimum replicas")
+	scaleMax := flag.Int("scale-max", 3, "autoscale: maximum replicas")
 	flag.Parse()
 
 	cfg := dataplane.Config{PoolSize: 4096, TXThreads: 1}
@@ -89,6 +95,30 @@ func main() {
 	}
 	defer host.Stop()
 
+	// Elasticity loop (§3.3/§5 dynamic scaling): the counter service
+	// scales between -scale-min and -scale-max replicas from its own
+	// queue/overflow telemetry, actuating through the orchestrator
+	// (standby VMs make boots fast; Retire drains flow-state-safely).
+	var scaler *autoscale.Controller
+	if *autoScale {
+		clock := autoscale.NewRealClock()
+		orch := orchestrator.New(orchestrator.Config{
+			BootDelaySec: 0.5, StandbyDelaySec: 0.05, Standby: *scaleMax,
+		}, clock)
+		orch.AddHost(dataplane.NamedHost{Name: "host1", Host: host})
+		scaler = autoscale.New(autoscale.Config{
+			Min: *scaleMin, Max: *scaleMax,
+			IntervalSec: 0.05, CooldownSec: 0.25,
+		},
+			autoscale.ServiceSource{Host: host, Service: 2, Orch: orch},
+			autoscale.OrchestratorActuator{
+				Orch: orch, HostName: "host1", Host: host, Service: 2,
+				NewNF: func() nf.BatchFunction { return &nfs.Counter{} },
+			}, clock)
+		scaler.Start()
+		defer scaler.Stop()
+	}
+
 	// Graceful shutdown: a signal stops the generator loop and falls
 	// through to the drain + stats path below.
 	sigs := make(chan os.Signal, 1)
@@ -129,8 +159,18 @@ gen:
 	host.WaitIdle(5 * time.Second)
 
 	st := host.Stats()
-	log.Printf("sdnfv-host: rx=%d tx=%d drops=%d misses=%d rules=%d",
-		st.RxPackets, st.TxPackets, st.Drops, st.Misses, st.Table.Rules)
+	log.Printf("sdnfv-host: rx=%d tx=%d drops=%d overflows=%d misses=%d rules=%d",
+		st.RxPackets, st.TxPackets, st.Drops, st.Overflows, st.Misses, st.Table.Rules)
+	for _, rs := range st.Replicas {
+		log.Printf("sdnfv-host: replica %s/%d (%s): processed=%d overflow=%d queue=%d svc=%.0fns",
+			rs.Service, rs.Index, rs.Name, rs.Processed, rs.OverflowDrops, rs.QueueDepth, rs.ServiceTimeNs)
+	}
+	if scaler != nil {
+		for _, ev := range scaler.Events() {
+			log.Printf("sdnfv-host: autoscale %s at t=%.2fs (replicas=%d backlog=%d err=%v)",
+				ev.Decision, ev.At, ev.Replicas, ev.Backlog, ev.Err)
+		}
+	}
 	fmt.Println(host.Table().Dump())
 }
 

@@ -17,15 +17,37 @@ import (
 	"time"
 
 	"sdnfv/internal/app"
+	"sdnfv/internal/autoscale"
 	"sdnfv/internal/controller"
 	"sdnfv/internal/dataplane"
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/graph"
 	"sdnfv/internal/nf"
 	"sdnfv/internal/nfs"
+	"sdnfv/internal/orchestrator"
 	"sdnfv/internal/packet"
 	"sdnfv/internal/traffic"
 )
+
+// slowNF wraps an NF with a fixed per-packet service time (one sleep per
+// burst), modeling a scrubber whose deep inspection is the expensive hop
+// worth scaling.
+type slowNF struct {
+	inner       nf.BatchFunction
+	perPacketNs int64
+}
+
+// Name implements nf.BatchFunction.
+func (s *slowNF) Name() string { return s.inner.Name() }
+
+// ReadOnly implements nf.BatchFunction.
+func (s *slowNF) ReadOnly() bool { return s.inner.ReadOnly() }
+
+// ProcessBatch implements nf.BatchFunction.
+func (s *slowNF) ProcessBatch(ctx *nf.Context, batch []nf.Packet, out []nf.Decision) {
+	s.inner.ProcessBatch(ctx, batch, out)
+	time.Sleep(time.Duration(int64(len(batch)) * s.perPacketNs))
+}
 
 const (
 	svcFirewall flowtable.ServiceID = 1
@@ -88,11 +110,18 @@ func main() {
 	scrubber := &nfs.Scrubber{Malicious: func(p *nf.Packet) bool {
 		return ids.Matcher.Contains(p.View.Payload())
 	}}
+	// Scrubbing is the expensive hop (~50 µs/packet): the service the
+	// autoscaler will grow when attack volume ramps.
+	newScrubber := func() nf.BatchFunction {
+		return &slowNF{inner: &nfs.Scrubber{Malicious: func(p *nf.Packet) bool {
+			return ids.Matcher.Contains(p.View.Payload())
+		}}, perPacketNs: 50_000}
+	}
 	mustNF(host.AddNF(svcFirewall, fw, 0))
 	mustNF(host.AddNF(svcSampler, sampler, 0))
 	mustNF(host.AddNF(svcDDoS, ddos, 0))
 	mustNF(host.AddNF(svcIDS, ids, 1)) // IDS outranks DDoS in conflicts
-	mustNF(host.AddNF(svcScrubber, scrubber, 0))
+	mustNF(host.AddNF(svcScrubber, &slowNF{inner: scrubber, perPacketNs: 50_000}, 0))
 
 	var delivered int
 	host.SetOutput(func(int, []byte, *dataplane.Desc) { delivered++ })
@@ -154,6 +183,47 @@ func main() {
 	})
 	fmt.Println("\nfinal flow table (note the per-flow rule installed by the IDS):")
 	fmt.Println(host.Table().Dump())
+
+	// Act 2 — dynamic scaling (§3.3/§5.2): the flagged flow's volume
+	// ramps; everything it sends is diverted to the scrubber, whose
+	// backlog telemetry drives the autoscale loop. The orchestrator adds
+	// a second scrubber replica at runtime, and once the burst subsides
+	// the extra replica is retired through the flow-state-safe drain.
+	fmt.Println("— dynamic scaling: attack volume ramps, the scrubber pool follows —")
+	clock := autoscale.NewRealClock()
+	orch := orchestrator.New(orchestrator.Config{
+		BootDelaySec: 0.5, StandbyDelaySec: 0.02, Standby: 2,
+	}, clock)
+	orch.AddHost(dataplane.NamedHost{Name: "edge", Host: host})
+	scaler := autoscale.New(autoscale.Config{
+		Min: 1, Max: 2, UpStreak: 1, DownStreak: 5,
+		IntervalSec: 0.02, CooldownSec: 0.1,
+	},
+		autoscale.ServiceSource{Host: host, Service: svcScrubber, Orch: orch},
+		autoscale.OrchestratorActuator{
+			Orch: orch, HostName: "edge", Host: host,
+			Service: svcScrubber, NewNF: newScrubber,
+		}, clock)
+	scaler.Start()
+
+	send(evilFlow, traffic.BenignPayload(), 4000)
+	host.WaitIdle(30 * time.Second)
+	for i := 0; i < 300 && len(host.ReplicaStats(svcScrubber)) > 1; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	scaler.Stop()
+
+	for _, ev := range scaler.Events() {
+		fmt.Printf("autoscale: %s at t=%.2fs (replicas=%d backlog=%d)\n",
+			ev.Decision, ev.At, ev.Replicas, ev.Backlog)
+	}
+	fmt.Printf("scrubber replicas after the burst: %d (retired replicas drained, VM back in standby pool: %d slots)\n",
+		len(host.ReplicaStats(svcScrubber)), len(orch.Retirements()))
+	fmt.Println("quarantined flows after scaling (state intact):")
+	host.FlowState(svcIDS, 0).Range(func(k packet.FlowKey, _ any) bool {
+		fmt.Printf("  %s\n", k)
+		return true
+	})
 }
 
 func must(err error) {

@@ -1,0 +1,301 @@
+package autoscale
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"testing"
+)
+
+// manualClock is a deterministic test clock.
+type manualClock struct {
+	now    float64
+	events eventHeap
+}
+
+type clockEvent struct {
+	at float64
+	fn func()
+}
+type eventHeap []clockEvent
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(clockEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+func (c *manualClock) After(delay float64, fn func()) {
+	heap.Push(&c.events, clockEvent{at: c.now + delay, fn: fn})
+}
+func (c *manualClock) Now() float64 { return c.now }
+func (c *manualClock) advance(to float64) {
+	for c.events.Len() > 0 && c.events[0].at <= to {
+		e := heap.Pop(&c.events).(clockEvent)
+		c.now = e.at
+		e.fn()
+	}
+	c.now = to
+}
+
+// scriptSource returns canned samples; the fake actuator adjusts the
+// replica count so the loop sees its own effects.
+type scriptSource struct {
+	replicas int
+	pending  int
+	backlog  int
+	svcTime  float64
+	overflow uint64
+}
+
+func (s *scriptSource) Sample() Sample {
+	return Sample{
+		Replicas: s.replicas, Pending: s.pending, Backlog: s.backlog,
+		ServiceTimeNs: s.svcTime, Overflows: s.overflow,
+	}
+}
+
+type fakeActuator struct {
+	src        *scriptSource
+	ups, downs int
+	failUp     error
+}
+
+func (a *fakeActuator) ScaleUp(context.Context) error {
+	if a.failUp != nil {
+		return a.failUp
+	}
+	a.ups++
+	a.src.replicas++
+	return nil
+}
+
+func (a *fakeActuator) ScaleDown(context.Context) error {
+	a.downs++
+	a.src.replicas--
+	return nil
+}
+
+func newTestController(cfg Config) (*Controller, *scriptSource, *fakeActuator, *manualClock) {
+	src := &scriptSource{replicas: 1}
+	act := &fakeActuator{src: src}
+	clk := &manualClock{}
+	return New(cfg, src, act, clk), src, act, clk
+}
+
+func TestScaleUpNeedsStreak(t *testing.T) {
+	c, src, act, clk := newTestController(Config{UpBacklog: 10, UpStreak: 2, CooldownSec: 0.001, IntervalSec: 1})
+	src.backlog = 100
+	if d := c.TickNow(); d != Hold {
+		t.Fatalf("tick 1 = %v, want hold (streak not met)", d)
+	}
+	clk.now = 1
+	if d := c.TickNow(); d != Up {
+		t.Fatalf("tick 2 = %v, want up", d)
+	}
+	if act.ups != 1 || src.replicas != 2 {
+		t.Fatalf("ups=%d replicas=%d", act.ups, src.replicas)
+	}
+	ev := c.Events()
+	if len(ev) != 1 || ev[0].Decision != Up || ev[0].Err != nil {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestOverflowIsImmediatePressure(t *testing.T) {
+	c, src, _, clk := newTestController(Config{UpBacklog: 1e9, UpStreak: 2, CooldownSec: 0.001})
+	// Tick 1 records the overflow baseline (no delta yet).
+	if d := c.TickNow(); d != Hold {
+		t.Fatalf("baseline tick = %v", d)
+	}
+	src.overflow = 50 // drops since last tick
+	clk.now = 1
+	if d := c.TickNow(); d != Hold {
+		t.Fatalf("streak tick = %v", d)
+	}
+	src.overflow = 80
+	clk.now = 2
+	if d := c.TickNow(); d != Up {
+		t.Fatalf("overflow pressure ignored: %v", d)
+	}
+}
+
+func TestServiceTimePressure(t *testing.T) {
+	c, src, _, clk := newTestController(Config{UpBacklog: 1e9, UpServiceTimeNs: 5000, UpStreak: 1, CooldownSec: 0.001})
+	src.svcTime = 6000
+	clk.now = 1
+	if d := c.TickNow(); d != Up {
+		t.Fatalf("service-time pressure ignored: %v", d)
+	}
+}
+
+func TestMaxBoundsAndPendingCountAsCapacity(t *testing.T) {
+	c, src, act, clk := newTestController(Config{Max: 2, UpBacklog: 1, UpStreak: 1, CooldownSec: 0.001})
+	src.backlog = 100
+	src.pending = 1 // a boot is in flight: capacity 1+1 == Max
+	clk.now = 1
+	if d := c.TickNow(); d != Hold {
+		t.Fatalf("scaled past Max with pending boot: %v", d)
+	}
+	src.pending = 0
+	clk.now = 2
+	if d := c.TickNow(); d != Up {
+		t.Fatalf("tick = %v, want up", d)
+	}
+	clk.now = 3
+	if d := c.TickNow(); d != Hold {
+		t.Fatalf("scaled past Max: %v (replicas=%d)", d, src.replicas)
+	}
+	if act.ups != 1 {
+		t.Fatalf("ups = %d", act.ups)
+	}
+}
+
+func TestScaleDownHysteresisAndMin(t *testing.T) {
+	c, src, act, clk := newTestController(Config{Min: 1, DownBacklog: 2, DownStreak: 3, CooldownSec: 0.001})
+	src.replicas = 3
+	src.backlog = 0
+	for i := 0; i < 2; i++ {
+		clk.now = float64(i + 1)
+		if d := c.TickNow(); d != Hold {
+			t.Fatalf("tick %d = %v before streak met", i, d)
+		}
+	}
+	clk.now = 3
+	if d := c.TickNow(); d != Down {
+		t.Fatal("down streak met but no scale-down")
+	}
+	if act.downs != 1 || src.replicas != 2 {
+		t.Fatalf("downs=%d replicas=%d", act.downs, src.replicas)
+	}
+	// Down to Min, then stop.
+	for i := 4; i < 12; i++ {
+		clk.now = float64(i)
+		c.TickNow()
+	}
+	if src.replicas != 1 {
+		t.Fatalf("replicas = %d, want Min 1", src.replicas)
+	}
+}
+
+func TestNoScaleDownWithPendingBoot(t *testing.T) {
+	c, src, _, clk := newTestController(Config{Min: 1, DownBacklog: 5, DownStreak: 1, CooldownSec: 0.001})
+	src.replicas = 2
+	src.pending = 1
+	clk.now = 1
+	if d := c.TickNow(); d != Hold {
+		t.Fatalf("shrank with a boot in flight: %v", d)
+	}
+}
+
+func TestCooldownBlocksBackToBackActions(t *testing.T) {
+	c, src, act, clk := newTestController(Config{Max: 8, UpBacklog: 1, UpStreak: 1, CooldownSec: 5, IntervalSec: 1})
+	src.backlog = 100
+	clk.now = 1
+	if d := c.TickNow(); d != Up {
+		t.Fatal("first action blocked")
+	}
+	clk.now = 2
+	if d := c.TickNow(); d != Hold {
+		t.Fatal("cooldown ignored")
+	}
+	clk.now = 7
+	if d := c.TickNow(); d != Up {
+		t.Fatal("cooldown never expired")
+	}
+	if act.ups != 2 {
+		t.Fatalf("ups = %d", act.ups)
+	}
+}
+
+func TestMixedSignalResetsStreaks(t *testing.T) {
+	c, src, _, clk := newTestController(Config{UpBacklog: 10, DownBacklog: 1, UpStreak: 2, CooldownSec: 0.001})
+	src.backlog = 100
+	clk.now = 1
+	c.TickNow()     // streak 1
+	src.backlog = 5 // neither pressure nor calm
+	clk.now = 2
+	c.TickNow() // resets
+	src.backlog = 100
+	clk.now = 3
+	if d := c.TickNow(); d != Hold {
+		t.Fatalf("streak survived a mixed tick: %v", d)
+	}
+}
+
+func TestActuatorErrorRecorded(t *testing.T) {
+	c, src, act, clk := newTestController(Config{UpBacklog: 1, UpStreak: 1, CooldownSec: 0.001})
+	boom := errors.New("boot failed")
+	act.failUp = boom
+	src.backlog = 100
+	clk.now = 1
+	if d := c.TickNow(); d != Up {
+		t.Fatal("decision suppressed by actuator error path")
+	}
+	ev := c.Events()
+	if len(ev) != 1 || !errors.Is(ev[0].Err, boom) {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestPeriodicLoop(t *testing.T) {
+	c, src, act, clk := newTestController(Config{UpBacklog: 1, UpStreak: 1, CooldownSec: 0.5, IntervalSec: 1, Max: 3})
+	src.backlog = 100
+	c.Start()
+	clk.advance(2.5)
+	if act.ups == 0 {
+		t.Fatal("periodic loop never acted")
+	}
+	c.Stop()
+	ups := act.ups
+	clk.advance(10)
+	if act.ups != ups {
+		t.Fatal("loop kept acting after Stop")
+	}
+}
+
+func TestRestartDoesNotDoubleTickRate(t *testing.T) {
+	c, src, act, clk := newTestController(Config{Max: 16, UpBacklog: 1, UpStreak: 1, CooldownSec: 0.001, IntervalSec: 1})
+	src.backlog = 100
+	c.Start()
+	clk.advance(2.5) // old chain has a pending callback at t=3
+	c.Stop()
+	c.Start()
+	base := act.ups
+	clk.advance(12.5) // 10 more intervals
+	got := act.ups - base
+	// One chain acts once per interval; a resurrected second chain would
+	// roughly double this.
+	if got > 11 {
+		t.Fatalf("%d actions in 10 intervals after restart — stale timer chain still ticking", got)
+	}
+	if got < 9 {
+		t.Fatalf("%d actions in 10 intervals — restarted loop not ticking", got)
+	}
+}
+
+func TestFailedActuationKeepsStreak(t *testing.T) {
+	c, src, act, clk := newTestController(Config{UpBacklog: 1, UpStreak: 3, CooldownSec: 2, IntervalSec: 1})
+	boom := errors.New("boot failed")
+	act.failUp = boom
+	src.backlog = 100
+	for i := 1; i <= 3; i++ {
+		clk.now = float64(i)
+		c.TickNow()
+	}
+	if len(c.Events()) != 1 {
+		t.Fatalf("events = %+v, want one failed Up", c.Events())
+	}
+	// The failure must not force rebuilding the 3-tick streak: once the
+	// cooldown expires the very next pressured tick retries.
+	act.failUp = nil
+	clk.now = 5.01
+	if d := c.TickNow(); d != Up {
+		t.Fatalf("retry after failed actuation = %v, want up (streak was burned)", d)
+	}
+}

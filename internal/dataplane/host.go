@@ -74,9 +74,19 @@ func (c *Config) fillDefaults() {
 
 // HostStats is a snapshot of host counters.
 type HostStats struct {
-	RxPackets    uint64
-	TxPackets    uint64
-	Drops        uint64
+	RxPackets uint64
+	TxPackets uint64
+	// Drops counts packets discarded by policy or overload of the
+	// manager's own rings (drop rules/verbs, missing services, refused
+	// injects, miss-path overflow). NF input-queue overflows are NOT
+	// included — they are capacity pressure, not policy, and live in
+	// Overflows so the autoscale layer (and operators) can tell the two
+	// apart.
+	Drops uint64
+	// Overflows counts packets (or parallel fan-out offers) refused
+	// because an NF replica's input rings were full — the signal that a
+	// service needs more replicas (§3.3, §5 dynamic scaling).
+	Overflows    uint64
 	Misses       uint64
 	CtrlMessages uint64
 	// MsgsRejected counts cross-layer messages that were refused:
@@ -89,12 +99,31 @@ type HostStats struct {
 	MsgsRejected uint64
 	Pool         mempool.Stats
 	Table        flowtable.Stats
+	// Replicas is the per-replica telemetry snapshot (queue depth,
+	// processed/overflow counts, EWMA service time), ordered by
+	// registration.
+	Replicas []ReplicaStats
+}
+
+// routeSnap is the immutable routing snapshot the packet-path threads
+// read lock-free. Lifecycle operations publish a new snapshot atomically;
+// each manager thread records the epoch of the snapshot it last loaded so
+// a remover can wait until no thread still dispatches with a stale view.
+type routeSnap struct {
+	epoch uint64
+	svc   map[flowtable.ServiceID][]*Instance
+	// inst is every instance whose out ring the TX threads must drain.
+	// During a replica drain it still contains the victim (whose queued
+	// output must complete) even though svc no longer offers to it.
+	inst []*Instance
 }
 
 // Host is one NF host: the NF Manager plus its NF instances.
 // Construct with NewHost, add NFs and rules, then Start. After Start the
-// packet path is lock-free: all routing state is immutable snapshots taken
-// at Start, and all inter-thread traffic flows through SPSC rings.
+// packet path is lock-free: all routing state lives in immutable snapshots
+// published atomically (so replicas can be added and retired at runtime,
+// §3.3/§5 dynamic scaling), and all inter-thread traffic flows through
+// SPSC rings.
 type Host struct {
 	cfg   Config
 	pool  *mempool.Pool
@@ -104,11 +133,22 @@ type Host struct {
 	services  map[flowtable.ServiceID][]*Instance
 	instances []*Instance
 	started   bool
+	// nextIdx assigns stable per-service replica indices: an index is
+	// never reused after a removal, so it identifies a replica for its
+	// whole life (FlowState, RemoveNF, rendezvous hashing).
+	nextIdx map[flowtable.ServiceID]int
+	// instSeq is the host-wide instance launch counter (stable TX-thread
+	// assignment and rendezvous identity).
+	instSeq uint64
+	// snapEpoch numbers published routing snapshots (guarded by mu).
+	snapEpoch uint64
 
-	// Immutable snapshots taken at Start (lock-free reads on the fast
-	// path).
-	svcSnap  map[flowtable.ServiceID][]*Instance
-	instSnap []*Instance
+	// snap is the atomically published routing snapshot (lock-free reads
+	// on the fast path).
+	snap atomic.Pointer[routeSnap]
+	// snapSeen[p] is the epoch of the snapshot producer thread p last
+	// loaded (slots follow the producer layout below).
+	snapSeen []atomic.Uint64
 
 	// nicIn is the simulated NIC RX queue (producers serialized by
 	// injectMu; consumer: RX thread).
@@ -130,20 +170,24 @@ type Host struct {
 	parPending []atomic.Int32
 	parBest    []atomic.Uint64
 
-	rxCount     atomic.Uint64
-	txCount     atomic.Uint64
-	dropCount   atomic.Uint64
-	missCount   atomic.Uint64
-	msgCount    atomic.Uint64
-	msgRejected atomic.Uint64
+	rxCount       atomic.Uint64
+	txCount       atomic.Uint64
+	dropCount     atomic.Uint64
+	overflowCount atomic.Uint64
+	missCount     atomic.Uint64
+	msgCount      atomic.Uint64
+	msgRejected   atomic.Uint64
 
 	stop atomic.Bool
 	wg   sync.WaitGroup
-	// lifeMu serializes lifecycle operations (AddNF, ReplaceNF, Start,
-	// Stop, NamedHost.Launch). It keeps Stop's single-consumer ring drain
-	// exclusive, and it lets user Init/Close hooks run OUTSIDE h.mu so a
-	// hook may call inspection APIs (FlowState, Instances, Stats). Hooks
-	// must not call lifecycle methods — that self-deadlocks on lifeMu.
+	// lifeMu serializes lifecycle operations (AddNF, ReplaceNF, RemoveNF,
+	// Start, Stop, NamedHost.Launch). It keeps Stop's single-consumer ring
+	// drain exclusive, and it lets user Init/Close hooks run OUTSIDE h.mu
+	// so a hook may call inspection APIs (FlowState, Instances, Stats).
+	// Hooks must not call lifecycle methods — that self-deadlocks on
+	// lifeMu. For the same reason RemoveNF must not be called from a
+	// manager thread (an NF body or the cross-layer message path): its
+	// drain waits on those threads.
 	lifeMu sync.Mutex
 }
 
@@ -155,11 +199,14 @@ func NewHost(cfg Config) *Host {
 		pool:     mempool.New(cfg.PoolSize, cfg.BufSize),
 		table:    flowtable.New(),
 		services: make(map[flowtable.ServiceID][]*Instance),
+		nextIdx:  make(map[flowtable.ServiceID]int),
 		nicIn:    ring.NewSPSCOf[Desc](cfg.RingSize),
 		ctrl:     ring.NewMPSC(4096),
 	}
 	h.parPending = make([]atomic.Int32, cfg.PoolSize)
 	h.parBest = make([]atomic.Uint64, cfg.PoolSize)
+	h.snapSeen = make([]atomic.Uint64, h.producerCount())
+	h.snap.Store(&routeSnap{svc: map[flowtable.ServiceID][]*Instance{}})
 	return h
 }
 
@@ -179,16 +226,106 @@ func (h *Host) SetOutput(fn func(port int, data []byte, d *Desc)) { h.output = f
 func (h *Host) producerCount() int  { return 2 + h.cfg.TXThreads }
 func (h *Host) fcProducerSlot() int { return 1 + h.cfg.TXThreads }
 
+// publishSnapLocked publishes a new routing snapshot built from the
+// registered services/instances plus any extra instances whose out rings
+// must keep draining (a retiring replica). Caller holds h.mu.
+func (h *Host) publishSnapLocked(extra ...*Instance) uint64 {
+	h.snapEpoch++
+	s := &routeSnap{
+		epoch: h.snapEpoch,
+		svc:   make(map[flowtable.ServiceID][]*Instance, len(h.services)),
+		inst:  append(append([]*Instance(nil), h.instances...), extra...),
+	}
+	for svc, insts := range h.services {
+		s.svc[svc] = append([]*Instance(nil), insts...)
+	}
+	h.snap.Store(s)
+	return s.epoch
+}
+
+// observeSnap loads the current routing snapshot and records its epoch in
+// the calling producer thread's slot. Every manager loop calls it once
+// per iteration, so waitSnapObserved can tell when no thread still routes
+// with an older snapshot.
+func (h *Host) observeSnap(producer int) *routeSnap {
+	s := h.snap.Load()
+	if h.snapSeen[producer].Load() != s.epoch {
+		// Store only on change: the seen slots share cache lines across
+		// threads, and an unconditional store per poll iteration would
+		// ping-pong them.
+		h.snapSeen[producer].Store(s.epoch)
+	}
+	return s
+}
+
+// waitSnapObserved blocks until every producer thread has loaded a
+// snapshot at least as new as epoch. Caller holds lifeMu with the host
+// started, so the threads are guaranteed to keep iterating. A thread
+// stuck in a southbound resolution can delay this by up to
+// Config.ResolveTimeout.
+func (h *Host) waitSnapObserved(epoch uint64) {
+	for i := range h.snapSeen {
+		for h.snapSeen[i].Load() < epoch {
+			runtime.Gosched()
+		}
+	}
+}
+
 // AddNF registers a replica of service svc running fn. priority breaks
-// action-conflict ties among parallel NFs (higher wins). Must be called
-// before Start. The engine attaches a per-replica flow-state store to the
-// NF's context and buffers its cross-layer messages per burst.
+// action-conflict ties among parallel NFs (higher wins). On a started
+// host this is a live scale-up: the replica's Init hook runs, its rings
+// and goroutine launch, per-flow state owned by it under LBFlowHash
+// migrates over, and a new routing snapshot makes it eligible for
+// traffic. The engine attaches a per-replica flow-state store to the NF's
+// context and buffers its cross-layer messages per burst.
 func (h *Host) AddNF(svc flowtable.ServiceID, fn nf.BatchFunction, priority uint16) (*Instance, error) {
 	h.lifeMu.Lock()
 	defer h.lifeMu.Unlock()
+	return h.addReplica(svc, fn, priority)
+}
+
+// addReplica registers a replica and, when the host is running, brings it
+// live. Caller holds lifeMu.
+func (h *Host) addReplica(svc flowtable.ServiceID, fn nf.BatchFunction, priority uint16) (*Instance, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.addLocked(svc, fn, priority)
+	inst, err := h.addLocked(svc, fn, priority)
+	started := h.started
+	h.mu.Unlock()
+	if err != nil || !started {
+		return inst, err
+	}
+
+	// Live scale-up. Init runs outside h.mu (hooks may inspect the host);
+	// on failure the registration is rolled back and nothing launched.
+	if err := nf.InitNF(inst.fn, &inst.ctx); err != nil {
+		inst.ctx.DropEmits()
+		h.mu.Lock()
+		h.unregisterLocked(inst)
+		h.publishSnapLocked()
+		h.mu.Unlock()
+		return nil, &NFInitError{Service: inst.Service, Instance: inst.Index, Err: err}
+	}
+	inst.opened = true
+	inst.ctx.FlushEmits()
+
+	h.mu.Lock()
+	h.buildRingsLocked(inst)
+	all := h.services[svc]
+	h.mu.Unlock()
+
+	// Under flow hashing some flows now map to the new replica; move
+	// their engine-owned state over before the snapshot steers packets at
+	// it, so the new owner starts from the predecessor's state. A flow
+	// updated by its old owner between the copy and the snapshot flip can
+	// lose that last update — full consistency would need OpenNF-style
+	// packet buffering; quiesced transitions are exact.
+	h.migrateFlowsTo(inst, all)
+
+	inst.launch(h)
+	h.mu.Lock()
+	h.publishSnapLocked()
+	h.mu.Unlock()
+	return inst, nil
 }
 
 // addLocked registers a replica under h.mu.
@@ -196,16 +333,18 @@ func (h *Host) addLocked(svc flowtable.ServiceID, fn nf.BatchFunction, priority 
 	if svc.IsPort() || svc == graph.Source || svc == graph.Sink {
 		return nil, fmt.Errorf("dataplane: invalid service id %s", svc)
 	}
-	if h.started {
-		return nil, errors.New("dataplane: host already started")
-	}
 	inst := &Instance{
 		Service:  svc,
-		Index:    len(h.services[svc]),
+		Index:    h.nextIdx[svc],
 		Priority: priority,
+		seq:      h.instSeq,
 		fn:       fn,
 		readOnly: fn.ReadOnly(),
+		svcTime:  newServiceTimeEWMA(),
 	}
+	h.nextIdx[svc]++
+	h.instSeq++
+	inst.txThread = int(inst.seq) % h.cfg.TXThreads
 	inst.ctx = nf.Context{
 		Service:  svc,
 		Instance: inst.Index,
@@ -226,6 +365,169 @@ func (h *Host) addLocked(svc flowtable.ServiceID, fn nf.BatchFunction, priority 
 	return inst, nil
 }
 
+// unregisterLocked removes inst from the service and instance lists.
+// Caller holds h.mu.
+func (h *Host) unregisterLocked(inst *Instance) {
+	insts := h.services[inst.Service]
+	for i, in := range insts {
+		if in == inst {
+			h.services[inst.Service] = append(append([]*Instance(nil), insts[:i]...), insts[i+1:]...)
+			break
+		}
+	}
+	if len(h.services[inst.Service]) == 0 {
+		delete(h.services, inst.Service)
+	}
+	for i, in := range h.instances {
+		if in == inst {
+			h.instances = append(append([]*Instance(nil), h.instances[:i]...), h.instances[i+1:]...)
+			break
+		}
+	}
+}
+
+// buildRingsLocked allocates an instance's descriptor rings. Caller holds
+// h.mu.
+func (h *Host) buildRingsLocked(inst *Instance) {
+	producers := h.producerCount()
+	inst.in = make([]*ring.SPSCOf[Desc], producers)
+	for p := range inst.in {
+		inst.in[p] = ring.NewSPSCOf[Desc](h.cfg.RingSize)
+	}
+	inst.out = ring.NewSPSCOf[Desc](h.cfg.RingSize)
+}
+
+// findReplica returns the replica of svc with the given stable index, or
+// nil. Caller holds h.mu.
+func (h *Host) findReplica(svc flowtable.ServiceID, index int) *Instance {
+	for _, in := range h.services[svc] {
+		if in.Index == index {
+			return in
+		}
+	}
+	return nil
+}
+
+// RemoveNF retires replica index of service svc with a flow-state-safe
+// drain (§3.3/§5 scale-down). On a running host it: (1) publishes a
+// routing snapshot that stops offering the replica packets and waits
+// until every manager thread has observed it; (2) lets the replica's NF
+// goroutine run its input rings dry and exit, so every accepted packet is
+// fully processed; (3) waits for the TX thread to drain the replica's out
+// ring, then retires it from the TX scan; (4) hands the replica's
+// engine-owned per-flow state off to the remaining replicas (the flow's
+// new owner under LBFlowHash, a hash-spread otherwise) and runs the NF's
+// Close hook. Removing the last replica of a service is allowed; packets
+// forwarded to the service then drop.
+//
+// Handoff semantics under live traffic: packets arriving after step (1)
+// already reach the flow's new owner, so by step (4) both replicas may
+// hold state for the same flow. The victim's entry (the flow's entire
+// history up to the routing flip) overwrites the new owner's (only the
+// drain window) — the drain-window updates are lost. Exactly preserving
+// both would need OpenNF-style packet buffering; transitions quiesced by
+// the caller are exact.
+//
+// Must not be called from a manager thread or an NF hook (see lifeMu).
+func (h *Host) RemoveNF(svc flowtable.ServiceID, index int) error {
+	h.lifeMu.Lock()
+	defer h.lifeMu.Unlock()
+	h.mu.Lock()
+	victim := h.findReplica(svc, index)
+	if victim == nil {
+		h.mu.Unlock()
+		return fmt.Errorf("dataplane: no replica %d of service %s", index, svc)
+	}
+	h.unregisterLocked(victim)
+	remaining := append([]*Instance(nil), h.services[svc]...)
+	started := h.started
+	var epoch uint64
+	if started {
+		// Stop offering: svc no longer lists the victim, but its out ring
+		// stays on the TX threads' scan list until drained.
+		epoch = h.publishSnapLocked(victim)
+	}
+	h.mu.Unlock()
+
+	if started {
+		h.waitSnapObserved(epoch)
+		// No producer offers to the victim anymore; ask its goroutine to
+		// run the input rings dry and exit. The drain flag (checked only
+		// when a full pass over the rings found nothing) guarantees the
+		// final burst is fully processed and enqueued before exit.
+		victim.drain.Store(true)
+		<-victim.done
+		// Let the TX thread finish the queued output, then retire the out
+		// ring from the scan.
+		for victim.out.Len() > 0 {
+			runtime.Gosched()
+		}
+		h.mu.Lock()
+		epoch = h.publishSnapLocked()
+		h.mu.Unlock()
+		h.waitSnapObserved(epoch)
+	}
+
+	h.handoffFlows(victim, remaining)
+	h.closeInst(victim)
+	return nil
+}
+
+// handoffFlows merges a retired replica's engine-owned per-flow state
+// into the remaining replicas: each flow lands on the replica that now
+// owns it (rendezvous owner under LBFlowHash, hash-spread otherwise).
+// On collision the victim's value wins: it holds the flow's history up
+// to the routing flip, while the destination has at most the updates of
+// the drain window, which are sacrificed (see RemoveNF).
+func (h *Host) handoffFlows(victim *Instance, remaining []*Instance) {
+	if len(remaining) == 0 {
+		return
+	}
+	victim.ctx.Flows.Range(func(k packet.FlowKey, v any) bool {
+		h.flowOwner(remaining, k).ctx.Flows.Set(k, v)
+		return true
+	})
+	victim.ctx.Flows.Clear()
+}
+
+// migrateFlowsTo moves engine-owned per-flow state whose owner under the
+// new replica set is the freshly added replica. Only meaningful under
+// LBFlowHash, where ownership is deterministic.
+func (h *Host) migrateFlowsTo(newInst *Instance, all []*Instance) {
+	if h.cfg.LoadBalancer != LBFlowHash || len(all) < 2 {
+		return
+	}
+	for _, r := range all {
+		if r == newInst {
+			continue
+		}
+		var keys []packet.FlowKey
+		var vals []any
+		r.ctx.Flows.Range(func(k packet.FlowKey, v any) bool {
+			if ownerOf(all, k) == newInst {
+				keys = append(keys, k)
+				vals = append(vals, v)
+			}
+			return true
+		})
+		for i, k := range keys {
+			newInst.ctx.Flows.Set(k, vals[i])
+			r.ctx.Flows.Delete(k)
+		}
+	}
+}
+
+// flowOwner returns the replica owning flow k for state placement: the
+// rendezvous owner under LBFlowHash (matching pick), a stable hash spread
+// otherwise (no policy preserves affinity there; the state just needs a
+// deterministic home).
+func (h *Host) flowOwner(insts []*Instance, k packet.FlowKey) *Instance {
+	if h.cfg.LoadBalancer == LBFlowHash {
+		return ownerOf(insts, k)
+	}
+	return insts[k.Hash()%uint64(len(insts))]
+}
+
 // ReplaceNF swaps the function backing replica index of service svc for
 // fn, closing the outgoing NF if it is still open (normally Host.Stop
 // has closed it already — Close runs once per successful Init). The
@@ -241,12 +543,11 @@ func (h *Host) ReplaceNF(svc flowtable.ServiceID, index int, fn nf.BatchFunction
 		h.mu.Unlock()
 		return errors.New("dataplane: host already started")
 	}
-	insts := h.services[svc]
-	if index < 0 || index >= len(insts) {
+	inst := h.findReplica(svc, index)
+	if inst == nil {
 		h.mu.Unlock()
 		return fmt.Errorf("dataplane: no replica %d of service %s", index, svc)
 	}
-	inst := insts[index]
 	h.mu.Unlock()
 	h.replace(inst, fn)
 	return nil
@@ -305,18 +606,20 @@ func nfImplType(fn nf.BatchFunction) reflect.Type {
 func (h *Host) FlowState(svc flowtable.ServiceID, index int) *nf.FlowState {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	insts := h.services[svc]
-	if index < 0 || index >= len(insts) {
+	inst := h.findReplica(svc, index)
+	if inst == nil {
 		return nil
 	}
-	return insts[index].ctx.Flows
+	return inst.ctx.Flows
 }
 
 // NamedHost adapts a Host to the orchestrator's HostHandle: Launch makes
-// svc available backed by fn, adding a first replica or replacing replica
-// 0 (which runs the outgoing NF's Close hook and keeps its flow state).
-// Launches land while the host is stopped — between Stop and Start —
-// matching the paper's VM (re)boot model.
+// svc available backed by fn. While the host is stopped it adds a first
+// replica or replaces replica 0 (which runs the outgoing NF's Close hook
+// and keeps its flow state), matching the paper's VM (re)boot model. On a
+// started host it is a live scale-up: a new replica joins the service's
+// load-balanced set (§3.3, §5.2). The scale-down path is RemoveNF,
+// reached through orchestrator.Retire.
 type NamedHost struct {
 	Name string
 	*Host
@@ -339,16 +642,11 @@ func (n NamedHost) Launch(ctx context.Context, svc flowtable.ServiceID, fn nf.Ba
 	insts := h.services[svc]
 	started := h.started
 	h.mu.Unlock()
-	if len(insts) > 0 {
-		if started {
-			return errors.New("dataplane: host already started")
-		}
+	if len(insts) > 0 && !started {
 		h.replace(insts[0], fn)
 		return nil
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	_, err := h.addLocked(svc, fn, 0)
+	_, err := h.addReplica(svc, fn, 0)
 	return err
 }
 
@@ -432,30 +730,19 @@ func (h *Host) Start() error {
 	h.stop.Store(false)
 	for _, inst := range h.instances {
 		inst.stop.Store(false)
+		inst.drain.Store(false)
 	}
 
-	// Snapshot routing state for lock-free fast-path reads.
-	h.svcSnap = make(map[flowtable.ServiceID][]*Instance, len(h.services))
-	for s, insts := range h.services {
-		h.svcSnap[s] = append([]*Instance(nil), insts...)
+	for _, inst := range h.instances {
+		h.buildRingsLocked(inst)
 	}
-	h.instSnap = append([]*Instance(nil), h.instances...)
-
 	producers := h.producerCount()
-	for _, inst := range h.instSnap {
-		inst.in = make([]*ring.SPSCOf[Desc], producers)
-		for p := range inst.in {
-			inst.in[p] = ring.NewSPSCOf[Desc](h.cfg.RingSize)
-		}
-		inst.out = ring.NewSPSCOf[Desc](h.cfg.RingSize)
-	}
-	for i, inst := range h.instSnap {
-		inst.txThread = i % h.cfg.TXThreads
-	}
 	h.fcIn = make([]*ring.SPSCOf[Desc], producers)
 	for p := range h.fcIn {
 		h.fcIn[p] = ring.NewSPSCOf[Desc](h.cfg.RingSize)
 	}
+	// Publish the routing snapshot for lock-free fast-path reads.
+	h.publishSnapLocked()
 
 	h.wg.Add(1)
 	go func() { defer h.wg.Done(); h.rxLoop() }()
@@ -466,10 +753,8 @@ func (h *Host) Start() error {
 	}
 	h.wg.Add(1)
 	go func() { defer h.wg.Done(); h.fcLoop() }()
-	for _, inst := range h.instSnap {
-		inst := inst
-		h.wg.Add(1)
-		go func() { defer h.wg.Done(); inst.run(h) }()
+	for _, inst := range h.instances {
+		inst.launch(h)
 	}
 	return nil
 }
@@ -488,20 +773,20 @@ func (h *Host) Stop() {
 		h.mu.Unlock()
 		return
 	}
+	snap := append([]*Instance(nil), h.instances...)
 	h.mu.Unlock()
 	h.stop.Store(true)
-	for _, inst := range h.instSnap {
+	for _, inst := range snap {
 		inst.stop.Store(true)
 	}
 	h.wg.Wait()
-	h.drainRings()
+	h.drainRings(snap)
 	h.mu.Lock()
 	h.started = false
 	// h.stop (and the per-instance flags) stay latched until the next
 	// Start: an Inject arriving after the drain must keep being refused,
 	// or its descriptor would sit in nicIn defeating the no-leak
 	// guarantee above.
-	snap := h.instSnap
 	h.mu.Unlock()
 	// Close hooks run outside h.mu (lifeMu still held), so an NF's Close
 	// may use inspection APIs.
@@ -516,7 +801,7 @@ func (h *Host) Stop() {
 // reference, so one release each is exact — the instance stop path has
 // already released (only) the part of its burst the out ring never
 // accepted. Runs with all producer/consumer threads stopped.
-func (h *Host) drainRings() {
+func (h *Host) drainRings(insts []*Instance) {
 	drain := func(r *ring.SPSCOf[Desc]) {
 		for {
 			d, ok := r.Dequeue()
@@ -535,7 +820,7 @@ func (h *Host) drainRings() {
 	for _, r := range h.fcIn {
 		drain(r)
 	}
-	for _, inst := range h.instSnap {
+	for _, inst := range insts {
 		for _, r := range inst.in {
 			drain(r)
 		}
@@ -543,18 +828,39 @@ func (h *Host) drainRings() {
 	}
 }
 
-// Stats returns a counter snapshot.
+// Stats returns a counter snapshot, including per-replica telemetry.
 func (h *Host) Stats() HostStats {
+	h.mu.Lock()
+	replicas := make([]ReplicaStats, len(h.instances))
+	for i, inst := range h.instances {
+		replicas[i] = inst.Stats()
+	}
+	h.mu.Unlock()
 	return HostStats{
 		RxPackets:    h.rxCount.Load(),
 		TxPackets:    h.txCount.Load(),
 		Drops:        h.dropCount.Load(),
+		Overflows:    h.overflowCount.Load(),
 		Misses:       h.missCount.Load(),
 		CtrlMessages: h.msgCount.Load(),
 		MsgsRejected: h.msgRejected.Load(),
 		Pool:         h.pool.Stats(),
 		Table:        h.table.Stats(),
+		Replicas:     replicas,
 	}
+}
+
+// ReplicaStats returns the telemetry snapshot of every replica of svc —
+// the per-service load signal the autoscale policy loop samples.
+func (h *Host) ReplicaStats(svc flowtable.ServiceID) []ReplicaStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	insts := h.services[svc]
+	out := make([]ReplicaStats, len(insts))
+	for i, inst := range insts {
+		out[i] = inst.Stats()
+	}
+	return out
 }
 
 // Instances returns the registered instances (tests/diagnostics).
@@ -643,6 +949,7 @@ func (h *Host) rxLoop() {
 	keys := make([]packet.FlowKey, rxBatch)
 	entries := make([]*flowtable.Entry, rxBatch)
 	for !h.stop.Load() {
+		snap := h.observeSnap(producer)
 		n := h.nicIn.DequeueBatch(batch)
 		if n == 0 {
 			h.pause(&idle)
@@ -665,15 +972,15 @@ func (h *Host) rxLoop() {
 				}
 				continue
 			}
-			h.dispatchEntry(&d, entries[i], producer, &rr)
+			h.dispatchEntry(snap, &d, entries[i], producer, &rr)
 		}
 	}
 }
 
 // dispatchEntry applies e to d: parallel fan-out or the default action.
-func (h *Host) dispatchEntry(d *Desc, e *flowtable.Entry, producer int, rr *uint64) {
+func (h *Host) dispatchEntry(snap *routeSnap, d *Desc, e *flowtable.Entry, producer int, rr *uint64) {
 	if e.Parallel && len(e.Actions) > 1 {
-		h.fanOut(d, e, producer)
+		h.fanOut(snap, d, e, producer, rr)
 		return
 	}
 	def, ok := e.Default()
@@ -681,20 +988,20 @@ func (h *Host) dispatchEntry(d *Desc, e *flowtable.Entry, producer int, rr *uint
 		h.dropPacket(d)
 		return
 	}
-	h.applyAction(d, def, producer, rr)
+	h.applyAction(snap, d, def, producer, rr)
 }
 
 // fanOut dispatches one shared packet to every NF in a parallel action
 // list (§4.2 "Parallel Packet Processing"). Parallel rules always target
 // replica 0 of each member service: replication inside a parallel segment
 // would need per-member balancing state that the paper does not define.
-func (h *Host) fanOut(d *Desc, e *flowtable.Entry, producer int) {
+func (h *Host) fanOut(snap *routeSnap, d *Desc, e *flowtable.Entry, producer int, rr *uint64) {
 	targets := make([]*Instance, 0, len(e.Actions))
 	for _, a := range e.Actions {
 		if a.Type != flowtable.ActionForward {
 			continue
 		}
-		if insts := h.svcSnap[a.Dest]; len(insts) > 0 {
+		if insts := snap.svc[a.Dest]; len(insts) > 0 {
 			targets = append(targets, insts[0])
 		}
 	}
@@ -702,14 +1009,20 @@ func (h *Host) fanOut(d *Desc, e *flowtable.Entry, producer int) {
 		h.dropPacket(d)
 		return
 	}
+	if len(targets) > 1 {
+		// The descriptor already holds one reference; add the rest of the
+		// parallelization factor (§4.2) BEFORE any copy is offered. A
+		// failed retain (stale handle) means the parallel copies would
+		// each release a reference the pool never granted, corrupting the
+		// refcount — drop the packet instead.
+		if err := h.pool.Retain(d.H, len(targets)-1); err != nil {
+			h.dropPacket(d)
+			return
+		}
+	}
 	idx := d.H.Index()
 	h.parPending[idx].Store(int32(len(targets)))
 	h.parBest[idx].Store(0)
-	if len(targets) > 1 {
-		// The descriptor already holds one reference; add the rest of the
-		// parallelization factor (§4.2).
-		_ = h.pool.Retain(d.H, len(targets)-1)
-	}
 	for _, inst := range targets {
 		cp := *d
 		cp.parallel = true
@@ -720,22 +1033,24 @@ func (h *Host) fanOut(d *Desc, e *flowtable.Entry, producer int) {
 			}
 		}
 		if !inst.offer(producer, cp) {
-			// Member queue full: account the member as done with the
-			// lowest-priority outcome so the join still completes.
-			h.parJoin(&cp, packAction(flowtable.Forward(inst.Service), 0), producer)
+			// Member queue full: overflow pressure on that replica.
+			// Account the member as done with the lowest-priority outcome
+			// so the join still completes.
+			h.overflowCount.Add(1)
+			h.parJoin(snap, &cp, packAction(flowtable.Forward(inst.Service), 0), producer, rr)
 		}
 	}
 }
 
 // applyAction delivers d per a (non-parallel path).
-func (h *Host) applyAction(d *Desc, a flowtable.Action, producer int, rr *uint64) {
+func (h *Host) applyAction(snap *routeSnap, d *Desc, a flowtable.Action, producer int, rr *uint64) {
 	switch a.Type {
 	case flowtable.ActionDrop:
 		h.dropPacket(d)
 	case flowtable.ActionOut:
 		h.transmit(d, a.Dest.PortNum())
 	case flowtable.ActionForward:
-		insts := h.svcSnap[a.Dest]
+		insts := snap.svc[a.Dest]
 		if len(insts) == 0 {
 			h.dropPacket(d)
 			return
@@ -754,7 +1069,9 @@ func (h *Host) applyAction(d *Desc, a flowtable.Action, producer int, rr *uint64
 			}
 		}
 		if !inst.offer(producer, nd) {
-			h.dropPacket(d)
+			// NF queue overflow: replica capacity pressure, not policy —
+			// counted separately so the autoscale layer sees it (§3.3).
+			h.overflowDrop(d)
 		}
 	}
 }
@@ -770,9 +1087,15 @@ func (h *Host) transmit(d *Desc, port int) {
 	h.releaseDesc(d)
 }
 
-// dropPacket discards d.
+// dropPacket discards d (policy or manager-ring overload drop).
 func (h *Host) dropPacket(d *Desc) {
 	h.dropCount.Add(1)
+	h.releaseDesc(d)
+}
+
+// overflowDrop discards d because an NF replica's input rings were full.
+func (h *Host) overflowDrop(d *Desc) {
+	h.overflowCount.Add(1)
 	h.releaseDesc(d)
 }
 
@@ -786,8 +1109,9 @@ func (h *Host) txLoop(t int) {
 	idle := 0
 	batch := make([]Desc, rxBatch)
 	for !h.stop.Load() {
+		snap := h.observeSnap(producer)
 		progressed := false
-		for _, inst := range h.instSnap {
+		for _, inst := range snap.inst {
 			if inst.txThread != t {
 				continue
 			}
@@ -798,7 +1122,7 @@ func (h *Host) txLoop(t int) {
 				}
 				progressed = true
 				for i := 0; i < n; i++ {
-					h.completeNF(&batch[i], inst, producer, &rr)
+					h.completeNF(snap, &batch[i], inst, producer, &rr)
 				}
 			}
 		}
@@ -822,31 +1146,48 @@ func (h *Host) txLoop(t int) {
 }
 
 // resolveEntry returns the flow-table entry at d's current scope, using
-// the descriptor cache when enabled. Nil means the flow has no rule (a
-// miss).
-func (h *Host) resolveEntry(d *Desc) *flowtable.Entry {
+// the descriptor cache when enabled. A nil entry with ok=true means the
+// flow has no rule (a miss); ok=false means the packet bytes could not be
+// parsed back into a flow key, so no lookup can be trusted — the caller
+// must drop rather than dispatch the malformed frame by a stale key.
+func (h *Host) resolveEntry(d *Desc) (e *flowtable.Entry, ok bool) {
 	if !h.cfg.DisableLookupCache && d.Entry != nil {
-		return d.Entry
+		return d.Entry, true
 	}
 	if h.cfg.DisableLookupCache {
 		// Without descriptor caching the TX thread pays the full cost:
 		// re-extract the 5-tuple from the packet, then hash-lookup.
-		if data, err := h.pool.Data(d.H); err == nil {
-			if v, err := packet.Parse(data); err == nil {
-				d.Key = v.FlowKey()
-			}
+		data, err := h.pool.Data(d.H)
+		if err != nil {
+			return nil, false
 		}
+		v, err := packet.Parse(data)
+		if err != nil {
+			return nil, false
+		}
+		d.Key = v.FlowKey()
 	}
 	e, err := h.table.Lookup(d.Scope, d.Key)
 	if err != nil {
-		return nil
+		return nil, true
 	}
-	return e
+	return e, true
+}
+
+// dropUnparsed discards a descriptor whose packet bytes no longer parse.
+// A parallel member must still vote in its join — it votes Drop — or the
+// group's pending count would never reach zero.
+func (h *Host) dropUnparsed(snap *routeSnap, d *Desc, inst *Instance, producer int, rr *uint64) {
+	if d.parallel {
+		h.parJoin(snap, d, packAction(flowtable.Drop(), inst.Priority), producer, rr)
+		return
+	}
+	h.dropPacket(d)
 }
 
 // completeNF handles a descriptor returned by an NF: resolve its verb to a
 // concrete action, then either join a parallel group or apply the action.
-func (h *Host) completeNF(d *Desc, inst *Instance, producer int, rr *uint64) {
+func (h *Host) completeNF(snap *routeSnap, d *Desc, inst *Instance, producer int, rr *uint64) {
 	var act flowtable.Action
 	switch d.Verb {
 	case nf.VerbDiscard:
@@ -854,7 +1195,11 @@ func (h *Host) completeNF(d *Desc, inst *Instance, producer int, rr *uint64) {
 	case nf.VerbOut:
 		act = flowtable.Action{Type: flowtable.ActionOut, Dest: d.Dest}
 	case nf.VerbSendTo:
-		e := h.resolveEntry(d)
+		e, ok := h.resolveEntry(d)
+		if !ok {
+			h.dropUnparsed(snap, d, inst, producer, rr)
+			return
+		}
 		req := flowtable.Forward(d.Dest)
 		switch {
 		case d.parallel || (e != nil && e.Allows(req)):
@@ -872,7 +1217,11 @@ func (h *Host) completeNF(d *Desc, inst *Instance, producer int, rr *uint64) {
 			return
 		}
 	default: // VerbDefault
-		e := h.resolveEntry(d)
+		e, ok := h.resolveEntry(d)
+		if !ok {
+			h.dropUnparsed(snap, d, inst, producer, rr)
+			return
+		}
 		if e == nil {
 			h.punt(d, producer)
 			return
@@ -885,11 +1234,11 @@ func (h *Host) completeNF(d *Desc, inst *Instance, producer int, rr *uint64) {
 	}
 
 	if d.parallel {
-		h.parJoin(d, packAction(act, inst.Priority), producer)
+		h.parJoin(snap, d, packAction(act, inst.Priority), producer, rr)
 		return
 	}
 	d.Entry = nil
-	h.applyAction(d, act, producer, rr)
+	h.applyAction(snap, d, act, producer, rr)
 }
 
 // punt sends a missing-rule descriptor to the Flow Controller.
@@ -901,8 +1250,10 @@ func (h *Host) punt(d *Desc, producer int) {
 }
 
 // parJoin merges one parallel member's resolved action; the last member to
-// arrive continues the packet with the merged action.
-func (h *Host) parJoin(d *Desc, packed mergedAction, producer int) {
+// arrive continues the packet with the merged action, using the calling
+// thread's round-robin state so post-join forwards keep balancing across
+// replicas instead of restarting from a zero counter every join.
+func (h *Host) parJoin(snap *routeSnap, d *Desc, packed mergedAction, producer int, rr *uint64) {
 	idx := d.H.Index()
 	for {
 		cur := h.parBest[idx].Load()
@@ -925,8 +1276,7 @@ func (h *Host) parJoin(d *Desc, packed mergedAction, producer int) {
 	}
 	d.parallel = false
 	d.Entry = nil
-	var rr uint64
-	h.applyAction(d, merged.action(), producer, &rr)
+	h.applyAction(snap, d, merged.action(), producer, rr)
 }
 
 // fcLoop is the Flow Controller thread (§4.1): it owns flow-table misses
@@ -951,6 +1301,7 @@ func (h *Host) fcLoop() {
 	results := make([]control.ResolveResult, rxBatch)
 	slot := make([]int, rxBatch) // descriptor -> unique request index
 	for !h.stop.Load() {
+		snap := h.observeSnap(producer)
 		progressed := false
 		for _, r := range h.fcIn {
 			n := r.DequeueBatch(batch)
@@ -969,7 +1320,7 @@ func (h *Host) fcLoop() {
 			for i := 0; i < n; i++ {
 				d := batch[i]
 				if entries[i] != nil {
-					h.dispatchEntry(&d, entries[i], producer, &rr)
+					h.dispatchEntry(snap, &d, entries[i], producer, &rr)
 					continue
 				}
 				batch[miss] = d
@@ -1044,7 +1395,7 @@ func (h *Host) fcLoop() {
 					}
 					continue
 				}
-				h.dispatchEntry(&d, entries[i], producer, &rr)
+				h.dispatchEntry(snap, &d, entries[i], producer, &rr)
 			}
 		}
 		if !progressed {

@@ -545,8 +545,17 @@ func TestAddNFValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer h.Stop()
-	if _, err := h.AddNF(svcA, NoopFn(), 0); err == nil {
-		t.Fatal("AddNF after Start accepted")
+	// Runtime scale-up: adding a replica to a started host is a live
+	// launch, not an error.
+	inst, err := h.AddNF(svcA, NoopFn(), 0)
+	if err != nil {
+		t.Fatalf("runtime AddNF: %v", err)
+	}
+	if inst.Index != 0 {
+		t.Fatalf("first replica index = %d", inst.Index)
+	}
+	if _, err := h.AddNF(flowtable.Port(1), NoopFn(), 0); err == nil {
+		t.Fatal("port-range service id accepted at runtime")
 	}
 }
 

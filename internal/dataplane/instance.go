@@ -2,8 +2,10 @@ package dataplane
 
 import (
 	"sync/atomic"
+	"time"
 
 	"sdnfv/internal/flowtable"
+	"sdnfv/internal/metrics"
 	"sdnfv/internal/nf"
 	"sdnfv/internal/ring"
 )
@@ -12,14 +14,27 @@ import (
 // ProcessBatch → EnqueueBatch pass moves up to this many descriptors.
 const nfBatch = 64
 
+// svcTimeAlpha smooths the per-replica service-time EWMA (one observation
+// per burst).
+const svcTimeAlpha = 0.2
+
+func newServiceTimeEWMA() *metrics.EWMA { return metrics.NewEWMA(svcTimeAlpha) }
+
 // Instance is one running NF "VM": a network function plus its private
 // rings. Each producer thread in the manager (the RX thread and every TX
 // thread) gets its own SPSC ring into the instance so that every ring has
 // exactly one producer and one consumer, as §4.1 requires.
 type Instance struct {
-	Service  flowtable.ServiceID
-	Index    int // replica number within the service
+	Service flowtable.ServiceID
+	// Index is the replica's stable identity within its service: indices
+	// are assigned monotonically and never reused after a removal, so an
+	// index keeps naming the same replica across scale-up/down (FlowState,
+	// RemoveNF, orchestrator.Retire all address replicas by it).
+	Index    int
 	Priority uint16
+	// seq is the host-wide launch sequence number: stable TX-thread
+	// assignment and rendezvous-hash identity.
+	seq      uint64
 	fn       nf.BatchFunction
 	readOnly bool
 
@@ -35,12 +50,43 @@ type Instance struct {
 
 	rxCount   atomic.Uint64
 	dropCount atomic.Uint64 // ring-full drops into this instance
-	stop      atomic.Bool
+	// svcTime tracks the EWMA per-packet NF service time in nanoseconds,
+	// one observation per processed burst.
+	svcTime *metrics.EWMA
+
+	stop atomic.Bool
+	// drain asks the NF goroutine to exit once a full pass over its input
+	// rings finds them empty (graceful retirement: every accepted packet
+	// is processed and handed to the TX thread first). Set by RemoveNF
+	// after producers stopped offering.
+	drain atomic.Bool
+	// done is closed when the NF goroutine exits; recreated per launch.
+	done chan struct{}
 
 	// opened tracks the Init/Close pairing: true between a successful
 	// Init and the matching Close (guarded by Host.lifeMu, which
 	// serializes all lifecycle operations).
 	opened bool
+}
+
+// ReplicaStats is a telemetry snapshot of one NF replica — the per-replica
+// load signal the manager exports and the autoscale layer consumes
+// (§3.3 automatic load balancing, §5 dynamic scaling).
+type ReplicaStats struct {
+	Service flowtable.ServiceID
+	Index   int
+	Name    string
+	// QueueDepth is the number of descriptors waiting in the replica's
+	// input rings (an instantaneous backlog sample).
+	QueueDepth int
+	// Processed counts packets handed to the NF.
+	Processed uint64
+	// OverflowDrops counts offers refused because the input rings were
+	// full.
+	OverflowDrops uint64
+	// ServiceTimeNs is the EWMA per-packet NF service time in
+	// nanoseconds (0 until the replica has processed a burst).
+	ServiceTimeNs float64
 }
 
 // Name returns the NF's name.
@@ -54,6 +100,22 @@ func (in *Instance) Processed() uint64 { return in.rxCount.Load() }
 
 // InputDrops returns packets dropped because the instance's rings were full.
 func (in *Instance) InputDrops() uint64 { return in.dropCount.Load() }
+
+// ServiceTimeNs returns the replica's EWMA per-packet service time.
+func (in *Instance) ServiceTimeNs() float64 { return in.svcTime.Value() }
+
+// Stats returns the replica's telemetry snapshot.
+func (in *Instance) Stats() ReplicaStats {
+	return ReplicaStats{
+		Service:       in.Service,
+		Index:         in.Index,
+		Name:          in.fn.Name(),
+		QueueDepth:    in.backlog(),
+		Processed:     in.rxCount.Load(),
+		OverflowDrops: in.dropCount.Load(),
+		ServiceTimeNs: in.svcTime.Value(),
+	}
+}
 
 // Flows exposes the instance's engine-owned per-flow state store, so the
 // manager (and tests) can inspect NF flow state for §3.4-style per-flow
@@ -76,6 +138,18 @@ func (in *Instance) offer(p int, d Desc) bool {
 	}
 	in.dropCount.Add(1)
 	return false
+}
+
+// launch starts the NF goroutine (rings must exist); done tracks its exit
+// for graceful retirement.
+func (in *Instance) launch(h *Host) {
+	in.done = make(chan struct{})
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		defer close(in.done)
+		in.run(h)
+	}()
 }
 
 // run is the NF goroutine: one burst pass per input ring — DequeueBatch,
@@ -110,7 +184,9 @@ func (in *Instance) run(h *Host) {
 			// The decision slots arrive zeroed (Default) per the
 			// BatchFunction contract.
 			clear(decs[:n])
+			t0 := time.Now()
 			in.fn.ProcessBatch(&in.ctx, pkts[:n], decs[:n])
+			in.svcTime.Observe(float64(time.Since(t0).Nanoseconds()) / float64(n))
 			for i := 0; i < n; i++ {
 				descs[i].Scope = in.Service
 				descs[i].Verb = decs[i].Verb
@@ -141,6 +217,12 @@ func (in *Instance) run(h *Host) {
 			in.ctx.FlushEmits()
 		}
 		if !progressed {
+			if in.drain.Load() {
+				// Graceful retirement: producers have stopped offering and
+				// a full pass found every input ring empty, so all accepted
+				// packets are processed and on the out ring. Exit.
+				return
+			}
 			h.pause(&idle)
 		} else {
 			idle = 0

@@ -19,7 +19,12 @@ const (
 	// slots"); unusable for NFs with per-flow temporal state.
 	LBQueueDepth
 	// LBFlowHash hashes the 5-tuple so all packets of a flow hit the same
-	// replica, preserving per-thread flow state.
+	// replica, preserving per-thread flow state. Implemented as
+	// rendezvous (highest-random-weight) hashing over the replicas'
+	// stable identities, so scaling the replica set from n to n±1 moves
+	// only the ~1/n of flows owned by the added/removed replica — a plain
+	// hash-mod would reshuffle almost every flow on each scaling event
+	// and destroy the affinity the policy exists to preserve.
 	LBFlowHash
 )
 
@@ -37,9 +42,9 @@ func (p LBPolicy) String() string {
 	}
 }
 
-// pick selects a replica index among n instances for the given flow.
-// producer is the calling thread's producer slot, used to keep the
-// round-robin counter thread-local (no shared atomic on the fast path).
+// pick selects a replica among insts for the given flow. rrState is the
+// calling thread's round-robin counter, kept thread-local so the fast
+// path shares no atomic.
 func (h *Host) pick(insts []*Instance, key packet.FlowKey, rrState *uint64) *Instance {
 	n := len(insts)
 	if n == 1 {
@@ -58,9 +63,38 @@ func (h *Host) pick(insts []*Instance, key packet.FlowKey, rrState *uint64) *Ins
 		}
 		return best
 	case LBFlowHash:
-		return insts[key.Hash()%uint64(n)]
+		return ownerOf(insts, key)
 	default:
 		*rrState++
 		return insts[*rrState%uint64(n)]
 	}
+}
+
+// ownerOf returns the rendezvous owner of a flow among the given replicas:
+// the replica whose (flow, replica) weight is highest. Removing a replica
+// moves exactly the flows it owned; adding one steals ~1/(n+1) of flows
+// from the others; every other flow keeps its owner.
+func ownerOf(insts []*Instance, key packet.FlowKey) *Instance {
+	kh := key.Hash()
+	best := insts[0]
+	bestW := rendezvousWeight(kh, best.seq)
+	for _, in := range insts[1:] {
+		if w := rendezvousWeight(kh, in.seq); w > bestW {
+			best, bestW = in, w
+		}
+	}
+	return best
+}
+
+// rendezvousWeight mixes a flow hash with a replica identity
+// (splitmix64-style finalizer: cheap, well distributed, and stable — the
+// mapping must not change across runs or replica-set edits).
+func rendezvousWeight(kh, id uint64) uint64 {
+	x := kh ^ (id+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }

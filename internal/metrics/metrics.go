@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -174,6 +175,60 @@ func (h *Histogram) CDF(n int) []CDFPoint {
 func (h *Histogram) Summary(conv float64) string {
 	return fmt.Sprintf("avg=%.2f min=%.2f max=%.2f (n=%d)",
 		h.Mean()*conv, h.Min()*conv, h.Max()*conv, h.Count())
+}
+
+// EWMA is a lock-free exponentially weighted moving average. The data
+// plane records one observation per burst (e.g. per-packet service time),
+// so updates must not take a lock; a CAS loop over the float bits keeps
+// Observe wait-free in the common uncontended single-writer case while
+// Value stays safe for any number of concurrent readers.
+type EWMA struct {
+	alpha float64
+	bits  atomic.Uint64
+}
+
+// ewmaEmpty marks an EWMA with no observations yet. It is a NaN payload
+// that Observe never stores (averages of finite inputs are finite), so it
+// cannot collide with a real value.
+const ewmaEmpty = ^uint64(0)
+
+// NewEWMA returns an average with smoothing factor alpha in (0, 1]; higher
+// alpha weights recent observations more. Out-of-range alphas are clamped
+// to 0.2, a common choice for load signals.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	e := &EWMA{alpha: alpha}
+	e.bits.Store(ewmaEmpty)
+	return e
+}
+
+// Observe folds v into the average. The first observation seeds the
+// average directly.
+func (e *EWMA) Observe(v float64) {
+	for {
+		old := e.bits.Load()
+		var next float64
+		if old == ewmaEmpty {
+			next = v
+		} else {
+			cur := math.Float64frombits(old)
+			next = cur + e.alpha*(v-cur)
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Value returns the current average, or 0 before any observation.
+func (e *EWMA) Value() float64 {
+	b := e.bits.Load()
+	if b == ewmaEmpty {
+		return 0
+	}
+	return math.Float64frombits(b)
 }
 
 // Counter is a thread-safe monotonically increasing counter.

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -170,5 +171,53 @@ func TestRateMeter(t *testing.T) {
 	// Far future: empty window.
 	if r := m.Rate(100); r != 0 {
 		t.Fatalf("rate = %v", r)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Fatalf("empty value = %v", e.Value())
+	}
+	e.Observe(100)
+	if e.Value() != 100 {
+		t.Fatalf("first observation must seed directly, got %v", e.Value())
+	}
+	e.Observe(200)
+	if v := e.Value(); math.Abs(v-150) > 1e-9 {
+		t.Fatalf("after 200: %v, want 150", v)
+	}
+	// A true zero average is representable (not confused with empty).
+	z := NewEWMA(1)
+	z.Observe(0)
+	z.Observe(0)
+	if z.Value() != 0 {
+		t.Fatalf("zero average = %v", z.Value())
+	}
+	// Out-of-range alpha clamps instead of exploding.
+	c := NewEWMA(-3)
+	c.Observe(10)
+	c.Observe(10)
+	if c.Value() != 10 {
+		t.Fatalf("clamped alpha average = %v", c.Value())
+	}
+}
+
+func TestEWMAConcurrent(t *testing.T) {
+	e := NewEWMA(0.1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.Observe(42)
+				_ = e.Value()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := e.Value(); math.Abs(v-42) > 1e-9 {
+		t.Fatalf("converged value = %v, want 42", v)
 	}
 }

@@ -67,11 +67,12 @@ type Orchestrator struct {
 	cfg   Config
 	clock Clock
 
-	mu       sync.Mutex
-	hosts    map[string]HostHandle
-	standby  map[string]int
-	launches []Launch
-	pending  int
+	mu          sync.Mutex
+	hosts       map[string]HostHandle
+	standby     map[string]int
+	launches    []Launch
+	retirements []Retirement
+	pending     int
 }
 
 // New builds an orchestrator. clock must not be nil.
@@ -166,6 +167,65 @@ func (o *Orchestrator) Instantiate(ctx context.Context, host string, svc flowtab
 		}
 	})
 	return nil
+}
+
+// Remover is the optional scale-down capability of a HostHandle: retiring
+// one replica of a service with a flow-state-safe drain.
+// dataplane.NamedHost satisfies it through Host.RemoveNF.
+type Remover interface {
+	RemoveNF(svc flowtable.ServiceID, index int) error
+}
+
+// Retirement records one completed scale-down.
+type Retirement struct {
+	Host    string
+	Service flowtable.ServiceID
+	Index   int
+	// At is the clock timestamp in seconds.
+	At float64
+}
+
+// ErrCannotRetire reports a Retire against a host whose handle has no
+// remove capability (e.g. a simulation stub).
+var ErrCannotRetire = errors.New("orchestrator: host cannot retire NFs")
+
+// Retire removes replica index of service svc on the named host — the
+// scale-down counterpart of Instantiate. The call is synchronous: it
+// returns once the host has drained and closed the replica (the paper's
+// dynamic scaling scenarios, §3.3/§5.2). The freed VM joins the host's
+// standby pool, modeling §5.2's "starting a new process in a stand-by
+// VM": a later Instantiate reuses it at the fast-start delay.
+func (o *Orchestrator) Retire(ctx context.Context, host string, svc flowtable.ServiceID, index int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	h, ok := o.hosts[host]
+	o.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	r, ok := h.(Remover)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrCannotRetire, host)
+	}
+	if err := r.RemoveNF(svc, index); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	o.standby[host]++
+	o.retirements = append(o.retirements, Retirement{
+		Host: host, Service: svc, Index: index, At: o.clock.Now(),
+	})
+	o.mu.Unlock()
+	return nil
+}
+
+// Retirements returns a copy of the completed retirement log.
+func (o *Orchestrator) Retirements() []Retirement {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Retirement(nil), o.retirements...)
 }
 
 // Launches returns a copy of the completed launch log.

@@ -182,3 +182,76 @@ func TestHostsListing(t *testing.T) {
 		t.Fatalf("hosts = %v", hs)
 	}
 }
+
+// removerHost is a fakeHost with the Remover scale-down capability.
+type removerHost struct {
+	fakeHost
+	removed []int
+	failRm  error
+}
+
+func (h *removerHost) RemoveNF(_ flowtable.ServiceID, index int) error {
+	if h.failRm != nil {
+		return h.failRm
+	}
+	h.removed = append(h.removed, index)
+	return nil
+}
+
+func TestRetire(t *testing.T) {
+	clk := &fakeClock{now: 3}
+	o := New(Config{StandbyDelaySec: 0.5}, clk)
+	h := &removerHost{fakeHost: fakeHost{name: "h1"}}
+	o.AddHost(h)
+
+	if err := o.Retire(context.Background(), "h1", 99, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.removed) != 1 || h.removed[0] != 2 {
+		t.Fatalf("removed = %v", h.removed)
+	}
+	rs := o.Retirements()
+	if len(rs) != 1 || rs[0] != (Retirement{Host: "h1", Service: 99, Index: 2, At: 3}) {
+		t.Fatalf("retirements = %+v", rs)
+	}
+
+	// The freed VM joined the standby pool: the next boot takes the
+	// fast-start path even though Config.Standby was zero.
+	var got []Launch
+	if err := o.Instantiate(context.Background(), "h1", 99, stubNF{}, func(l Launch) { got = append(got, l) }); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(4.0)
+	if len(got) != 1 || !got[0].Standby {
+		t.Fatalf("launch after retire = %+v, want standby fast path", got)
+	}
+}
+
+func TestRetireErrors(t *testing.T) {
+	clk := &fakeClock{}
+	o := New(Config{}, clk)
+	if err := o.Retire(context.Background(), "nope", 1, 0); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("unknown host: %v", err)
+	}
+	plain := &fakeHost{name: "plain"}
+	o.AddHost(plain)
+	if err := o.Retire(context.Background(), "plain", 1, 0); !errors.Is(err, ErrCannotRetire) {
+		t.Fatalf("non-remover host: %v", err)
+	}
+	failing := &removerHost{fakeHost: fakeHost{name: "f"}, failRm: errors.New("boom")}
+	o.AddHost(failing)
+	if err := o.Retire(context.Background(), "f", 1, 0); err == nil || err.Error() != "boom" {
+		t.Fatalf("remove error not propagated: %v", err)
+	}
+	// A failed retire must not mint a standby slot.
+	if o.Retirements() != nil {
+		t.Fatalf("failed retire logged: %+v", o.Retirements())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ok := &removerHost{fakeHost: fakeHost{name: "ok"}}
+	o.AddHost(ok)
+	if err := o.Retire(ctx, "ok", 1, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: %v", err)
+	}
+}
