@@ -298,7 +298,7 @@ func engineThroughput(b *testing.B, cfg dataplane.Config, n int) float64 {
 		Actions: []flowtable.Action{flowtable.Forward(10)}})
 	_, _ = h.Table().Add(flowtable.Rule{Scope: flowtable.ServiceID(10), Match: flowtable.MatchAll,
 		Actions: []flowtable.Action{flowtable.Out(1)}})
-	h.SetOutput(func(int, []byte, *dataplane.Desc) { done.Add(1) })
+	h.BindDefault(func(int, []byte, *dataplane.Desc) { done.Add(1) })
 	if err := h.Start(); err != nil {
 		b.Fatal(err)
 	}

@@ -52,8 +52,8 @@ func main() {
 	if err := a.RegisterGraph(g); err != nil {
 		log.Fatal(err)
 	}
-	a.Subscribe(func(src flowtable.ServiceID, m control.Message) {
-		log.Printf("app: accepted NF message from %s: %s", src, m)
+	a.Subscribe(func(dp control.DatapathID, src flowtable.ServiceID, m control.Message) {
+		log.Printf("app: accepted NF message from %s on %s: %s", src, dp, m)
 	})
 
 	c := controller.New(controller.Config{ServiceTime: *service, Workers: *workers})

@@ -36,6 +36,7 @@ import (
 
 func main() {
 	ctlAddr := flag.String("controller", "", "controller address (empty = standalone with local rules)")
+	datapath := flag.Uint64("datapath", 0, "datapath id announced to the controller (0 = anonymous); rules resolve scoped to this host")
 	packets := flag.Int("packets", 10000, "packets to generate")
 	flows := flag.Int("flows", 8, "concurrent synthetic flows")
 	autoScale := flag.Bool("autoscale", true, "autoscale the counter service from its queue telemetry")
@@ -46,17 +47,20 @@ func main() {
 	cfg := dataplane.Config{PoolSize: 4096, TXThreads: 1}
 	if *ctlAddr != "" {
 		dialCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		client, err := control.Dial(dialCtx, *ctlAddr)
+		client, err := control.DialAs(dialCtx, *ctlAddr, control.DatapathID(*datapath))
 		cancel()
 		if err != nil {
 			log.Fatalf("dial controller: %v", err)
 		}
 		defer client.Close()
 		// The Flow Controller thread resolves misses over this channel
-		// with pipelined XID-correlated PacketIns.
+		// with pipelined XID-correlated PacketIns; the HELLO announced
+		// our datapath id, so the controller registers this host's
+		// session and scopes every FLOW_MOD to it.
 		cfg.Control = client
 		if f, err := client.Features(context.Background()); err == nil {
-			log.Printf("sdnfv-host: control channel to %s up (datapath %#x)", *ctlAddr, f.DatapathID)
+			log.Printf("sdnfv-host: control channel to %s up as datapath %#x (controller %#x)",
+				*ctlAddr, *datapath, f.DatapathID)
 		} else {
 			log.Printf("sdnfv-host: control channel to %s up", *ctlAddr)
 		}
@@ -84,7 +88,7 @@ func main() {
 
 	var delivered int
 	doneCh := make(chan struct{})
-	host.SetOutput(func(int, []byte, *dataplane.Desc) {
+	host.BindDefault(func(int, []byte, *dataplane.Desc) {
 		delivered++
 		if delivered == *packets {
 			close(doneCh)

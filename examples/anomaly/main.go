@@ -124,7 +124,7 @@ func main() {
 	mustNF(host.AddNF(svcScrubber, &slowNF{inner: scrubber, perPacketNs: 50_000}, 0))
 
 	var delivered int
-	host.SetOutput(func(int, []byte, *dataplane.Desc) { delivered++ })
+	host.BindDefault(func(int, []byte, *dataplane.Desc) { delivered++ })
 	if err := host.Start(); err != nil {
 		log.Fatal(err)
 	}

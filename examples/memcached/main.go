@@ -51,7 +51,7 @@ func main() {
 	}
 
 	perBackend := map[packet.IP]int{}
-	host.SetOutput(func(port int, data []byte, _ *dataplane.Desc) {
+	host.BindDefault(func(port int, data []byte, _ *dataplane.Desc) {
 		if v, err := packet.Parse(data); err == nil {
 			perBackend[v.DstIP()]++
 		}

@@ -111,7 +111,7 @@ func main() {
 	// 3. Count transmitted packets at the egress port.
 	done := make(chan struct{})
 	var out int
-	host.SetOutput(func(port int, data []byte, _ *dataplane.Desc) {
+	host.BindDefault(func(port int, data []byte, _ *dataplane.Desc) {
 		out++
 		if out == 2000 {
 			close(done)

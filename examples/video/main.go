@@ -60,7 +60,7 @@ func main() {
 	}
 
 	var delivered int
-	host.SetOutput(func(int, []byte, *dataplane.Desc) { delivered++ })
+	host.BindDefault(func(int, []byte, *dataplane.Desc) { delivered++ })
 	if err := host.Start(); err != nil {
 		log.Fatal(err)
 	}

@@ -54,13 +54,24 @@ type App struct {
 	defGraph  string
 	msgLog    []LoggedMessage
 	policyKV  map[string]any
-	listeners []func(src flowtable.ServiceID, m control.Message)
+	listeners []func(dp control.DatapathID, src flowtable.ServiceID, m control.Message)
+
+	// deployment, when set, switches the application to multi-host mode:
+	// CompileFlow answers with the requesting datapath's slice of the
+	// compiled deployment, and accepted ChangeDefault messages are
+	// translated to per-host actions and pushed through downstream.
+	deployment *Deployment
+	deployed   map[control.DatapathID][]flowtable.Rule
+	downstream Downstream
 }
 
 // LoggedMessage is one validated cross-layer message.
 type LoggedMessage struct {
-	Src flowtable.ServiceID
-	Msg control.Message
+	// Host is the datapath whose NF Manager forwarded the message (zero
+	// for anonymous single-host deployments).
+	Host control.DatapathID
+	Src  flowtable.ServiceID
+	Msg  control.Message
 	// Accepted reports whether validation allowed the message.
 	Accepted bool
 	// Reason explains a rejection.
@@ -155,46 +166,97 @@ func (a *App) CompileRules(scope flowtable.ServiceID, key packet.FlowKey, exact 
 
 // CompileFlow implements control.Northbound: the rule compiler the SDN
 // controller invokes per admitted PacketIn, in the specialization mode
-// selected by Config.WildcardRules.
-func (a *App) CompileFlow(_ context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+// selected by Config.WildcardRules. With a deployment installed the
+// compilation is scoped to the requesting datapath: the host receives
+// its own slice of the global service graph (cross-host hops as egress
+// actions onto fabric link ports), never another host's rules.
+func (a *App) CompileFlow(_ context.Context, dp control.DatapathID, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+	a.mu.Lock()
+	deployed := a.deployed
+	a.mu.Unlock()
+	if deployed != nil {
+		rules, ok := deployed[dp]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s not in deployment", ErrUnknownDatapath, dp)
+		}
+		if a.cfg.WildcardRules {
+			return rules, nil
+		}
+		exact := make([]flowtable.Rule, len(rules))
+		m := flowtable.ExactMatch(key)
+		for i, r := range rules {
+			r.Match = m
+			exact[i] = r
+		}
+		return exact, nil
+	}
 	return a.CompileRules(scope, key, !a.cfg.WildcardRules)
 }
 
-// Subscribe registers a listener for accepted cross-layer messages.
-func (a *App) Subscribe(fn func(src flowtable.ServiceID, m control.Message)) {
+// Subscribe registers a listener for accepted cross-layer messages; dp
+// is the datapath whose manager forwarded the message.
+func (a *App) Subscribe(fn func(dp control.DatapathID, src flowtable.ServiceID, m control.Message)) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.listeners = append(a.listeners, fn)
 }
 
 // HandleNFMessage implements control.Northbound: it validates a
-// cross-layer message against the service graphs and records it.
-// Refusals are reported as errors wrapping control.ErrRejected with the
-// reason, and every verdict lands in the message log. Validation
-// enforces the §3.4 constraint that NFs may only steer flows along
-// edges defined in the original service graph.
-func (a *App) HandleNFMessage(_ context.Context, src flowtable.ServiceID, m control.Message) error {
-	accepted, reason := a.validate(src, m)
+// cross-layer message against the service graphs and records it with
+// the emitting host's identity. Refusals are reported as errors
+// wrapping control.ErrRejected with the reason, and every verdict lands
+// in the message log. Validation enforces the §3.4 constraint that NFs
+// may only steer flows along edges defined in the original service
+// graph; with a deployment installed it additionally checks that the
+// emitting service is actually placed on the reporting host, and an
+// accepted ChangeDefault is translated to its per-host actions and
+// pushed to the affected datapath through the downstream applier (the
+// cross-host reroute path).
+func (a *App) HandleNFMessage(_ context.Context, dp control.DatapathID, src flowtable.ServiceID, m control.Message) error {
+	accepted, reason := a.validate(dp, src, m)
 	a.mu.Lock()
-	a.msgLog = append(a.msgLog, LoggedMessage{Src: src, Msg: m, Accepted: accepted, Reason: reason})
+	dep, ds := a.deployment, a.downstream
+	a.mu.Unlock()
+	if cd, ok := m.(control.ChangeDefault); accepted && ok && dep != nil && ds != nil {
+		// Steer BEFORE recording the verdict: a translated update the
+		// data plane refuses means the reroute did not take effect, and
+		// the log must not claim otherwise (nor may subscribers be told
+		// it happened).
+		if err := a.steerDeployment(dep, ds, cd); err != nil {
+			accepted, reason = false, fmt.Sprintf("steering failed: %v", err)
+		}
+	}
+	a.mu.Lock()
+	a.msgLog = append(a.msgLog, LoggedMessage{Host: dp, Src: src, Msg: m, Accepted: accepted, Reason: reason})
 	if ad, ok := m.(control.AppData); accepted && ok {
 		a.policyKV[ad.Key] = ad.Value
 	}
-	listeners := make([]func(flowtable.ServiceID, control.Message), len(a.listeners))
+	listeners := make([]func(control.DatapathID, flowtable.ServiceID, control.Message), len(a.listeners))
 	copy(listeners, a.listeners)
 	a.mu.Unlock()
 	if !accepted {
 		return fmt.Errorf("%w: %s", control.ErrRejected, reason)
 	}
 	for _, fn := range listeners {
-		fn(src, m)
+		fn(dp, src, m)
 	}
 	return nil
 }
 
-func (a *App) validate(src flowtable.ServiceID, m control.Message) (bool, string) {
+func (a *App) validate(dp control.DatapathID, src flowtable.ServiceID, m control.Message) (bool, string) {
 	if err := m.Validate(); err != nil {
 		return false, fmt.Sprintf("invalid message from %s: %v", src, err)
+	}
+	a.mu.Lock()
+	dep := a.deployment
+	a.mu.Unlock()
+	if dep != nil && !src.IsPort() {
+		// Host attribution check: an NF Manager may only speak for
+		// services the placement put on it — a message claiming to come
+		// from a service hosted elsewhere is spoofed or misrouted.
+		if home, ok := dep.HostOf(src); !ok || home != dp {
+			return false, fmt.Sprintf("service %s is not placed on %s", src, dp)
+		}
 	}
 	if _, isData := m.(control.AppData); a.cfg.TrustNFs || isData {
 		return true, ""

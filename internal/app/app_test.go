@@ -86,7 +86,7 @@ func TestCompileRulesWildcardAndExact(t *testing.T) {
 	// configured specialization mode.
 	exactApp := New(Config{IngressPort: 0, EgressPort: 1})
 	_ = exactApp.RegisterGraph(testGraph(t, "g1"))
-	rules, err = exactApp.CompileFlow(context.Background(), flowtable.Port(0), testKey())
+	rules, err = exactApp.CompileFlow(context.Background(), 0, flowtable.Port(0), testKey())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,31 +135,31 @@ func TestMessageValidation(t *testing.T) {
 	ctx := context.Background()
 
 	// ChangeDefault along an existing edge: accepted.
-	if err := a.HandleNFMessage(ctx, 10, control.ChangeDefault{Service: 10, Target: 11}); err != nil {
+	if err := a.HandleNFMessage(ctx, 0, 10, control.ChangeDefault{Service: 10, Target: 11}); err != nil {
 		t.Fatalf("valid ChangeDefault rejected: %v", err)
 	}
 	// ChangeDefault along a non-edge: rejected with the typed sentinel.
-	if err := a.HandleNFMessage(ctx, 10, control.ChangeDefault{Service: 11, Target: 10}); !errors.Is(err, control.ErrRejected) {
+	if err := a.HandleNFMessage(ctx, 0, 10, control.ChangeDefault{Service: 11, Target: 10}); !errors.Is(err, control.ErrRejected) {
 		t.Fatalf("reverse edge: %v", err)
 	}
 	// ChangeDefault to an egress port: legal iff the service may exit
 	// the graph (11 -> sink exists; 10 -> sink does not).
-	if err := a.HandleNFMessage(ctx, 11, control.ChangeDefault{Service: 11, Target: flowtable.Port(1)}); err != nil {
+	if err := a.HandleNFMessage(ctx, 0, 11, control.ChangeDefault{Service: 11, Target: flowtable.Port(1)}); err != nil {
 		t.Fatalf("egress reroute rejected: %v", err)
 	}
-	if err := a.HandleNFMessage(ctx, 10, control.ChangeDefault{Service: 10, Target: flowtable.Port(1)}); !errors.Is(err, control.ErrRejected) {
+	if err := a.HandleNFMessage(ctx, 0, 10, control.ChangeDefault{Service: 10, Target: flowtable.Port(1)}); !errors.Is(err, control.ErrRejected) {
 		t.Fatalf("non-egress service rerouted to port: %v", err)
 	}
 	// SkipMe for a known service: accepted.
-	if err := a.HandleNFMessage(ctx, 11, control.SkipMe{Service: 11}); err != nil {
+	if err := a.HandleNFMessage(ctx, 0, 11, control.SkipMe{Service: 11}); err != nil {
 		t.Fatalf("valid SkipMe rejected: %v", err)
 	}
 	// RequestMe for an unknown service: rejected.
-	if err := a.HandleNFMessage(ctx, 99, control.RequestMe{Service: 99}); !errors.Is(err, control.ErrRejected) {
+	if err := a.HandleNFMessage(ctx, 0, 99, control.RequestMe{Service: 99}); !errors.Is(err, control.ErrRejected) {
 		t.Fatalf("unknown service: %v", err)
 	}
 	// Data messages always pass and update the policy store.
-	if err := a.HandleNFMessage(ctx, 10, control.AppData{Key: "alarm", Value: "on"}); err != nil {
+	if err := a.HandleNFMessage(ctx, 0, 10, control.AppData{Key: "alarm", Value: "on"}); err != nil {
 		t.Fatalf("data message rejected: %v", err)
 	}
 	if v, ok := a.Policy("alarm"); !ok || v != "on" {
@@ -182,7 +182,7 @@ func TestMessageValidation(t *testing.T) {
 
 func TestTrustedNFsSkipValidation(t *testing.T) {
 	a := New(Config{TrustNFs: true})
-	if err := a.HandleNFMessage(context.Background(), 99, control.ChangeDefault{Service: 1, Target: 2}); err != nil {
+	if err := a.HandleNFMessage(context.Background(), 0, 99, control.ChangeDefault{Service: 1, Target: 2}); err != nil {
 		t.Fatalf("trusted message rejected: %v", err)
 	}
 }
@@ -191,7 +191,7 @@ func TestStructurallyInvalidMessageRejected(t *testing.T) {
 	// Even with trusted NFs, per-variant validation still applies: an
 	// AppData with no key is malformed, not merely unauthorized.
 	a := New(Config{TrustNFs: true})
-	if err := a.HandleNFMessage(context.Background(), 1, control.AppData{}); !errors.Is(err, control.ErrRejected) {
+	if err := a.HandleNFMessage(context.Background(), 0, 1, control.AppData{}); !errors.Is(err, control.ErrRejected) {
 		t.Fatalf("invalid message: %v", err)
 	}
 }
@@ -199,8 +199,8 @@ func TestStructurallyInvalidMessageRejected(t *testing.T) {
 func TestSubscribe(t *testing.T) {
 	a := New(Config{TrustNFs: true})
 	var got []control.Message
-	a.Subscribe(func(_ flowtable.ServiceID, m control.Message) { got = append(got, m) })
-	_ = a.HandleNFMessage(context.Background(), 1, control.AppData{Key: "k"})
+	a.Subscribe(func(_ control.DatapathID, _ flowtable.ServiceID, m control.Message) { got = append(got, m) })
+	_ = a.HandleNFMessage(context.Background(), 0, 1, control.AppData{Key: "k"})
 	if len(got) != 1 {
 		t.Fatal("listener not invoked")
 	}

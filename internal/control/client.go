@@ -60,27 +60,40 @@ type opResult struct {
 	err      error
 }
 
-// Dial connects to a controller's southbound listener and performs the
-// HELLO exchange asynchronously.
+// Dial connects to a controller's southbound listener as the anonymous
+// datapath and performs the HELLO exchange asynchronously.
 func Dial(ctx context.Context, addr string) (*Client, error) {
+	return DialAs(ctx, addr, 0)
+}
+
+// DialAs connects to a controller's southbound listener identifying the
+// local NF host as datapath dp; the controller registers the session
+// under that id and scopes resolutions and FLOW_MODs to it.
+func DialAs(ctx context.Context, addr string, dp DatapathID) (*Client, error) {
 	var d net.Dialer
 	raw, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(raw)
+	return NewClientAs(raw, dp)
 }
 
-// NewClient wraps an established control-channel connection. It sends
-// the client HELLO and starts the reader; the peer's HELLO is consumed
-// asynchronously.
+// NewClient wraps an established control-channel connection as the
+// anonymous datapath. It sends the client HELLO and starts the reader;
+// the peer's HELLO is consumed asynchronously.
 func NewClient(raw net.Conn) (*Client, error) {
+	return NewClientAs(raw, 0)
+}
+
+// NewClientAs wraps an established control-channel connection,
+// announcing dp as the local datapath identity in the client HELLO.
+func NewClientAs(raw net.Conn, dp DatapathID) (*Client, error) {
 	c := &Client{
 		raw:     raw,
 		oc:      openflow.NewConn(raw),
 		pending: make(map[uint32]*pendingOp),
 	}
-	if err := c.send(openflow.Hello{}, c.nextXID()); err != nil {
+	if err := c.send(openflow.Hello{DatapathID: uint64(dp)}, c.nextXID()); err != nil {
 		return nil, err
 	}
 	go c.readLoop()

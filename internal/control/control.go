@@ -27,6 +27,7 @@ package control
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/packet"
@@ -54,6 +55,19 @@ var (
 	// per-variant structural validation before any policy was consulted.
 	ErrInvalidMessage = errors.New("control: invalid message")
 )
+
+// DatapathID identifies one NF host (datapath) within the controller's
+// domain. The paper's architecture (Fig. 2) has one SDN controller
+// managing a *set* of NF hosts; the datapath id is how the control plane
+// tells their flow tables apart: southbound sessions are registered under
+// it and every northbound request carries it, so compiled rules and
+// policy verdicts are scoped to the requesting host. Zero is the
+// anonymous datapath used by single-host deployments that never name
+// themselves.
+type DatapathID uint64
+
+// String renders the id in the conventional OpenFlow hex form.
+func (d DatapathID) String() string { return fmt.Sprintf("dp:%#x", uint64(d)) }
 
 // ResolveRequest asks the controller for the rules governing a new flow
 // first seen at Scope.
@@ -124,14 +138,19 @@ type Southbound interface {
 // Northbound is the SDN controller's typed view of the SDNFV
 // Application tier: the service-graph registry compiled into rules, the
 // cross-layer message validator, and the policy key/value store fed by
-// AppData messages.
+// AppData messages. Every request names the datapath (NF host) it
+// concerns, so a multi-host application can compile per-host rule sets
+// and attribute messages to the emitting host; single-host applications
+// may ignore it.
 type Northbound interface {
-	// CompileFlow produces the rules to install for a new flow first
-	// seen at scope, compiled from the application's service graphs.
-	CompileFlow(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error)
-	// HandleNFMessage validates and records a cross-layer message. A
-	// policy refusal is reported as an error wrapping ErrRejected.
-	HandleNFMessage(ctx context.Context, src flowtable.ServiceID, m Message) error
+	// CompileFlow produces the rules to install on datapath dp for a new
+	// flow first seen at scope, compiled from the application's service
+	// graphs (and, for multi-host deployments, its placement).
+	CompileFlow(ctx context.Context, dp DatapathID, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error)
+	// HandleNFMessage validates and records a cross-layer message
+	// emitted by an NF of service src on datapath dp. A policy refusal
+	// is reported as an error wrapping ErrRejected.
+	HandleNFMessage(ctx context.Context, dp DatapathID, src flowtable.ServiceID, m Message) error
 	// Policy returns the value stored for key by AppData messages.
 	Policy(key string) (any, bool)
 }
@@ -190,25 +209,25 @@ func (s SouthboundFuncs) Features(ctx context.Context) (Features, error) {
 // degrade gracefully: CompileFlow reports ErrNoCompiler, HandleNFMessage
 // accepts, Policy misses.
 type NorthboundFuncs struct {
-	CompileFlowFunc     func(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error)
-	HandleNFMessageFunc func(ctx context.Context, src flowtable.ServiceID, m Message) error
+	CompileFlowFunc     func(ctx context.Context, dp DatapathID, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error)
+	HandleNFMessageFunc func(ctx context.Context, dp DatapathID, src flowtable.ServiceID, m Message) error
 	PolicyFunc          func(key string) (any, bool)
 }
 
 // CompileFlow implements Northbound.
-func (n NorthboundFuncs) CompileFlow(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+func (n NorthboundFuncs) CompileFlow(ctx context.Context, dp DatapathID, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
 	if n.CompileFlowFunc == nil {
 		return nil, ErrNoCompiler
 	}
-	return n.CompileFlowFunc(ctx, scope, key)
+	return n.CompileFlowFunc(ctx, dp, scope, key)
 }
 
 // HandleNFMessage implements Northbound.
-func (n NorthboundFuncs) HandleNFMessage(ctx context.Context, src flowtable.ServiceID, m Message) error {
+func (n NorthboundFuncs) HandleNFMessage(ctx context.Context, dp DatapathID, src flowtable.ServiceID, m Message) error {
 	if n.HandleNFMessageFunc == nil {
 		return nil
 	}
-	return n.HandleNFMessageFunc(ctx, src, m)
+	return n.HandleNFMessageFunc(ctx, dp, src, m)
 }
 
 // Policy implements Northbound.

@@ -17,6 +17,15 @@
 //   - Northbound: the SDNFV Application attaches as a
 //     control.Northbound via SetNorthbound (rule compilation and
 //     cross-layer message validation, §3.4).
+//
+// The controller is multi-datapath (Fig. 2 shows one controller managing
+// a *set* of NF hosts): each host registers a Session under its
+// control.DatapathID — in process via Controller.Session, over the wire
+// by announcing the id in its HELLO — and every resolution and
+// cross-layer message is scoped to the registering host, so the
+// northbound tier compiles per-host rule sets and FLOW_MODs never leak
+// across datapaths. The Controller's own Southbound methods are the
+// anonymous datapath-0 session, preserving single-host deployments.
 package controller
 
 import (
@@ -24,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,14 +63,21 @@ type Config struct {
 }
 
 // Controller is an SDN controller: a bounded request queue drained by
-// Config.Workers processors. It implements control.Southbound for
-// in-process NF Managers.
+// Config.Workers processors, shared by every registered datapath
+// session. It implements control.Southbound for in-process NF Managers
+// (as the anonymous datapath-0 session).
 type Controller struct {
 	cfg Config
 
-	mu    sync.Mutex
-	nb    control.Northbound
-	conns map[net.Conn]struct{}
+	mu       sync.Mutex
+	nb       control.Northbound
+	conns    map[net.Conn]struct{}
+	sessions map[control.DatapathID]*Session
+	// anon is the datapath-0 session backing the Controller's own
+	// Southbound methods and not-yet-identified wire channels. It lives
+	// outside the registry so Datapaths() only reports real hosts, and
+	// so the per-miss Resolve path does not take c.mu for a map lookup.
+	anon *Session
 
 	queue chan request
 	done  chan struct{}
@@ -74,6 +91,7 @@ type Controller struct {
 
 type request struct {
 	ctx   context.Context
+	sess  *Session
 	scope flowtable.ServiceID
 	key   packet.FlowKey
 	reply func(rules []flowtable.Rule, err error)
@@ -87,12 +105,53 @@ func New(cfg Config) *Controller {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	return &Controller{
-		cfg:   cfg,
-		conns: make(map[net.Conn]struct{}),
-		queue: make(chan request, cfg.QueueDepth),
-		done:  make(chan struct{}),
+	c := &Controller{
+		cfg:      cfg,
+		conns:    make(map[net.Conn]struct{}),
+		sessions: make(map[control.DatapathID]*Session),
+		queue:    make(chan request, cfg.QueueDepth),
+		done:     make(chan struct{}),
 	}
+	c.anon = &Session{c: c}
+	return c
+}
+
+// Session registers (or returns) the southbound endpoint for datapath
+// dp. Each NF host in the controller's domain gets its own session:
+// resolutions submitted through it carry the host's identity to the
+// northbound tier, FLOW_MODs compiled for it never leak to another
+// host, and its counters are scoped so per-host control load is
+// observable. Sessions share the controller's event queue and worker
+// pool (the saturation behaviour of Fig. 1 is a property of the
+// controller, not of any one host).
+func (c *Controller) Session(dp control.DatapathID) *Session {
+	if dp == 0 {
+		// The anonymous session is shared and unregistered: it backs
+		// single-host deployments that never name themselves and must
+		// not surface as a phantom datapath in Datapaths().
+		return c.anon
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.sessions[dp]; ok {
+		return s
+	}
+	s := &Session{c: c, dp: dp}
+	c.sessions[dp] = s
+	return s
+}
+
+// Datapaths lists the registered (named) datapath ids in ascending
+// order; the anonymous datapath-0 session is never included.
+func (c *Controller) Datapaths() []control.DatapathID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]control.DatapathID, 0, len(c.sessions))
+	for dp := range c.sessions {
+		out = append(out, dp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // SetNorthbound attaches the SDNFV Application tier. Without one, every
@@ -149,41 +208,99 @@ func (c *Controller) handle(req request) {
 		req.reply(nil, control.ErrNoCompiler)
 		return
 	}
-	rules, err := nb.CompileFlow(req.ctx, req.scope, req.key)
+	rules, err := nb.CompileFlow(req.ctx, req.sess.dp, req.scope, req.key)
 	if err == nil {
 		c.flowMods.Add(uint64(len(rules)))
+		req.sess.flowMods.Add(uint64(len(rules)))
 	}
 	req.reply(rules, err)
 }
 
-// submit admits one request to the event queue; reply runs exactly once
-// unless the controller stops first. Only admitted requests count in
-// Stats.Requests; a full queue refuses with control.ErrQueueFull and
-// counts in Stats.Rejected instead, so Requests+Rejected is the offered
-// load (see control.Stats).
-func (c *Controller) submit(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey, reply func([]flowtable.Rule, error)) error {
+// submit admits one request from sess to the event queue; reply runs
+// exactly once unless the controller stops first. Only admitted requests
+// count in Stats.Requests; a full queue refuses with control.ErrQueueFull
+// and counts in Stats.Rejected instead, so Requests+Rejected is the
+// offered load (see control.Stats). Both the controller-wide and the
+// session-scoped counters are maintained.
+func (c *Controller) submit(ctx context.Context, sess *Session, scope flowtable.ServiceID, key packet.FlowKey, reply func([]flowtable.Rule, error)) error {
 	select {
-	case c.queue <- request{ctx: ctx, scope: scope, key: key, reply: reply}:
+	case c.queue <- request{ctx: ctx, sess: sess, scope: scope, key: key, reply: reply}:
 		c.requests.Add(1)
+		sess.requests.Add(1)
 		return nil
 	case <-c.done:
 		return control.ErrStopped
 	default:
 		c.rejected.Add(1)
+		sess.rejected.Add(1)
 		return control.ErrQueueFull
 	}
 }
 
-// Resolve implements control.Southbound: the in-process southbound path
-// an NF Manager's Flow Controller thread calls on a miss. It blocks
-// until the rules arrive, ctx expires, or the controller stops.
+// Resolve implements control.Southbound as the anonymous datapath-0
+// session; multi-host managers use Session(dp).Resolve instead.
 func (c *Controller) Resolve(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+	return c.Session(0).Resolve(ctx, scope, key)
+}
+
+// ResolveBatch implements control.Southbound as the anonymous
+// datapath-0 session.
+func (c *Controller) ResolveBatch(ctx context.Context, reqs []control.ResolveRequest, out []control.ResolveResult) {
+	c.Session(0).ResolveBatch(ctx, reqs, out)
+}
+
+// SendNFMessage implements control.Southbound as the anonymous
+// datapath-0 session.
+func (c *Controller) SendNFMessage(ctx context.Context, src flowtable.ServiceID, m control.Message) error {
+	return c.Session(0).SendNFMessage(ctx, src, m)
+}
+
+// Stats implements control.Southbound with the controller-wide
+// aggregates across all sessions; see control.Stats for the counters'
+// exact semantics. Per-host counters live on each Session.
+func (c *Controller) Stats(context.Context) (control.Stats, error) {
+	return control.Stats{
+		Requests: c.requests.Load(),
+		Rejected: c.rejected.Load(),
+		FlowMods: c.flowMods.Load(),
+		NFMsgs:   c.nfMsgs.Load(),
+	}, nil
+}
+
+// Features implements control.Southbound with the controller's own
+// identity (it hosts no NF services).
+func (c *Controller) Features(context.Context) (control.Features, error) {
+	return control.Features{DatapathID: c.cfg.DatapathID}, nil
+}
+
+// Session is one datapath's registered southbound endpoint: the typed
+// API an NF Manager uses when its controller manages several hosts.
+// Requests submitted through it share the controller's queue and worker
+// pool but carry the session's datapath id to the northbound tier, so
+// compiled rules are scoped to this host.
+type Session struct {
+	c  *Controller
+	dp control.DatapathID
+
+	requests atomic.Uint64
+	rejected atomic.Uint64
+	flowMods atomic.Uint64
+	nfMsgs   atomic.Uint64
+}
+
+// DatapathID returns the session's datapath identity.
+func (s *Session) DatapathID() control.DatapathID { return s.dp }
+
+// Resolve implements control.Southbound: the southbound path this
+// host's Flow Controller thread calls on a miss. It blocks until the
+// rules arrive, ctx expires, or the controller stops.
+func (s *Session) Resolve(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
 	type result struct {
 		rules []flowtable.Rule
 		err   error
 	}
 	ch := make(chan result, 1)
-	if err := c.submit(ctx, scope, key, func(rules []flowtable.Rule, err error) {
+	if err := s.c.submit(ctx, s, scope, key, func(rules []flowtable.Rule, err error) {
 		ch <- result{rules, err}
 	}); err != nil {
 		return nil, err
@@ -196,7 +313,7 @@ func (c *Controller) Resolve(ctx context.Context, scope flowtable.ServiceID, key
 		return r.rules, r.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
-	case <-c.done:
+	case <-s.c.done:
 		return nil, control.ErrStopped
 	}
 }
@@ -204,7 +321,7 @@ func (c *Controller) Resolve(ctx context.Context, scope flowtable.ServiceID, key
 // ResolveBatch implements control.Southbound: all requests are admitted
 // before the first answer is awaited, so Config.Workers > 1 overlaps
 // their service times.
-func (c *Controller) ResolveBatch(ctx context.Context, reqs []control.ResolveRequest, out []control.ResolveResult) {
+func (s *Session) ResolveBatch(ctx context.Context, reqs []control.ResolveRequest, out []control.ResolveResult) {
 	type slot struct {
 		ch chan control.ResolveResult
 	}
@@ -212,7 +329,7 @@ func (c *Controller) ResolveBatch(ctx context.Context, reqs []control.ResolveReq
 	for i, r := range reqs {
 		ch := make(chan control.ResolveResult, 1)
 		slots[i] = slot{ch: ch}
-		if err := c.submit(ctx, r.Scope, r.Key, func(rules []flowtable.Rule, err error) {
+		if err := s.c.submit(ctx, s, r.Scope, r.Key, func(rules []flowtable.Rule, err error) {
 			ch <- control.ResolveResult{Rules: rules, Err: err}
 		}); err != nil {
 			out[i] = control.ResolveResult{Err: err}
@@ -228,7 +345,7 @@ func (c *Controller) ResolveBatch(ctx context.Context, reqs []control.ResolveReq
 			out[i] = res
 		case <-ctx.Done():
 			out[i] = control.ResolveResult{Err: ctx.Err()}
-		case <-c.done:
+		case <-s.c.done:
 			out[i] = control.ResolveResult{Err: control.ErrStopped}
 		}
 	}
@@ -237,35 +354,36 @@ func (c *Controller) ResolveBatch(ctx context.Context, reqs []control.ResolveReq
 // SendNFMessage implements control.Southbound: the in-process path for
 // cross-layer messages routed via the controller (Fig. 2 step 5). The
 // message is validated structurally, counted, and handed to the
-// northbound tier, whose policy verdict (control.ErrRejected) is
-// returned synchronously.
-func (c *Controller) SendNFMessage(ctx context.Context, src flowtable.ServiceID, m control.Message) error {
+// northbound tier with this session's host identity; the policy verdict
+// (control.ErrRejected) is returned synchronously.
+func (s *Session) SendNFMessage(ctx context.Context, src flowtable.ServiceID, m control.Message) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	c.nfMsgs.Add(1)
-	nb := c.northbound()
+	s.c.nfMsgs.Add(1)
+	s.nfMsgs.Add(1)
+	nb := s.c.northbound()
 	if nb == nil {
 		return nil
 	}
-	return nb.HandleNFMessage(ctx, src, m)
+	return nb.HandleNFMessage(ctx, s.dp, src, m)
 }
 
-// Stats implements control.Southbound; see control.Stats for the
-// counters' exact semantics.
-func (c *Controller) Stats(context.Context) (control.Stats, error) {
+// Stats implements control.Southbound with the session-scoped counters:
+// this host's share of the controller's load.
+func (s *Session) Stats(context.Context) (control.Stats, error) {
 	return control.Stats{
-		Requests: c.requests.Load(),
-		Rejected: c.rejected.Load(),
-		FlowMods: c.flowMods.Load(),
-		NFMsgs:   c.nfMsgs.Load(),
+		Requests: s.requests.Load(),
+		Rejected: s.rejected.Load(),
+		FlowMods: s.flowMods.Load(),
+		NFMsgs:   s.nfMsgs.Load(),
 	}, nil
 }
 
-// Features implements control.Southbound with the controller's own
-// identity (it hosts no NF services).
-func (c *Controller) Features(context.Context) (control.Features, error) {
-	return control.Features{DatapathID: c.cfg.DatapathID}, nil
+// Features implements control.Southbound with the controller's identity
+// (the session's peer), like Controller.Features.
+func (s *Session) Features(ctx context.Context) (control.Features, error) {
+	return s.c.Features(ctx)
 }
 
 // Serve accepts NF Manager control channels on ln and speaks the
@@ -323,6 +441,10 @@ func (c *Controller) serveConn(conn net.Conn) error {
 	if _, err := oc.Send(openflow.Hello{}); err != nil {
 		return err
 	}
+	// The channel starts as the anonymous datapath; the peer's HELLO
+	// (always its first frame, so it precedes every PacketIn) upgrades
+	// the session to its announced identity.
+	sess := c.Session(0)
 	// Replies are produced concurrently (PacketIns resolve on the worker
 	// pool and answer out of order); sendMu serializes frame writes.
 	var sendMu sync.Mutex
@@ -338,7 +460,11 @@ func (c *Controller) serveConn(conn net.Conn) error {
 		}
 		switch m := msg.(type) {
 		case openflow.Hello:
-			// Peer greeting; nothing to do.
+			// Peer greeting: register the session under the datapath id
+			// the NF host announced (zero keeps it anonymous).
+			if m.DatapathID != 0 {
+				sess = c.Session(control.DatapathID(m.DatapathID))
+			}
 		case openflow.Echo:
 			if !m.Reply {
 				if err := sendXID(openflow.Echo{Reply: true, Data: m.Data}, hdr.XID); err != nil {
@@ -357,7 +483,7 @@ func (c *Controller) serveConn(conn net.Conn) error {
 			// FlowMods (terminated by a Barrier) whenever a worker gets
 			// to it, possibly interleaved with later XIDs.
 			xid := hdr.XID
-			err := c.submit(context.Background(), m.Scope, m.Key, func(rules []flowtable.Rule, rerr error) {
+			err := c.submit(context.Background(), sess, m.Scope, m.Key, func(rules []flowtable.Rule, rerr error) {
 				if rerr != nil {
 					_ = sendXID(openflow.ErrorMsg{Code: errCode(rerr), Text: rerr.Error()}, xid)
 					return
@@ -377,7 +503,7 @@ func (c *Controller) serveConn(conn net.Conn) error {
 		case openflow.NFMessage:
 			lifted, lerr := control.FromUnion(m.Msg)
 			if lerr == nil {
-				lerr = c.SendNFMessage(context.Background(), m.Src, lifted)
+				lerr = sess.SendNFMessage(context.Background(), m.Src, lifted)
 			}
 			if lerr != nil {
 				// Asynchronous refusal: the sender observes it as a
@@ -426,4 +552,7 @@ func (c *Controller) serveConn(conn net.Conn) error {
 	}
 }
 
-var _ control.Southbound = (*Controller)(nil)
+var (
+	_ control.Southbound = (*Controller)(nil)
+	_ control.Southbound = (*Session)(nil)
+)

@@ -25,7 +25,7 @@ func testKey() packet.FlowKey {
 // chain at the requesting scope.
 func chainNB() control.Northbound {
 	return control.NorthboundFuncs{
-		CompileFlowFunc: func(_ context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+		CompileFlowFunc: func(_ context.Context, _ control.DatapathID, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
 			return []flowtable.Rule{{
 				Scope:   scope,
 				Match:   flowtable.ExactMatch(key),
@@ -175,7 +175,7 @@ func TestSendNFMessageRoutesNorthbound(t *testing.T) {
 	c := New(Config{})
 	got := make(chan control.Message, 1)
 	c.SetNorthbound(control.NorthboundFuncs{
-		HandleNFMessageFunc: func(_ context.Context, src flowtable.ServiceID, m control.Message) error {
+		HandleNFMessageFunc: func(_ context.Context, _ control.DatapathID, src flowtable.ServiceID, m control.Message) error {
 			got <- m
 			return nil
 		},
@@ -238,7 +238,7 @@ func TestServeOverTCP(t *testing.T) {
 	c := New(Config{})
 	nfMsgs := make(chan control.Message, 1)
 	c.SetNorthbound(control.NorthboundFuncs{
-		CompileFlowFunc: func(_ context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+		CompileFlowFunc: func(_ context.Context, _ control.DatapathID, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
 			return []flowtable.Rule{
 				{Scope: scope, Match: flowtable.ExactMatch(key),
 					Actions: []flowtable.Action{flowtable.Forward(10)}},
@@ -246,7 +246,7 @@ func TestServeOverTCP(t *testing.T) {
 					Actions: []flowtable.Action{flowtable.Out(1)}},
 			}, nil
 		},
-		HandleNFMessageFunc: func(_ context.Context, _ flowtable.ServiceID, m control.Message) error {
+		HandleNFMessageFunc: func(_ context.Context, _ control.DatapathID, _ flowtable.ServiceID, m control.Message) error {
 			nfMsgs <- m
 			return nil
 		},
@@ -401,5 +401,113 @@ func TestServePipelinedPacketIns(t *testing.T) {
 		if mods[xid] != 1 || !done[xid] {
 			t.Fatalf("xid %d: mods=%d done=%v", xid, mods[xid], done[xid])
 		}
+	}
+}
+
+// dpNB is a northbound that compiles a rule tagged with the requesting
+// datapath (Dest = dp), so tests can see which host a compilation was
+// scoped to.
+func dpNB() control.Northbound {
+	return control.NorthboundFuncs{
+		CompileFlowFunc: func(_ context.Context, dp control.DatapathID, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+			return []flowtable.Rule{{
+				Scope:   scope,
+				Match:   flowtable.ExactMatch(key),
+				Actions: []flowtable.Action{flowtable.Forward(flowtable.ServiceID(dp))},
+			}}, nil
+		},
+	}
+}
+
+// TestSessionsScopeResolutionsPerDatapath registers two datapath
+// sessions and checks each resolution carries its host's identity to
+// the northbound tier, with per-session counters kept apart.
+func TestSessionsScopeResolutionsPerDatapath(t *testing.T) {
+	c := New(Config{Workers: 2})
+	c.SetNorthbound(dpNB())
+	c.Start()
+	defer c.Stop()
+
+	s7, s9 := c.Session(7), c.Session(9)
+	if s7 != c.Session(7) {
+		t.Fatal("session registry returned a fresh session for a registered id")
+	}
+	rules7, err := s7.Resolve(context.Background(), flowtable.Port(0), testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rules7[0].Actions[0].Dest; got != 7 {
+		t.Fatalf("dp7 compilation scoped to %v", got)
+	}
+	reqs := []control.ResolveRequest{{Scope: flowtable.Port(0), Key: testKey()}}
+	out := make([]control.ResolveResult, 1)
+	s9.ResolveBatch(context.Background(), reqs, out)
+	if out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if got := out[0].Rules[0].Actions[0].Dest; got != 9 {
+		t.Fatalf("dp9 compilation scoped to %v", got)
+	}
+
+	st7, _ := s7.Stats(context.Background())
+	st9, _ := s9.Stats(context.Background())
+	if st7.Requests != 1 || st9.Requests != 1 {
+		t.Fatalf("per-session requests: dp7=%d dp9=%d", st7.Requests, st9.Requests)
+	}
+	if st7.FlowMods != 1 || st9.FlowMods != 1 {
+		t.Fatalf("per-session flowmods: dp7=%d dp9=%d", st7.FlowMods, st9.FlowMods)
+	}
+	agg, _ := c.Stats(context.Background())
+	if agg.Requests != 2 || agg.FlowMods != 2 {
+		t.Fatalf("aggregate stats: %+v", agg)
+	}
+	dps := c.Datapaths()
+	if len(dps) != 2 || dps[0] != 7 || dps[1] != 9 {
+		t.Fatalf("datapaths = %v", dps)
+	}
+}
+
+// TestWireSessionFromHello connects a wire client that announces its
+// datapath in the HELLO and checks the server scopes its PacketIns to
+// that session.
+func TestWireSessionFromHello(t *testing.T) {
+	c := New(Config{})
+	c.SetNorthbound(dpNB())
+	c.Start()
+	defer c.Stop()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() { _ = c.Serve(ln) }()
+
+	cl, err := control.DialAs(context.Background(), ln.Addr().String(), 0x2a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rules, err := cl.Resolve(context.Background(), flowtable.Port(0), testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rules[0].Actions[0].Dest; got != 0x2a {
+		t.Fatalf("wire compilation scoped to %v, want dp 0x2a", got)
+	}
+	found := false
+	for _, dp := range c.Datapaths() {
+		if dp == 0x2a {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hello did not register the session: %v", c.Datapaths())
+	}
+	st, err := c.Session(0x2a).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1 {
+		t.Fatalf("wire session requests = %d", st.Requests)
 	}
 }

@@ -1,0 +1,77 @@
+package dataplane
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdnfv/internal/control"
+	"sdnfv/internal/controller"
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/nf"
+	"sdnfv/internal/packet"
+)
+
+// TestAccountingIdentityUnderMissOverload saturates the miss path — a
+// slow single-worker controller with a tiny queue (ErrQueueFull drops),
+// small rings, a slow NF — and requires the per-host conservation
+// identity rx == tx + drops + overflows + txdrops to balance exactly
+// once idle. Guards the Inject/transmit accounting semantics: refused
+// injects stay out of Drops, undeliverable egress lands in TxDrops.
+func TestAccountingIdentityUnderMissOverload(t *testing.T) {
+	ctl := controller.New(controller.Config{Workers: 1, ServiceTime: 2 * time.Millisecond, QueueDepth: 8})
+	ctl.SetNorthbound(control.NorthboundFuncs{
+		CompileFlowFunc: func(_ context.Context, _ control.DatapathID, _ flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+			return []flowtable.Rule{
+				{Scope: flowtable.Port(0), Match: flowtable.ExactMatch(key), Actions: []flowtable.Action{flowtable.Forward(41)}},
+				{Scope: 41, Match: flowtable.ExactMatch(key), Actions: []flowtable.Action{flowtable.Out(1)}},
+			}, nil
+		},
+	})
+	ctl.Start()
+	defer ctl.Stop()
+	h := NewHost(Config{PoolSize: 512, RingSize: 64, TXThreads: 1, Control: ctl})
+	slow := &slowNF{d: 20 * time.Microsecond}
+	if _, err := h.AddNF(41, slow, 0); err != nil {
+		t.Fatal(err)
+	}
+	var out atomic.Int64
+	h.BindDefault(func(int, []byte, *Desc) { out.Add(1) })
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+	const n = 5000
+	// 64 distinct flows to force many misses.
+	frames := make([][]byte, 64)
+	for i := range frames {
+		frames[i] = buildFrame(t, uint16(2000+i), nil)
+	}
+	for i := 0; i < n; i++ {
+		for {
+			if err := h.Inject(0, frames[i%64]); err == nil {
+				break
+			}
+			time.Sleep(time.Microsecond)
+		}
+	}
+	if !h.WaitIdle(20 * time.Second) {
+		t.Fatalf("not idle: %+v", h.Pool().Stats())
+	}
+	st := h.Stats()
+	sum := st.TxPackets + st.Drops + st.Overflows + st.TxDrops
+	t.Logf("rx=%d tx=%d drops=%d overflows=%d txdrops=%d misses=%d sum=%d out=%d",
+		st.RxPackets, st.TxPackets, st.Drops, st.Overflows, st.TxDrops, st.Misses, sum, out.Load())
+	if st.RxPackets != sum {
+		t.Fatalf("identity broken: rx=%d sum=%d (+%d)", st.RxPackets, sum, int64(sum)-int64(st.RxPackets))
+	}
+}
+
+type slowNF struct{ d time.Duration }
+
+func (s *slowNF) Name() string   { return "slow" }
+func (s *slowNF) ReadOnly() bool { return true }
+func (s *slowNF) ProcessBatch(_ *nf.Context, batch []nf.Packet, _ []nf.Decision) {
+	time.Sleep(time.Duration(len(batch)) * s.d)
+}

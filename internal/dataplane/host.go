@@ -76,17 +76,33 @@ func (c *Config) fillDefaults() {
 type HostStats struct {
 	RxPackets uint64
 	TxPackets uint64
-	// Drops counts packets discarded by policy or overload of the
-	// manager's own rings (drop rules/verbs, missing services, refused
-	// injects, miss-path overflow). NF input-queue overflows are NOT
-	// included — they are capacity pressure, not policy, and live in
-	// Overflows so the autoscale layer (and operators) can tell the two
-	// apart.
+	// Drops counts admitted packets discarded by policy or overload of
+	// the manager's own rings (drop rules/verbs, missing services,
+	// miss-path overflow). NF input-queue overflows are NOT included —
+	// they are capacity pressure, not policy, and live in Overflows so
+	// the autoscale layer (and operators) can tell the two apart.
+	// Refused Injects are not included either: a refused frame was
+	// never admitted (never in RxPackets), so it is the injector's loss
+	// to account — the cluster fabric counts such frames as link drops.
+	// Under non-parallel dispatch every admitted packet therefore lands
+	// in exactly one of TxPackets, Drops, Overflows, or TxDrops; a
+	// parallel fan-out additionally counts each refused member OFFER in
+	// Overflows while the packet itself continues through the join (see
+	// Overflows), so parallel rules can push the sum past RxPackets.
 	Drops uint64
 	// Overflows counts packets (or parallel fan-out offers) refused
 	// because an NF replica's input rings were full — the signal that a
 	// service needs more replicas (§3.3, §5 dynamic scaling).
-	Overflows    uint64
+	Overflows uint64
+	// TxDrops counts frames that reached egress but could not be
+	// delivered: the out port had no sink bound, or the buffer handle
+	// went stale before the bytes could be read. They are neither
+	// TxPackets (nothing left the host) nor Drops (no policy or
+	// overload decided their fate) — keeping them separate means
+	// RxPackets = TxPackets + Drops + Overflows + TxDrops holds exactly
+	// once the host is idle and no parallel fan-out rule was involved
+	// (parallel refusals count offers, not packets — see Drops).
+	TxDrops      uint64
 	Misses       uint64
 	CtrlMessages uint64
 	// MsgsRejected counts cross-layer messages that were refused:
@@ -162,9 +178,10 @@ type Host struct {
 	// ctrl carries cross-layer messages from NFs to the manager loop.
 	ctrl *ring.MPSC
 
-	// output receives transmitted packets. The callback must not retain
-	// data beyond the call.
-	output func(port int, data []byte, d *Desc)
+	// egress is the atomically published per-port sink table; the TX
+	// path reads it with one atomic load (no locks, matching the rest of
+	// the packet path). Bind* methods publish fresh tables copy-on-write.
+	egress atomic.Pointer[egressTable]
 
 	// parallel-join state, indexed by buffer slot.
 	parPending []atomic.Int32
@@ -172,6 +189,7 @@ type Host struct {
 
 	rxCount       atomic.Uint64
 	txCount       atomic.Uint64
+	txDropCount   atomic.Uint64
 	dropCount     atomic.Uint64
 	overflowCount atomic.Uint64
 	missCount     atomic.Uint64
@@ -217,9 +235,71 @@ func (h *Host) Table() *flowtable.Table { return h.table }
 // Pool exposes the packet pool for diagnostics and tests.
 func (h *Host) Pool() *mempool.Pool { return h.pool }
 
-// SetOutput installs the transmit callback (e.g. the traffic sink). Must
-// be called before Start.
-func (h *Host) SetOutput(fn func(port int, data []byte, d *Desc)) { h.output = fn }
+// PortSink receives frames the host transmits out a NIC port: the
+// per-port egress binding (a traffic sink, a measurement probe, or a
+// cluster fabric link delivering the frame to a peer host's ingress).
+// The sink must not retain data beyond the call — the underlying pool
+// buffer is released as soon as the sink returns.
+type PortSink func(port int, data []byte, d *Desc)
+
+// egressTable is the immutable per-port sink table the TX path reads
+// lock-free. sinks is indexed by port number; def catches ports with no
+// specific binding.
+type egressTable struct {
+	sinks []PortSink
+	def   PortSink
+}
+
+// sinkFor resolves the sink bound to port (nil when unbound).
+func (e *egressTable) sinkFor(port int) PortSink {
+	if e == nil {
+		return nil
+	}
+	if port >= 0 && port < len(e.sinks) && e.sinks[port] != nil {
+		return e.sinks[port]
+	}
+	return e.def
+}
+
+// BindPort binds sink as the egress for NIC port (replacing any previous
+// binding; nil unbinds). Per-port bindings are what let one host face
+// several next hops at once — e.g. port 1 to the measurement sink and
+// port 2 onto a fabric link toward a peer host. The binding is published
+// atomically, so it is safe while traffic flows; the packet path itself
+// stays lock-free (one atomic load per transmit). Frames egressing an
+// unbound port count as TxDrops.
+func (h *Host) BindPort(port int, sink PortSink) {
+	if port < 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cur := h.egress.Load()
+	next := &egressTable{}
+	if cur != nil {
+		next.def = cur.def
+		next.sinks = append([]PortSink(nil), cur.sinks...)
+	}
+	for len(next.sinks) <= port {
+		next.sinks = append(next.sinks, nil)
+	}
+	next.sinks[port] = sink
+	h.egress.Store(next)
+}
+
+// BindDefault binds sink as the egress for every port without a specific
+// BindPort binding — the single-sink convenience for hosts whose entire
+// output goes one place (tests, examples, single-host tools).
+func (h *Host) BindDefault(sink PortSink) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cur := h.egress.Load()
+	next := &egressTable{def: sink}
+	if cur != nil {
+		next.sinks = append([]PortSink(nil), cur.sinks...)
+	}
+	h.egress.Store(next)
+}
 
 // producer thread slot layout: 0 = RX, 1..TXThreads = TX, last = Flow
 // Controller.
@@ -839,6 +919,7 @@ func (h *Host) Stats() HostStats {
 	return HostStats{
 		RxPackets:    h.rxCount.Load(),
 		TxPackets:    h.txCount.Load(),
+		TxDrops:      h.txDropCount.Load(),
 		Drops:        h.dropCount.Load(),
 		Overflows:    h.overflowCount.Load(),
 		Misses:       h.missCount.Load(),
@@ -884,12 +965,15 @@ func (h *Host) pause(idle *int) {
 }
 
 // Inject delivers a raw frame into the host NIC on port (the traffic
-// generator's DMA). The frame is copied into a pool buffer; ErrExhausted
-// maps to a drop, like a NIC out of descriptors. Safe for concurrent use.
+// generator's DMA, or a fabric link's far end). The frame is copied into
+// a pool buffer. A refusal (pool exhausted, NIC ring full, host
+// stopped) is reported to the caller and NOT counted in the host's
+// Drops: the frame was never admitted, so accounting it is the
+// injector's job — like a NIC with no free descriptors back-pressuring
+// DMA. Safe for concurrent use.
 func (h *Host) Inject(port int, frame []byte) error {
 	hd, err := h.pool.Alloc()
 	if err != nil {
-		h.dropCount.Add(1)
 		return err
 	}
 	buf, _ := h.pool.Buf(hd)
@@ -916,14 +1000,12 @@ func (h *Host) Inject(port int, frame []byte) error {
 		// instead of leaking them past the drain.
 		h.injectMu.Unlock()
 		_ = h.pool.Release(hd)
-		h.dropCount.Add(1)
 		return errors.New("dataplane: host stopped")
 	}
 	ok := h.nicIn.Enqueue(d)
 	h.injectMu.Unlock()
 	if !ok {
 		_ = h.pool.Release(hd)
-		h.dropCount.Add(1)
 		return errors.New("dataplane: NIC ring full")
 	}
 	return nil
@@ -1076,14 +1158,26 @@ func (h *Host) applyAction(snap *routeSnap, d *Desc, a flowtable.Action, produce
 	}
 }
 
-// transmit hands the packet to the output callback and releases it.
+// transmit hands the packet to the egress sink bound to port and
+// releases it. A frame only counts in TxPackets when a sink actually
+// received its bytes; an unbound port or a stale buffer handle counts in
+// TxDrops instead, so packets never vanish from the accounting while the
+// stats claim they egressed.
 func (h *Host) transmit(d *Desc, port int) {
-	h.txCount.Add(1)
-	if h.output != nil {
-		if data, err := h.pool.Data(d.H); err == nil {
-			h.output(port, data, d)
-		}
+	sink := h.egress.Load().sinkFor(port)
+	if sink == nil {
+		h.txDropCount.Add(1)
+		h.releaseDesc(d)
+		return
 	}
+	data, err := h.pool.Data(d.H)
+	if err != nil {
+		h.txDropCount.Add(1)
+		h.releaseDesc(d)
+		return
+	}
+	h.txCount.Add(1)
+	sink(port, data, d)
 	h.releaseDesc(d)
 }
 
@@ -1472,13 +1566,16 @@ func (h *Host) applyLocal(_ flowtable.ServiceID, m control.Message) {
 }
 
 // lookupAnyRule returns some rule scoped at s (wildcard preferred), used
-// to discover s's default action for SkipMe.
+// to discover s's default action for SkipMe. The zero-key lookup finds
+// the governing wildcard cheaply; a scope holding only exact-match rules
+// (per-flow compilation mode) answers nothing for the zero key, so fall
+// back to scanning the scope's installed rules — otherwise SkipMe would
+// silently no-op exactly when rules are specialized.
 func (h *Host) lookupAnyRule(s flowtable.ServiceID) *flowtable.Entry {
-	e, err := h.table.Lookup(s, packet.FlowKey{})
-	if err != nil {
-		return nil
+	if e, err := h.table.Lookup(s, packet.FlowKey{}); err == nil {
+		return e
 	}
-	return e
+	return h.table.AnyEntry(s)
 }
 
 // WaitIdle blocks until the data plane has no packets in flight (pool

@@ -59,7 +59,7 @@ func startHost(t *testing.T, cfg Config, setup func(h *Host)) (*Host, *collector
 	}
 	h := NewHost(cfg)
 	out := &collector{}
-	h.SetOutput(out.fn)
+	h.BindDefault(out.fn)
 	if setup != nil {
 		setup(h)
 	}

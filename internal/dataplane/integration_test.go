@@ -60,7 +60,7 @@ func TestFullHierarchyMissToFlow(t *testing.T) {
 	ctl := controller.New(controller.Config{})
 	ctl.SetNorthbound(a) // App compiles per-flow exact rules by default
 	var appMsgs atomic.Int64
-	a.Subscribe(func(flowtable.ServiceID, control.Message) { appMsgs.Add(1) })
+	a.Subscribe(func(control.DatapathID, flowtable.ServiceID, control.Message) { appMsgs.Add(1) })
 	ctl.Start()
 	defer ctl.Stop()
 
@@ -81,7 +81,7 @@ func TestFullHierarchyMissToFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out atomic.Int64
-	h.SetOutput(func(int, []byte, *dataplane.Desc) { out.Add(1) })
+	h.BindDefault(func(int, []byte, *dataplane.Desc) { out.Add(1) })
 	if err := h.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +149,11 @@ func TestCrossLayerMessageReachesApp(t *testing.T) {
 	ctl := controller.New(controller.Config{})
 	var accepted, rejected atomic.Int64
 	ctl.SetNorthbound(control.NorthboundFuncs{
-		CompileFlowFunc: func(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
+		CompileFlowFunc: func(ctx context.Context, _ control.DatapathID, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error) {
 			return a.CompileRules(scope, key, false) // wildcard pre-population
 		},
-		HandleNFMessageFunc: func(ctx context.Context, src flowtable.ServiceID, m control.Message) error {
-			err := a.HandleNFMessage(ctx, src, m)
+		HandleNFMessageFunc: func(ctx context.Context, _ control.DatapathID, src flowtable.ServiceID, m control.Message) error {
+			err := a.HandleNFMessage(ctx, 0, src, m)
 			if err != nil {
 				rejected.Add(1)
 			} else {
@@ -192,7 +192,7 @@ func TestCrossLayerMessageReachesApp(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out atomic.Int64
-	h.SetOutput(func(int, []byte, *dataplane.Desc) { out.Add(1) })
+	h.BindDefault(func(int, []byte, *dataplane.Desc) { out.Add(1) })
 	if err := h.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestParallelPriorityConflict(t *testing.T) {
 			Actions: []flowtable.Action{flowtable.Out(1)}})
 	}
 	var out atomic.Int64
-	h.SetOutput(func(int, []byte, *dataplane.Desc) { out.Add(1) })
+	h.BindDefault(func(int, []byte, *dataplane.Desc) { out.Add(1) })
 	if err := h.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +339,7 @@ func TestSkipMeAndRequestMe(t *testing.T) {
 	add(flowtable.Rule{Scope: svcC, Match: flowtable.MatchAll,
 		Actions: []flowtable.Action{flowtable.Out(1)}})
 	var out atomic.Int64
-	h.SetOutput(func(int, []byte, *dataplane.Desc) { out.Add(1) })
+	h.BindDefault(func(int, []byte, *dataplane.Desc) { out.Add(1) })
 	if err := h.Start(); err != nil {
 		t.Fatal(err)
 	}

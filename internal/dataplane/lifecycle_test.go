@@ -167,7 +167,7 @@ func TestCloseOnReplacementViaOrchestrator(t *testing.T) {
 	}
 	defer h.Stop()
 	var out atomic.Int64
-	h.SetOutput(func(int, []byte, *dataplane.Desc) { out.Add(1) })
+	h.BindDefault(func(int, []byte, *dataplane.Desc) { out.Add(1) })
 	factory := traffic.NewFactory()
 	frame, _ := factory.Frame(traffic.Flow(1, 256, 0), 0)
 	if err := h.Inject(0, frame); err != nil {
@@ -269,7 +269,7 @@ func TestStopMidBurstReleasesDescriptorsOnce(t *testing.T) {
 	gate := make(chan struct{})
 	var entered atomic.Int32
 	var once sync.Once
-	h.SetOutput(func(int, []byte, *dataplane.Desc) {
+	h.BindDefault(func(int, []byte, *dataplane.Desc) {
 		entered.Add(1)
 		once.Do(func() { <-gate }) // block the TX thread on first delivery
 	})

@@ -411,7 +411,7 @@ func TestOverflowCounterDistinct(t *testing.T) {
 func TestMalformedFrameDroppedWithoutCache(t *testing.T) {
 	h := NewHost(Config{PoolSize: 8, DisableLookupCache: true})
 	out := &collector{}
-	h.SetOutput(out.fn)
+	h.BindDefault(out.fn)
 	key := packet.FlowKey{SrcIP: packet.IPv4(10, 0, 0, 1), DstIP: packet.IPv4(10, 0, 0, 2), SrcPort: 1234, DstPort: 80, Proto: packet.ProtoUDP}
 	if _, err := h.Table().Add(flowtable.Rule{Scope: svcA, Match: flowtable.MatchAll,
 		Actions: []flowtable.Action{flowtable.Out(1)}}); err != nil {

@@ -9,7 +9,7 @@ import (
 // numbers — who wins, by roughly what factor, and where crossovers fall.
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig1", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "micro", "scale"}
+	want := []string{"fig1", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "micro", "scale", "cluster"}
 	have := map[string]bool{}
 	for _, n := range Names() {
 		have[n] = true
@@ -365,6 +365,55 @@ func TestScaleShape(t *testing.T) {
 		t.Fatalf("state coverage %.2f, want >= 0.9 of delivered", r.StateCoverage)
 	}
 	if !strings.Contains(r.Render(), "Dynamic NF scaling") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestClusterShape(t *testing.T) {
+	// Real-engine multi-host run. The assertions are timing-independent
+	// (deliveries and accounting identities), so it runs under -race too.
+	r := Cluster(3)
+	// The chain spread across three hosts, one position per node.
+	if len(r.PlacementNodes) != 3 ||
+		r.PlacementNodes[0] == r.PlacementNodes[1] || r.PlacementNodes[1] == r.PlacementNodes[2] {
+		t.Fatalf("placement did not spread the chain: %v", r.PlacementNodes)
+	}
+	// Phase 1 traverses all three hosts and exits at C. A loaded runner
+	// may legitimately shed a little under -race (NF ring overflow); the
+	// accounting check below still has to balance exactly.
+	if r.Phase1DeliveredC < r.Phase1Sent*9/10 || r.Phase1DeliveredC > r.Phase1Sent {
+		t.Fatalf("phase 1: delivered %d of %d at C", r.Phase1DeliveredC, r.Phase1Sent)
+	}
+	for i, rx := range r.Rx {
+		if rx == 0 {
+			t.Fatalf("host %s saw no traffic", r.HostNames[i])
+		}
+	}
+	// The runtime ChangeDefault moved the hop: phase 2 exits at A, and C
+	// sees no new deliveries.
+	if r.Phase2DeliveredA < r.Phase2Sent*9/10 || r.Phase2DeliveredA > r.Phase2Sent {
+		t.Fatalf("phase 2: delivered %d of %d at A", r.Phase2DeliveredA, r.Phase2Sent)
+	}
+	if r.Phase2DeliveredC != 0 {
+		t.Fatalf("phase 2: %d packets still reached C after the reroute", r.Phase2DeliveredC)
+	}
+	// Per-host packet conservation and leak-free pools.
+	if !r.AccountingOK {
+		t.Fatalf("packet accounting broken: rx=%v tx=%v drops=%v overflows=%v txdrops=%v",
+			r.Rx, r.Tx, r.Drops, r.Overflows, r.TxDrops)
+	}
+	// Unshaped links only drop when the peer refuses the inject; that
+	// would surface as missing deliveries above, so just report it.
+	if r.LinkDrops > r.Phase1Sent/10 {
+		t.Fatalf("fabric dropped %d frames", r.LinkDrops)
+	}
+	// Misses resolved per host: every host pulled its own table.
+	for i, m := range r.Misses {
+		if m == 0 {
+			t.Fatalf("host %s never used its controller session", r.HostNames[i])
+		}
+	}
+	if !strings.Contains(r.Render(), "Multi-host service chain") {
 		t.Fatal("render missing title")
 	}
 }

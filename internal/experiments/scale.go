@@ -121,7 +121,7 @@ func Scale(seed int64) *ScaleResult {
 	var delivered atomic.Uint64
 	var winHist atomic.Pointer[metrics.Histogram]
 	winHist.Store(metrics.NewHistogram())
-	host.SetOutput(func(_ int, _ []byte, d *dataplane.Desc) {
+	host.BindDefault(func(_ int, _ []byte, d *dataplane.Desc) {
 		delivered.Add(1)
 		winHist.Load().Observe(float64(time.Now().UnixNano() - d.ArrivalNanos))
 	})

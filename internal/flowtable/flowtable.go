@@ -771,6 +771,30 @@ func (t *Table) RewriteDest(f Match, old, new Action) int {
 	return n
 }
 
+// AnyEntry returns some entry installed at scope, or nil when the scope
+// has no rules. Wildcard rules are preferred — the least specific one
+// wins, since it is the scope-wide default that governs the most flows —
+// and a scope holding only exact-match rules falls back to the
+// exact-match entry with the lowest table id (deterministic across
+// calls). Used to discover a scope's default action (SkipMe, §3.4)
+// without knowing any concrete flow key. Lock-free: it reads the
+// published snapshot.
+func (t *Table) AnyEntry(scope ServiceID) *Entry {
+	snap := t.shards[shardIndex(scope)].snap.Load()
+	if ws := snap.wild[scope]; len(ws) > 0 {
+		// Sorted most-specific-first, so the last entry is the most
+		// general default at this scope.
+		return ws[len(ws)-1]
+	}
+	var best *Entry
+	for _, e := range snap.exact[scope] {
+		if best == nil || e.ID < best.ID {
+			best = e
+		}
+	}
+	return best
+}
+
 // ScopesWithActionTo returns the scopes whose rules carry a forward action
 // targeting dest for flows matching f. Used by RequestMe to find "all
 // nodes that have an edge to S". Lock-free: it scans the published

@@ -294,3 +294,31 @@ func BenchmarkLookupExact(b *testing.B) {
 		}
 	}
 }
+
+func TestAnyEntry(t *testing.T) {
+	tb := New()
+	// Empty scope: nothing to return.
+	if e := tb.AnyEntry(ServiceID(40)); e != nil {
+		t.Fatalf("empty scope returned %v", e)
+	}
+	// Exact-only scope: the lowest-id exact entry is returned — the case
+	// where the zero-key lookup finds nothing (SkipMe regression).
+	id1, _ := tb.Add(Rule{Scope: ServiceID(40), Match: ExactMatch(key(1)), Actions: []Action{Out(1)}})
+	_, _ = tb.Add(Rule{Scope: ServiceID(40), Match: ExactMatch(key(2)), Actions: []Action{Out(2)}})
+	e := tb.AnyEntry(ServiceID(40))
+	if e == nil || e.ID != id1 {
+		t.Fatalf("exact-only scope: got %v, want entry %d", e, id1)
+	}
+	// With wildcards present the least specific one wins (the scope-wide
+	// default), not the most specific and not an exact entry.
+	p := uint16(80)
+	_, _ = tb.Add(Rule{Scope: ServiceID(40), Match: Match{DstPort: &p}, Actions: []Action{Drop()}})
+	_, _ = tb.Add(Rule{Scope: ServiceID(40), Match: MatchAll, Actions: []Action{Forward(7)}})
+	e = tb.AnyEntry(ServiceID(40))
+	if e == nil || e.Match.Specificity() != 0 {
+		t.Fatalf("wildcard preference: got %v", e)
+	}
+	if def, _ := e.Default(); def != Forward(7) {
+		t.Fatalf("default = %v", def)
+	}
+}

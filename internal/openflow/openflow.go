@@ -91,12 +91,26 @@ type Message interface {
 	encode(dst []byte) []byte
 }
 
-// Hello opens a channel.
-type Hello struct{}
+// Hello opens a channel. A datapath (NF host) announces its identity in
+// the greeting so the controller can register the session under it
+// before the first PacketIn arrives — the multi-switch handshake OpenFlow
+// performs with FEATURES, folded into the HELLO for our fixed feature
+// set. Zero means the peer stays anonymous (a controller greeting, or a
+// legacy single-host manager).
+type Hello struct {
+	DatapathID uint64
+}
 
 // Type implements Message.
-func (Hello) Type() MsgType            { return TypeHello }
-func (Hello) encode(dst []byte) []byte { return dst }
+func (Hello) Type() MsgType { return TypeHello }
+func (m Hello) encode(dst []byte) []byte {
+	if m.DatapathID == 0 {
+		// Anonymous greetings stay body-less, byte-identical to the
+		// pre-datapath frame.
+		return dst
+	}
+	return binary.BigEndian.AppendUint64(dst, m.DatapathID)
+}
 
 // Echo carries opaque probe bytes.
 type Echo struct {
@@ -419,7 +433,11 @@ func Decode(frame []byte) (Message, Header, error) {
 	b := frame[headerLen:]
 	switch h.Type {
 	case TypeHello:
-		return Hello{}, h, nil
+		var hello Hello
+		if len(b) >= 8 {
+			hello.DatapathID = binary.BigEndian.Uint64(b)
+		}
+		return hello, h, nil
 	case TypeEchoRequest:
 		return Echo{Data: append([]byte(nil), b...)}, h, nil
 	case TypeEchoReply:

@@ -32,6 +32,7 @@ func roundtrip(t *testing.T, msg Message) Message {
 func TestRoundtripSimpleMessages(t *testing.T) {
 	for _, msg := range []Message{
 		Hello{},
+		Hello{DatapathID: 0xabc}, // datapath-announcing greeting
 		Echo{Data: []byte("ping")},
 		Echo{Reply: true, Data: []byte("pong")},
 		FeaturesRequest{},
@@ -199,7 +200,7 @@ func exemplarFor(t MsgType) Message {
 	}
 	switch t {
 	case TypeHello:
-		return Hello{}
+		return Hello{DatapathID: 0x42}
 	case TypeEchoRequest:
 		return Echo{Data: []byte("ping")}
 	case TypeEchoReply:

@@ -121,6 +121,16 @@ var ErrUnknownHost = errors.New("orchestrator: unknown host")
 // scheduling the boot, and a ctx cancelled before the boot delay
 // elapses aborts the launch.
 func (o *Orchestrator) Instantiate(ctx context.Context, host string, svc flowtable.ServiceID, fn nf.BatchFunction, onReady func(Launch)) error {
+	return o.instantiate(ctx, host, svc, fn, func(l Launch, err error) {
+		if err == nil && onReady != nil {
+			onReady(l)
+		}
+	})
+}
+
+// instantiate schedules the boot and reports its outcome — success or
+// the host's refusal — to onDone exactly once.
+func (o *Orchestrator) instantiate(ctx context.Context, host string, svc flowtable.ServiceID, fn nf.BatchFunction, onDone func(Launch, error)) error {
 	o.mu.Lock()
 	h, ok := o.hosts[host]
 	if !ok {
@@ -162,10 +172,54 @@ func (o *Orchestrator) Instantiate(ctx context.Context, host string, svc flowtab
 			o.launches = append(o.launches, l)
 		}
 		o.mu.Unlock()
-		if err == nil && onReady != nil {
-			onReady(l)
+		if onDone != nil {
+			onDone(l, err)
 		}
 	})
+	return nil
+}
+
+// Placement names one service instantiation of a deployment: the host
+// the placement engine chose (§3.5) and the NF implementation backing
+// the service there.
+type Placement struct {
+	Host    string
+	Service flowtable.ServiceID
+	NF      nf.BatchFunction
+}
+
+// Deploy boots a whole placement — each service on the host the
+// placement engine assigned it to — and waits until every launch has
+// completed or ctx expires. This is the hook that lets a solved
+// multi-node placement (placement.Assignment mapped to host names)
+// drive the live engine instead of remaining a paper exercise. The
+// first host refusal fails Deploy with the failing placement's identity
+// and the host's error; boots already scheduled continue in the
+// background (their outcomes land in Launches as usual).
+func (o *Orchestrator) Deploy(ctx context.Context, placements []Placement) error {
+	done := make(chan error, len(placements))
+	for _, p := range placements {
+		p := p
+		err := o.instantiate(ctx, p.Host, p.Service, p.NF, func(_ Launch, err error) {
+			if err != nil {
+				err = fmt.Errorf("orchestrator: deploy %s on %q: %w", p.Service, p.Host, err)
+			}
+			done <- err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for range placements {
+		select {
+		case err := <-done:
+			if err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 	return nil
 }
 

@@ -4,7 +4,10 @@ import (
 	"container/heap"
 	"context"
 	"errors"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/nf"
@@ -253,5 +256,89 @@ func TestRetireErrors(t *testing.T) {
 	o.AddHost(ok)
 	if err := o.Retire(ctx, "ok", 1, 0); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled ctx: %v", err)
+	}
+}
+
+// realClock runs callbacks on the wall clock (Deploy blocks, so the
+// virtual clock cannot drive it from the same goroutine).
+type realClock struct{ start time.Time }
+
+func (c *realClock) After(delay float64, fn func()) {
+	time.AfterFunc(time.Duration(delay*float64(time.Second)), fn)
+}
+func (c *realClock) Now() float64 { return time.Since(c.start).Seconds() }
+
+// lockedHost is a fakeHost safe for the concurrent launches Deploy
+// triggers on the real clock.
+type lockedHost struct {
+	mu sync.Mutex
+	fakeHost
+}
+
+func (h *lockedHost) Launch(ctx context.Context, svc flowtable.ServiceID, fn nf.BatchFunction) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fakeHost.Launch(ctx, svc, fn)
+}
+
+func (h *lockedHost) setFail(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fail = err
+}
+
+func (h *lockedHost) services() map[flowtable.ServiceID]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := map[flowtable.ServiceID]bool{}
+	for _, s := range h.launched {
+		out[s] = true
+	}
+	return out
+}
+
+// TestDeploy boots a whole placement: each service lands on the host
+// the placement chose, and a failing host surfaces as ctx expiry.
+func TestDeploy(t *testing.T) {
+	clk := &realClock{start: time.Now()}
+	o := New(Config{BootDelaySec: 0.01, StandbyDelaySec: 0.01}, clk)
+	h1 := &lockedHost{fakeHost: fakeHost{name: "h1"}}
+	h2 := &lockedHost{fakeHost: fakeHost{name: "h2"}}
+	o.AddHost(h1)
+	o.AddHost(h2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := o.Deploy(ctx, []Placement{
+		{Host: "h1", Service: 1, NF: stubNF{}},
+		{Host: "h2", Service: 2, NF: stubNF{}},
+		{Host: "h1", Service: 3, NF: stubNF{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boots on one host complete concurrently; only the set matters.
+	got1 := h1.services()
+	if len(got1) != 2 || !got1[1] || !got1[3] {
+		t.Fatalf("h1 launched %v", got1)
+	}
+	got2 := h2.services()
+	if len(got2) != 1 || !got2[2] {
+		t.Fatalf("h2 launched %v", got2)
+	}
+
+	// Unknown host fails synchronously.
+	if err := o.Deploy(ctx, []Placement{{Host: "nope", Service: 4, NF: stubNF{}}}); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	// A host that refuses the launch fails Deploy fast, naming the
+	// placement and carrying the host's own error.
+	h1.setFail(errors.New("boom"))
+	err = o.Deploy(ctx, []Placement{{Host: "h1", Service: 5, NF: stubNF{}}})
+	if err == nil {
+		t.Fatal("failed launch not surfaced")
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "h1") {
+		t.Fatalf("deploy error lost the cause: %v", err)
 	}
 }

@@ -1,7 +1,9 @@
 package topo
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -87,4 +89,42 @@ func TestScaleCapacity(t *testing.T) {
 	if !ok || e.CapBps != 1000 {
 		t.Fatalf("cap = %v", e.CapBps)
 	}
+}
+
+// TestRocketfuel22Deterministic requires full structural identity under
+// a fixed seed — node count, cores, and the exact edge set with
+// capacities and delays — not merely matching degree counts.
+func TestRocketfuel22Deterministic(t *testing.T) {
+	a := Rocketfuel22(7, 1e9, 0.001)
+	b := Rocketfuel22(7, 1e9, 0.001)
+	if a.N() != b.N() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", a.N(), a.NumEdges(), b.N(), b.NumEdges())
+	}
+	if edgeSig(a) != edgeSig(b) {
+		t.Fatal("same seed produced different topologies")
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Cores(NodeID(i)) != b.Cores(NodeID(i)) {
+			t.Fatalf("node %d cores differ", i)
+		}
+	}
+	// A different seed rewires the preferential-attachment tail.
+	c := Rocketfuel22(8, 1e9, 0.001)
+	if edgeSig(a) == edgeSig(c) {
+		t.Fatal("different seeds produced identical topologies")
+	}
+}
+
+// edgeSig renders the full adjacency (ordered neighbor lists with
+// capacity and delay) as a comparable string.
+func edgeSig(t *Topology) string {
+	var b strings.Builder
+	for i := 0; i < t.N(); i++ {
+		fmt.Fprintf(&b, "%d:", i)
+		for _, e := range t.Neighbors(NodeID(i)) {
+			fmt.Fprintf(&b, " %d/%g/%g", e.To, e.CapBps, e.DelaySec)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
