@@ -1,0 +1,83 @@
+// Command sdnfv-lint runs the sdnfv static-analysis suite — the
+// mechanical enforcement of the packet-path invariants (hotpath,
+// refcount, atomicsnapshot, sentinelerr) — over Go package patterns.
+//
+// Usage:
+//
+//	sdnfv-lint [-run name[,name...]] [-list] [packages]
+//
+// With no patterns it checks ./... relative to the current directory.
+// Diagnostics print as file:line:col: [analyzer] message; the exit code
+// is 1 if any diagnostic was reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdnfv/internal/lint"
+	"sdnfv/internal/lint/analysis"
+	"sdnfv/internal/lint/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("sdnfv-lint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	runFilter := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runFilter != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*runFilter, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var picked []*analysis.Analyzer
+		for _, a := range suite {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			for name := range want {
+				fmt.Fprintf(os.Stderr, "sdnfv-lint: unknown analyzer %q\n", name)
+			}
+			return 2
+		}
+		suite = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(*dir, patterns, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdnfv-lint: %v\n", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	fmt.Fprintf(os.Stderr, "sdnfv-lint: %d diagnostic(s)\n", len(diags))
+	return 1
+}

@@ -229,7 +229,7 @@ func mapWireError(e openflow.ErrorMsg) error {
 	case openflow.ErrCodeInvalid:
 		return fmt.Errorf("%w (remote: %s)", ErrInvalidMessage, e.Text)
 	default:
-		return fmt.Errorf("control: remote error %d: %s", e.Code, e.Text)
+		return fmt.Errorf("%w %d: %s", ErrRemote, e.Code, e.Text)
 	}
 }
 

@@ -54,6 +54,10 @@ var (
 	// ErrInvalidMessage reports a cross-layer message that failed its
 	// per-variant structural validation before any policy was consulted.
 	ErrInvalidMessage = errors.New("control: invalid message")
+	// ErrRemote reports a protocol error frame whose code maps onto no
+	// other sentinel — a backend newer (or buggier) than this client.
+	// Wrapping it keeps even unknown failures classifiable by errors.Is.
+	ErrRemote = errors.New("control: remote error")
 )
 
 // DatapathID identifies one NF host (datapath) within the controller's

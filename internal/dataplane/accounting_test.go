@@ -75,3 +75,25 @@ func (s *slowNF) ReadOnly() bool { return true }
 func (s *slowNF) ProcessBatch(_ *nf.Context, batch []nf.Packet, _ []nf.Decision) {
 	time.Sleep(time.Duration(len(batch)) * s.d)
 }
+
+// TestReleaseErrsCounted forces a stale-handle release and requires the
+// failure to surface in HostStats.ReleaseErrs instead of vanishing: a
+// failed Release means a descriptor outlived its buffer's generation —
+// a refcounting bug — and silently discarding the error (the old
+// `_ = h.pool.Release(...)` idiom) is exactly what the refcount
+// analyzer now forbids.
+func TestReleaseErrsCounted(t *testing.T) {
+	h := NewHost(Config{PoolSize: 8})
+	hd, err := h.pool.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.release(hd) // valid release: refcount reaches zero, slot recycled
+	if got := h.Stats().ReleaseErrs; got != 0 {
+		t.Fatalf("ReleaseErrs after valid release = %d, want 0", got)
+	}
+	h.release(hd) // stale handle: generation mismatch must be counted
+	if got := h.Stats().ReleaseErrs; got != 1 {
+		t.Fatalf("ReleaseErrs after stale release = %d, want 1", got)
+	}
+}

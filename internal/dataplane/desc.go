@@ -61,6 +61,7 @@ type Desc struct {
 //	bit 0:       valid
 type mergedAction uint64
 
+//sdnfv:hotpath
 func packAction(a flowtable.Action, instPriority uint16) mergedAction {
 	var rank uint64
 	switch a.Type {
@@ -74,8 +75,10 @@ func packAction(a flowtable.Action, instPriority uint16) mergedAction {
 	return mergedAction(rank<<48 | uint64(instPriority)<<32 | uint64(^uint16(a.Dest))<<16 | 1)
 }
 
+//sdnfv:hotpath
 func (m mergedAction) valid() bool { return m&1 == 1 }
 
+//sdnfv:hotpath
 func (m mergedAction) action() flowtable.Action {
 	rank := uint64(m) >> 48
 	dest := flowtable.ServiceID(^uint16(uint64(m) >> 16))

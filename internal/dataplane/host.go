@@ -102,7 +102,13 @@ type HostStats struct {
 	// RxPackets = TxPackets + Drops + Overflows + TxDrops holds exactly
 	// once the host is idle and no parallel fan-out rule was involved
 	// (parallel refusals count offers, not packets — see Drops).
-	TxDrops      uint64
+	TxDrops uint64
+	// ReleaseErrs counts pool.Release calls that failed — a release of a
+	// stale or double-freed handle. Any nonzero value is a refcounting
+	// bug (a use-after-free caught by the pool's generation tags), so
+	// the counter exists to make such bugs visible instead of silently
+	// discarding the error on the drop paths.
+	ReleaseErrs  uint64
 	Misses       uint64
 	CtrlMessages uint64
 	// MsgsRejected counts cross-layer messages that were refused:
@@ -187,14 +193,20 @@ type Host struct {
 	parPending []atomic.Int32
 	parBest    []atomic.Uint64
 
-	rxCount       atomic.Uint64
-	txCount       atomic.Uint64
-	txDropCount   atomic.Uint64
-	dropCount     atomic.Uint64
-	overflowCount atomic.Uint64
-	missCount     atomic.Uint64
-	msgCount      atomic.Uint64
-	msgRejected   atomic.Uint64
+	// fanScratch[p] is producer thread p's reusable fan-out target list,
+	// so parallel dispatch does not allocate per packet. Each slice is
+	// touched only by its owning producer thread.
+	fanScratch [][]*Instance
+
+	rxCount         atomic.Uint64
+	txCount         atomic.Uint64
+	txDropCount     atomic.Uint64
+	dropCount       atomic.Uint64
+	overflowCount   atomic.Uint64
+	missCount       atomic.Uint64
+	msgCount        atomic.Uint64
+	msgRejected     atomic.Uint64
+	releaseErrCount atomic.Uint64
 
 	stop atomic.Bool
 	wg   sync.WaitGroup
@@ -223,6 +235,10 @@ func NewHost(cfg Config) *Host {
 	}
 	h.parPending = make([]atomic.Int32, cfg.PoolSize)
 	h.parBest = make([]atomic.Uint64, cfg.PoolSize)
+	h.fanScratch = make([][]*Instance, h.producerCount())
+	for p := range h.fanScratch {
+		h.fanScratch[p] = make([]*Instance, 0, 8)
+	}
 	h.snapSeen = make([]atomic.Uint64, h.producerCount())
 	h.snap.Store(&routeSnap{svc: map[flowtable.ServiceID][]*Instance{}})
 	return h
@@ -251,6 +267,8 @@ type egressTable struct {
 }
 
 // sinkFor resolves the sink bound to port (nil when unbound).
+//
+//sdnfv:hotpath
 func (e *egressTable) sinkFor(port int) PortSink {
 	if e == nil {
 		return nil
@@ -303,7 +321,11 @@ func (h *Host) BindDefault(sink PortSink) {
 
 // producer thread slot layout: 0 = RX, 1..TXThreads = TX, last = Flow
 // Controller.
-func (h *Host) producerCount() int  { return 2 + h.cfg.TXThreads }
+//
+//sdnfv:hotpath
+func (h *Host) producerCount() int { return 2 + h.cfg.TXThreads }
+
+//sdnfv:hotpath
 func (h *Host) fcProducerSlot() int { return 1 + h.cfg.TXThreads }
 
 // publishSnapLocked publishes a new routing snapshot built from the
@@ -327,6 +349,8 @@ func (h *Host) publishSnapLocked(extra ...*Instance) uint64 {
 // the calling producer thread's slot. Every manager loop calls it once
 // per iteration, so waitSnapObserved can tell when no thread still routes
 // with an older snapshot.
+//
+//sdnfv:hotpath
 func (h *Host) observeSnap(producer int) *routeSnap {
 	s := h.snap.Load()
 	if h.snapSeen[producer].Load() != s.epoch {
@@ -920,6 +944,7 @@ func (h *Host) Stats() HostStats {
 		RxPackets:    h.rxCount.Load(),
 		TxPackets:    h.txCount.Load(),
 		TxDrops:      h.txDropCount.Load(),
+		ReleaseErrs:  h.releaseErrCount.Load(),
 		Drops:        h.dropCount.Load(),
 		Overflows:    h.overflowCount.Load(),
 		Misses:       h.missCount.Load(),
@@ -952,6 +977,8 @@ func (h *Host) Instances() []*Instance {
 }
 
 // pause backs off an idle polling loop: spin, then yield, then sleep.
+//
+//sdnfv:hotpath
 func (h *Host) pause(idle *int) {
 	*idle++
 	switch {
@@ -978,7 +1005,7 @@ func (h *Host) Inject(port int, frame []byte) error {
 	}
 	buf, _ := h.pool.Buf(hd)
 	if len(frame) > len(buf) {
-		_ = h.pool.Release(hd)
+		h.release(hd)
 		return fmt.Errorf("dataplane: frame %dB exceeds buffer %dB", len(frame), len(buf))
 	}
 	copy(buf, frame)
@@ -999,40 +1026,79 @@ func (h *Host) Inject(port int, frame []byte) error {
 		// must observe every enqueued descriptor, so refuse frames
 		// instead of leaking them past the drain.
 		h.injectMu.Unlock()
-		_ = h.pool.Release(hd)
+		h.release(hd)
 		return errors.New("dataplane: host stopped")
 	}
 	ok := h.nicIn.Enqueue(d)
 	h.injectMu.Unlock()
 	if !ok {
-		_ = h.pool.Release(hd)
+		h.release(hd)
 		return errors.New("dataplane: NIC ring full")
 	}
 	return nil
 }
 
+// release returns a buffer reference, counting failures: a failed
+// Release means the handle was stale (generation mismatch) — a
+// refcounting bug that must surface in HostStats.ReleaseErrs, not vanish.
+//
+//sdnfv:hotpath
+func (h *Host) release(hd mempool.Handle) {
+	if err := h.pool.Release(hd); err != nil {
+		h.releaseErrCount.Add(1)
+	}
+}
+
 // releaseDesc returns d's buffer reference.
+//
+//sdnfv:hotpath
 func (h *Host) releaseDesc(d *Desc) {
-	_ = h.pool.Release(d.H)
+	h.release(d.H)
 }
 
 // rxBatch is the burst size of the RX and Flow Controller loops.
 const rxBatch = 64
 
+// burstScratch is a manager thread's per-thread burst storage, allocated
+// once at thread launch so the poll loops themselves stay
+// allocation-free. The RX thread uses the lookup arrays; the Flow
+// Controller additionally uses the southbound request/result arrays.
+type burstScratch struct {
+	batch   []Desc
+	scopes  []flowtable.ServiceID
+	keys    []packet.FlowKey
+	entries []*flowtable.Entry
+	reqs    []control.ResolveRequest
+	results []control.ResolveResult
+	slot    []int // descriptor -> unique request index
+}
+
+func newBurstScratch() *burstScratch {
+	return &burstScratch{
+		batch:   make([]Desc, rxBatch),
+		scopes:  make([]flowtable.ServiceID, rxBatch),
+		keys:    make([]packet.FlowKey, rxBatch),
+		entries: make([]*flowtable.Entry, rxBatch),
+		reqs:    make([]control.ResolveRequest, rxBatch),
+		results: make([]control.ResolveResult, rxBatch),
+		slot:    make([]int, rxBatch),
+	}
+}
+
 // rxLoop is the RX thread: drain the NIC ring in bursts, resolve the
 // whole burst against the flow table in one LookupBatch pass (one
 // snapshot load amortized across the burst, §4.1), then dispatch.
+//
+//sdnfv:hotpath
 func (h *Host) rxLoop() {
 	const producer = 0
 	var rr uint64
 	idle := 0
-	batch := make([]Desc, rxBatch)
-	scopes := make([]flowtable.ServiceID, rxBatch)
-	keys := make([]packet.FlowKey, rxBatch)
-	entries := make([]*flowtable.Entry, rxBatch)
+	//sdnfv:allow(call) scratch construction runs once at thread launch, before the poll loop
+	s := newBurstScratch()
 	for !h.stop.Load() {
 		snap := h.observeSnap(producer)
-		n := h.nicIn.DequeueBatch(batch)
+		n := h.nicIn.DequeueBatch(s.batch)
 		if n == 0 {
 			h.pause(&idle)
 			continue
@@ -1040,13 +1106,13 @@ func (h *Host) rxLoop() {
 		idle = 0
 		h.rxCount.Add(uint64(n))
 		for i := 0; i < n; i++ {
-			scopes[i] = batch[i].Scope
-			keys[i] = batch[i].Key
+			s.scopes[i] = s.batch[i].Scope
+			s.keys[i] = s.batch[i].Key
 		}
-		h.table.LookupBatch(scopes[:n], keys[:n], entries[:n])
+		h.table.LookupBatch(s.scopes[:n], s.keys[:n], s.entries[:n])
 		for i := 0; i < n; i++ {
-			d := batch[i]
-			if entries[i] == nil {
+			d := s.batch[i]
+			if s.entries[i] == nil {
 				// Flow-table miss: punt to the Flow Controller (§4.1).
 				h.missCount.Add(1)
 				if !h.fcIn[producer].Enqueue(d) {
@@ -1054,12 +1120,14 @@ func (h *Host) rxLoop() {
 				}
 				continue
 			}
-			h.dispatchEntry(snap, &d, entries[i], producer, &rr)
+			h.dispatchEntry(snap, &d, s.entries[i], producer, &rr)
 		}
 	}
 }
 
 // dispatchEntry applies e to d: parallel fan-out or the default action.
+//
+//sdnfv:hotpath
 func (h *Host) dispatchEntry(snap *routeSnap, d *Desc, e *flowtable.Entry, producer int, rr *uint64) {
 	if e.Parallel && len(e.Actions) > 1 {
 		h.fanOut(snap, d, e, producer, rr)
@@ -1077,16 +1145,20 @@ func (h *Host) dispatchEntry(snap *routeSnap, d *Desc, e *flowtable.Entry, produ
 // list (§4.2 "Parallel Packet Processing"). Parallel rules always target
 // replica 0 of each member service: replication inside a parallel segment
 // would need per-member balancing state that the paper does not define.
+//
+//sdnfv:hotpath
 func (h *Host) fanOut(snap *routeSnap, d *Desc, e *flowtable.Entry, producer int, rr *uint64) {
-	targets := make([]*Instance, 0, len(e.Actions))
+	targets := h.fanScratch[producer][:0]
 	for _, a := range e.Actions {
 		if a.Type != flowtable.ActionForward {
 			continue
 		}
 		if insts := snap.svc[a.Dest]; len(insts) > 0 {
+			//sdnfv:allow(alloc) amortized: the scratch grows to the peak fan-out width once, then is reused
 			targets = append(targets, insts[0])
 		}
 	}
+	h.fanScratch[producer] = targets
 	if len(targets) == 0 {
 		h.dropPacket(d)
 		return
@@ -1125,6 +1197,8 @@ func (h *Host) fanOut(snap *routeSnap, d *Desc, e *flowtable.Entry, producer int
 }
 
 // applyAction delivers d per a (non-parallel path).
+//
+//sdnfv:hotpath
 func (h *Host) applyAction(snap *routeSnap, d *Desc, a flowtable.Action, producer int, rr *uint64) {
 	switch a.Type {
 	case flowtable.ActionDrop:
@@ -1163,6 +1237,8 @@ func (h *Host) applyAction(snap *routeSnap, d *Desc, a flowtable.Action, produce
 // received its bytes; an unbound port or a stale buffer handle counts in
 // TxDrops instead, so packets never vanish from the accounting while the
 // stats claim they egressed.
+//
+//sdnfv:hotpath
 func (h *Host) transmit(d *Desc, port int) {
 	sink := h.egress.Load().sinkFor(port)
 	if sink == nil {
@@ -1177,17 +1253,22 @@ func (h *Host) transmit(d *Desc, port int) {
 		return
 	}
 	h.txCount.Add(1)
+	//sdnfv:allow(dyncall) PortSink is the egress indirection point; one indirect call per transmitted frame
 	sink(port, data, d)
 	h.releaseDesc(d)
 }
 
 // dropPacket discards d (policy or manager-ring overload drop).
+//
+//sdnfv:hotpath
 func (h *Host) dropPacket(d *Desc) {
 	h.dropCount.Add(1)
 	h.releaseDesc(d)
 }
 
 // overflowDrop discards d because an NF replica's input rings were full.
+//
+//sdnfv:hotpath
 func (h *Host) overflowDrop(d *Desc) {
 	h.overflowCount.Add(1)
 	h.releaseDesc(d)
@@ -1197,10 +1278,13 @@ func (h *Host) overflowDrop(d *Desc) {
 // bursts, resolve each NF's decision, and act on it. Thread 0
 // additionally applies queued cross-layer messages so flow-table rewrites
 // are serialized.
+//
+//sdnfv:hotpath
 func (h *Host) txLoop(t int) {
 	producer := 1 + t
 	var rr uint64
 	idle := 0
+	//sdnfv:allow(alloc) per-thread burst scratch, allocated once before the poll loop
 	batch := make([]Desc, rxBatch)
 	for !h.stop.Load() {
 		snap := h.observeSnap(producer)
@@ -1221,14 +1305,9 @@ func (h *Host) txLoop(t int) {
 			}
 		}
 		if t == 0 {
-			for {
-				m, ok := h.ctrl.Pop()
-				if !ok {
-					break
-				}
+			//sdnfv:allow(call) cross-layer messages are control-plane work, cold by design (§3.4)
+			if h.pumpControl() {
 				progressed = true
-				cm := m.(ctrlMsg)
-				h.handleNFMessage(cm.src, cm.msg)
 			}
 		}
 		if !progressed {
@@ -1239,11 +1318,30 @@ func (h *Host) txLoop(t int) {
 	}
 }
 
+// pumpControl drains and applies every queued cross-layer message.
+// Control-plane work: it takes the MPSC ring's mutex and rewrites the
+// flow table, so it lives outside the hotpath-annotated TX loop body and
+// runs only on TX thread 0 to keep table rewrites serialized.
+func (h *Host) pumpControl() bool {
+	progressed := false
+	for {
+		m, ok := h.ctrl.Pop()
+		if !ok {
+			return progressed
+		}
+		progressed = true
+		cm := m.(ctrlMsg)
+		h.handleNFMessage(cm.src, cm.msg)
+	}
+}
+
 // resolveEntry returns the flow-table entry at d's current scope, using
 // the descriptor cache when enabled. A nil entry with ok=true means the
 // flow has no rule (a miss); ok=false means the packet bytes could not be
 // parsed back into a flow key, so no lookup can be trusted — the caller
 // must drop rather than dispatch the malformed frame by a stale key.
+//
+//sdnfv:hotpath
 func (h *Host) resolveEntry(d *Desc) (e *flowtable.Entry, ok bool) {
 	if !h.cfg.DisableLookupCache && d.Entry != nil {
 		return d.Entry, true
@@ -1271,6 +1369,8 @@ func (h *Host) resolveEntry(d *Desc) (e *flowtable.Entry, ok bool) {
 // dropUnparsed discards a descriptor whose packet bytes no longer parse.
 // A parallel member must still vote in its join — it votes Drop — or the
 // group's pending count would never reach zero.
+//
+//sdnfv:hotpath
 func (h *Host) dropUnparsed(snap *routeSnap, d *Desc, inst *Instance, producer int, rr *uint64) {
 	if d.parallel {
 		h.parJoin(snap, d, packAction(flowtable.Drop(), inst.Priority), producer, rr)
@@ -1281,6 +1381,8 @@ func (h *Host) dropUnparsed(snap *routeSnap, d *Desc, inst *Instance, producer i
 
 // completeNF handles a descriptor returned by an NF: resolve its verb to a
 // concrete action, then either join a parallel group or apply the action.
+//
+//sdnfv:hotpath
 func (h *Host) completeNF(snap *routeSnap, d *Desc, inst *Instance, producer int, rr *uint64) {
 	var act flowtable.Action
 	switch d.Verb {
@@ -1336,6 +1438,8 @@ func (h *Host) completeNF(snap *routeSnap, d *Desc, inst *Instance, producer int
 }
 
 // punt sends a missing-rule descriptor to the Flow Controller.
+//
+//sdnfv:hotpath
 func (h *Host) punt(d *Desc, producer int) {
 	h.missCount.Add(1)
 	if !h.fcIn[producer].Enqueue(*d) {
@@ -1347,6 +1451,8 @@ func (h *Host) punt(d *Desc, producer int) {
 // arrive continues the packet with the merged action, using the calling
 // thread's round-robin state so post-join forwards keep balancing across
 // replicas instead of restarting from a zero counter every join.
+//
+//sdnfv:hotpath
 func (h *Host) parJoin(snap *routeSnap, d *Desc, packed mergedAction, producer int, rr *uint64) {
 	idx := d.H.Index()
 	for {
@@ -1383,22 +1489,24 @@ func (h *Host) parJoin(snap *routeSnap, d *Desc, packed mergedAction, producer i
 // of one blocking controller round trip each; (4) installs the returned
 // rules through the batched writer API and re-routes the triggering
 // packets with one LookupBatch pass.
+//
+// The loop body itself is hot — every punted descriptor passes through
+// the stale-miss filter, and under steady state most of them dispatch
+// right there without a controller round trip. The round trip, when one
+// is needed, happens in resolveMisses, the cold half.
+//
+//sdnfv:hotpath
 func (h *Host) fcLoop() {
 	idle := 0
 	var rr uint64
 	producer := h.fcProducerSlot()
-	batch := make([]Desc, rxBatch)
-	scopes := make([]flowtable.ServiceID, rxBatch)
-	keys := make([]packet.FlowKey, rxBatch)
-	entries := make([]*flowtable.Entry, rxBatch)
-	reqs := make([]control.ResolveRequest, rxBatch)
-	results := make([]control.ResolveResult, rxBatch)
-	slot := make([]int, rxBatch) // descriptor -> unique request index
+	//sdnfv:allow(call) scratch construction runs once at thread launch, before the poll loop
+	s := newBurstScratch()
 	for !h.stop.Load() {
 		snap := h.observeSnap(producer)
 		progressed := false
 		for _, r := range h.fcIn {
-			n := r.DequeueBatch(batch)
+			n := r.DequeueBatch(s.batch)
 			if n == 0 {
 				continue
 			}
@@ -1406,97 +1514,111 @@ func (h *Host) fcLoop() {
 			// Stale-miss filter: dispatch descriptors whose rule has
 			// arrived since they were punted.
 			for i := 0; i < n; i++ {
-				scopes[i] = batch[i].Scope
-				keys[i] = batch[i].Key
+				s.scopes[i] = s.batch[i].Scope
+				s.keys[i] = s.batch[i].Key
 			}
-			h.table.LookupBatch(scopes[:n], keys[:n], entries[:n])
+			h.table.LookupBatch(s.scopes[:n], s.keys[:n], s.entries[:n])
 			miss := 0
 			for i := 0; i < n; i++ {
-				d := batch[i]
-				if entries[i] != nil {
-					h.dispatchEntry(snap, &d, entries[i], producer, &rr)
+				d := s.batch[i]
+				if s.entries[i] != nil {
+					h.dispatchEntry(snap, &d, s.entries[i], producer, &rr)
 					continue
 				}
-				batch[miss] = d
+				s.batch[miss] = d
 				miss++
 			}
 			if miss == 0 {
 				continue
 			}
-			if h.cfg.Control == nil {
-				for i := 0; i < miss; i++ {
-					h.dropPacket(&batch[i])
-				}
-				continue
-			}
-			// Dedupe: one southbound request per distinct (scope, key).
-			uniq := 0
-			seen := make(map[control.ResolveRequest]int, miss)
-			for i := 0; i < miss; i++ {
-				req := control.ResolveRequest{Scope: batch[i].Scope, Key: batch[i].Key}
-				j, ok := seen[req]
-				if !ok {
-					j = uniq
-					seen[req] = j
-					reqs[j] = req
-					uniq++
-				}
-				slot[i] = j
-			}
-			ctx, cancel := context.WithTimeout(context.Background(), h.cfg.ResolveTimeout)
-			h.cfg.Control.ResolveBatch(ctx, reqs[:uniq], results[:uniq])
-			cancel()
-			// Install every returned rule in one batched write, then
-			// re-route the survivors in one table pass.
-			var rules []flowtable.Rule
-			for i := 0; i < uniq; i++ {
-				if results[i].Err == nil {
-					rules = append(rules, results[i].Rules...)
-				}
-			}
-			if _, err := h.table.AddBatch(rules); err != nil {
-				// AddBatch is all-or-nothing; a compiler mixing one bad
-				// rule into a valid set must not lose the whole set (and
-				// livelock the packets), so salvage rule by rule.
-				for _, rule := range rules {
-					_, _ = h.table.Add(rule)
-				}
-			}
-			live := 0
-			for i := 0; i < miss; i++ {
-				d := batch[i]
-				if results[slot[i]].Err != nil {
-					h.dropPacket(&d)
-					continue
-				}
-				batch[live] = d
-				scopes[live] = d.Scope
-				keys[live] = d.Key
-				live++
-			}
-			if live == 0 {
-				continue
-			}
-			h.table.LookupBatch(scopes[:live], keys[:live], entries[:live])
-			for i := 0; i < live; i++ {
-				d := batch[i]
-				if entries[i] == nil {
-					// Still no rule: punt again so the controller gets
-					// another chance once more rules arrive.
-					h.missCount.Add(1)
-					if !h.fcIn[producer].Enqueue(d) {
-						h.dropPacket(&d)
-					}
-					continue
-				}
-				h.dispatchEntry(snap, &d, entries[i], producer, &rr)
-			}
+			//sdnfv:allow(call) true misses leave the hot path here: the controller round trip is the cold half (§4.1)
+			h.resolveMisses(snap, s, miss, producer, &rr)
 		}
 		if !progressed {
 			h.pause(&idle)
 		} else {
 			idle = 0
 		}
+	}
+}
+
+// resolveMisses is the Flow Controller's cold half: it dedupes a burst
+// of true misses, pipelines one southbound ResolveBatch for the unique
+// flows, installs the returned rules, and re-routes the survivors. The
+// first miss descriptors of s.batch are the misses; the scratch arrays
+// are reused as the request/result storage. Deliberately
+// NOT hotpath-annotated — it blocks on the controller for up to
+// Config.ResolveTimeout and allocates per southbound exchange, which is
+// exactly the work the Flow Controller thread exists to keep off the
+// RX/TX threads.
+func (h *Host) resolveMisses(snap *routeSnap, s *burstScratch, miss, producer int, rr *uint64) {
+	if h.cfg.Control == nil {
+		for i := 0; i < miss; i++ {
+			h.dropPacket(&s.batch[i])
+		}
+		return
+	}
+	// Dedupe: one southbound request per distinct (scope, key).
+	uniq := 0
+	seen := make(map[control.ResolveRequest]int, miss)
+	for i := 0; i < miss; i++ {
+		req := control.ResolveRequest{Scope: s.batch[i].Scope, Key: s.batch[i].Key}
+		j, ok := seen[req]
+		if !ok {
+			j = uniq
+			seen[req] = j
+			s.reqs[j] = req
+			uniq++
+		}
+		s.slot[i] = j
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.ResolveTimeout)
+	h.cfg.Control.ResolveBatch(ctx, s.reqs[:uniq], s.results[:uniq])
+	cancel()
+	// Install every returned rule in one batched write, then re-route the
+	// survivors in one table pass.
+	var rules []flowtable.Rule
+	for i := 0; i < uniq; i++ {
+		if s.results[i].Err == nil {
+			rules = append(rules, s.results[i].Rules...)
+		}
+	}
+	if _, err := h.table.AddBatch(rules); err != nil {
+		// AddBatch is all-or-nothing; a compiler mixing one bad rule into
+		// a valid set must not lose the whole set (and livelock the
+		// packets), so salvage rule by rule.
+		for _, rule := range rules {
+			_, _ = h.table.Add(rule)
+		}
+	}
+	live := 0
+	for i := 0; i < miss; i++ {
+		d := s.batch[i]
+		if s.results[s.slot[i]].Err != nil {
+			h.dropPacket(&d)
+			continue
+		}
+		s.batch[live] = d
+		s.scopes[live] = d.Scope
+		s.keys[live] = d.Key
+		live++
+	}
+	if live == 0 {
+		return
+	}
+	h.table.LookupBatch(s.scopes[:live], s.keys[:live], s.entries[:live])
+	for i := 0; i < live; i++ {
+		d := s.batch[i]
+		if s.entries[i] == nil {
+			// Still no rule: punt again so the controller gets another
+			// chance once more rules arrive.
+			h.missCount.Add(1)
+			if !h.fcIn[producer].Enqueue(d) {
+				h.dropPacket(&d)
+			}
+			continue
+		}
+		h.dispatchEntry(snap, &d, s.entries[i], producer, rr)
 	}
 }
 

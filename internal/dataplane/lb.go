@@ -45,6 +45,8 @@ func (p LBPolicy) String() string {
 // pick selects a replica among insts for the given flow. rrState is the
 // calling thread's round-robin counter, kept thread-local so the fast
 // path shares no atomic.
+//
+//sdnfv:hotpath
 func (h *Host) pick(insts []*Instance, key packet.FlowKey, rrState *uint64) *Instance {
 	n := len(insts)
 	if n == 1 {
@@ -74,6 +76,8 @@ func (h *Host) pick(insts []*Instance, key packet.FlowKey, rrState *uint64) *Ins
 // the replica whose (flow, replica) weight is highest. Removing a replica
 // moves exactly the flows it owned; adding one steals ~1/(n+1) of flows
 // from the others; every other flow keeps its owner.
+//
+//sdnfv:hotpath
 func ownerOf(insts []*Instance, key packet.FlowKey) *Instance {
 	kh := key.Hash()
 	best := insts[0]
@@ -89,6 +93,8 @@ func ownerOf(insts []*Instance, key packet.FlowKey) *Instance {
 // rendezvousWeight mixes a flow hash with a replica identity
 // (splitmix64-style finalizer: cheap, well distributed, and stable — the
 // mapping must not change across runs or replica-set edits).
+//
+//sdnfv:hotpath
 func rendezvousWeight(kh, id uint64) uint64 {
 	x := kh ^ (id+1)*0x9e3779b97f4a7c15
 	x ^= x >> 30

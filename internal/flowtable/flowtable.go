@@ -52,12 +52,18 @@ type ServiceID uint16
 const PortBase ServiceID = 0x8000
 
 // Port returns the ServiceID encoding of NIC port n.
+//
+//sdnfv:hotpath
 func Port(n int) ServiceID { return PortBase + ServiceID(n) }
 
 // IsPort reports whether s denotes a NIC port.
+//
+//sdnfv:hotpath
 func (s ServiceID) IsPort() bool { return s >= PortBase }
 
 // PortNum returns the NIC port number for a port-typed ServiceID.
+//
+//sdnfv:hotpath
 func (s ServiceID) PortNum() int { return int(s - PortBase) }
 
 // String renders the ID as "svc:N" or "port:N".
@@ -100,12 +106,18 @@ func (a Action) String() string {
 }
 
 // Forward builds a forward-to-service action.
+//
+//sdnfv:hotpath
 func Forward(s ServiceID) Action { return Action{Type: ActionForward, Dest: s} }
 
 // Out builds a transmit-out-port action.
+//
+//sdnfv:hotpath
 func Out(port int) Action { return Action{Type: ActionOut, Dest: Port(port)} }
 
 // Drop builds a discard action.
+//
+//sdnfv:hotpath
 func Drop() Action { return Action{Type: ActionDrop} }
 
 // Match is a possibly-wildcarded 5-tuple. Nil fields are wildcards.
@@ -135,6 +147,8 @@ func MatchSrcIP(ip packet.IP) Match { v := ip; return Match{SrcIP: &v} }
 func MatchDstIP(ip packet.IP) Match { v := ip; return Match{DstIP: &v} }
 
 // Matches reports whether k satisfies m.
+//
+//sdnfv:hotpath
 func (m Match) Matches(k packet.FlowKey) bool {
 	if m.SrcIP != nil && *m.SrcIP != k.SrcIP {
 		return false
@@ -248,6 +262,8 @@ type Entry struct {
 }
 
 // Default returns the rule's default action (the first in the list).
+//
+//sdnfv:hotpath
 func (r Rule) Default() (Action, bool) {
 	if len(r.Actions) == 0 {
 		return Action{}, false
@@ -258,6 +274,8 @@ func (r Rule) Default() (Action, bool) {
 // Allows reports whether a is one of the rule's listed next hops —
 // "Send to … is only permitted if the destination is one of the allowable
 // next hops listed in the flow table" (§3.4).
+//
+//sdnfv:hotpath
 func (r Rule) Allows(a Action) bool {
 	for _, x := range r.Actions {
 		if x == a {
@@ -281,6 +299,8 @@ const numShards = 16
 
 // shardIndex maps a scope to its shard. Service IDs are small consecutive
 // integers and ports are PortBase+n, so plain masking spreads both.
+//
+//sdnfv:hotpath
 func shardIndex(s ServiceID) int { return int(s) & (numShards - 1) }
 
 // snapshot is the immutable published state of one shard. Neither the
@@ -501,6 +521,8 @@ func (t *Table) Delete(id uint64) error {
 }
 
 // lookupSnap resolves k against one published snapshot.
+//
+//sdnfv:hotpath
 func lookupSnap(snap *snapshot, scope ServiceID, k packet.FlowKey) *Entry {
 	if e, ok := snap.exact[scope][k]; ok {
 		return e
@@ -512,6 +534,8 @@ func lookupSnap(snap *snapshot, scope ServiceID, k packet.FlowKey) *Entry {
 // lookupSnap/Lookup so the exact-match fast path stays inlinable (the
 // range loop would otherwise push the whole lookup over the inline
 // budget).
+//
+//sdnfv:hotpath
 func lookupWild(snap *snapshot, scope ServiceID, k packet.FlowKey) *Entry {
 	for _, e := range snap.wild[scope] {
 		if e.Match.Matches(k) {
@@ -525,6 +549,8 @@ func lookupWild(snap *snapshot, scope ServiceID, k packet.FlowKey) *Entry {
 // It is lock-free and allocation-free: one atomic snapshot load plus a map
 // probe on the exact-match hit path, safe for any number of concurrent
 // data-path threads alongside writers.
+//
+//sdnfv:hotpath
 func (t *Table) Lookup(scope ServiceID, k packet.FlowKey) (*Entry, error) {
 	sh := &t.shards[shardIndex(scope)]
 	sh.lookups.Add(1)
@@ -545,6 +571,8 @@ func (t *Table) Lookup(scope ServiceID, k packet.FlowKey) (*Entry, error) {
 // case for an RX burst from one port — reuse a single snapshot load, and
 // the per-shard counters are updated once per batch rather than per
 // packet, amortizing hot-path atomics across the burst (§4.1).
+//
+//sdnfv:hotpath
 func (t *Table) LookupBatch(scopes []ServiceID, keys []packet.FlowKey, out []*Entry) int {
 	var nLookups, nMisses [numShards]uint32
 	hits := 0

@@ -1,0 +1,17 @@
+// Package analyzers holds the sdnfv-lint checks: the packet-path
+// invariants of the SDNFV dataplane, mechanically enforced. See each
+// analyzer's Doc and the "Static analysis" section of the README for the
+// annotation contract (//sdnfv:hotpath, //sdnfv:allow).
+package analyzers
+
+import "sdnfv/internal/lint/analysis"
+
+// All returns the full suite in deterministic order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		AtomicSnapshot,
+		Hotpath,
+		Refcount,
+		SentinelErr,
+	}
+}

@@ -1,0 +1,41 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"sdnfv/internal/lint/analyzers"
+	"sdnfv/internal/lint/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, analyzers.Hotpath, "testdata/src/hotpath")
+}
+
+func TestRefcount(t *testing.T) {
+	linttest.Run(t, analyzers.Refcount, "testdata/src/refcount")
+}
+
+func TestAtomicSnapshot(t *testing.T) {
+	linttest.Run(t, analyzers.AtomicSnapshot, "testdata/src/atomicsnapshot")
+}
+
+func TestSentinelErr(t *testing.T) {
+	linttest.Run(t, analyzers.SentinelErr, "testdata/src/sentinelerr")
+}
+
+func TestAll(t *testing.T) {
+	suite := analyzers.All()
+	if len(suite) != 4 {
+		t.Fatalf("All() returned %d analyzers, want 4", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

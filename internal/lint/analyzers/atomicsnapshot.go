@@ -1,0 +1,85 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sdnfv/internal/lint/analysis"
+)
+
+// AtomicSnapshot enforces the copy-on-write snapshot discipline: a struct
+// field whose type comes from sync/atomic (atomic.Pointer[T],
+// atomic.Value, atomic.Uint64, ...) may only be touched through its
+// methods — Load, Store, Swap, CompareAndSwap, Add. Reading the field
+// directly, copying the enclosing expression into a variable, reassigning
+// it, or taking its address all tear the atomicity the flow table's
+// readers depend on (go vet's copylocks catches whole-struct copies;
+// this catches the field-level leaks it misses).
+//
+// Suppression rule: atomic.
+var AtomicSnapshot = &analysis.Analyzer{
+	Name: "atomicsnapshot",
+	Doc:  "sync/atomic-typed struct fields may only be accessed through their methods",
+	Run:  atomicSnapshotRun,
+}
+
+func atomicSnapshotRun(pass *analysis.Pass) error {
+	allows := fileAllows(pass)
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			field, _ := s.Obj().(*types.Var)
+			if field == nil || !isAtomicType(field.Type()) {
+				return true
+			}
+			if usedAsMethodReceiver(sel, stack) {
+				return true
+			}
+			if allows.allowed(pass.Fset, sel.Pos(), "atomic") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s of atomic type %s accessed directly — use its Load/Store/Swap/CompareAndSwap methods [atomic]",
+				field.Name(), types.TypeString(field.Type(), nil))
+			return true
+		})
+	}
+	return nil
+}
+
+// usedAsMethodReceiver reports whether sel (the atomic field access) is
+// the immediate receiver of a method call: parent is a SelectorExpr
+// selecting a method off sel, grandparent is the CallExpr invoking it.
+// Taking a method value without calling it is still a violation (the
+// bound-method closure copies nothing atomic, but it allocates and
+// signals the field is escaping its owner).
+func usedAsMethodReceiver(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || ast.Unparen(parent.X) != ast.Expr(sel) {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	return ok && ast.Unparen(call.Fun) == ast.Expr(parent)
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic
+// (looking through instantiations like atomic.Pointer[snapshot]).
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

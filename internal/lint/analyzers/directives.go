@@ -1,0 +1,270 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sdnfv/internal/lint/analysis"
+)
+
+// The sdnfv comment-directive grammar:
+//
+//	//sdnfv:hotpath
+//	    On a function's doc comment: the function is on the packet path
+//	    and subject to the hotpath analyzer's no-alloc/no-sync rules.
+//
+//	//sdnfv:allow(rule[,rule...]) justification
+//	    Suppresses diagnostics of the named rule(s) on the directive's own
+//	    line and the line that follows it. The justification is mandatory:
+//	    an allow without one is itself a diagnostic. Rule names are the
+//	    analyzer-defined suppression categories (alloc, call, dyncall,
+//	    sync, boxing, refcount, atomic, sentinel).
+const (
+	hotpathDirective = "//sdnfv:hotpath"
+	allowDirective   = "//sdnfv:allow("
+)
+
+// hasHotpathDirective reports whether a function declaration carries the
+// //sdnfv:hotpath annotation in its doc comment.
+func hasHotpathDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// allowSet maps "file:line" to the set of rule names allowed there.
+type allowSet map[string]map[string]bool
+
+// key renders a position as the allow-set key.
+func (allowSet) key(pos token.Position) string {
+	return pos.Filename + ":" + itoa(pos.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// collectAllows scans a file's comments for //sdnfv:allow directives.
+// Each directive covers its own line and the following line, matching the
+// two idioms: trailing (same line as the code) and preceding (own line).
+// Malformed directives — no closing paren, empty rule list, or a missing
+// justification — are reported through report (nil to ignore).
+func collectAllows(fset *token.FileSet, file *ast.File, report func(pos token.Pos, msg string)) allowSet {
+	allows := allowSet{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, allowDirective) {
+				continue
+			}
+			rest := text[len(allowDirective):]
+			close := strings.Index(rest, ")")
+			if close < 0 {
+				if report != nil {
+					report(c.Pos(), "malformed //sdnfv:allow directive: missing ')'")
+				}
+				continue
+			}
+			rules := strings.Split(rest[:close], ",")
+			justification := strings.TrimSpace(rest[close+1:])
+			if justification == "" {
+				if report != nil {
+					report(c.Pos(), "//sdnfv:allow directive requires a justification after the rule list")
+				}
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				k := pos.Filename + ":" + itoa(line)
+				if allows[k] == nil {
+					allows[k] = map[string]bool{}
+				}
+				for _, r := range rules {
+					r = strings.TrimSpace(r)
+					if r != "" {
+						allows[k][r] = true
+					}
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// allowed reports whether rule is suppressed at pos.
+func (a allowSet) allowed(fset *token.FileSet, pos token.Pos, rule string) bool {
+	p := fset.Position(pos)
+	rules := a[a.key(p)]
+	return rules[rule]
+}
+
+// fileAllows builds the allow sets for every file of a pass, reporting
+// malformed directives once per file.
+func fileAllows(pass *analysis.Pass) allowSet {
+	merged := allowSet{}
+	for _, f := range pass.Files {
+		fa := collectAllows(pass.Fset, f, func(pos token.Pos, msg string) {
+			pass.Reportf(pos, "%s", msg)
+		})
+		for k, v := range fa {
+			merged[k] = v
+		}
+	}
+	return merged
+}
+
+// funcKey produces the module-wide stable identity of a function object:
+// "pkgpath.Name" for package functions, "pkgpath.(Recv).Name" for
+// methods. It is comparable across the source-checked and export-data
+// views of the same package.
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if name := recvTypeName(sig.Recv().Type()); name != "" {
+			return fn.Pkg().Path() + ".(" + name + ")." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// declKey produces funcKey's spelling for a source declaration.
+func declKey(pass *analysis.Pass, fn *ast.FuncDecl) string {
+	obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return ""
+	}
+	return funcKey(obj)
+}
+
+// recvTypeName names a receiver's defined type, looking through pointers
+// and instantiated generics.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// calleeFunc resolves the static callee of a call expression: the
+// *types.Func for direct function and method calls, nil for calls through
+// function values, interface methods (dynamic dispatch), conversions, and
+// builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				fn, _ := sel.Obj().(*types.Func)
+				if fn != nil && !isInterfaceRecv(fn) {
+					return fn
+				}
+				return nil // interface method: dynamic dispatch
+			}
+			return nil // field of func type: dynamic
+		}
+		// Qualified identifier pkg.Func.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// isInterfaceRecv reports whether fn's receiver is an interface type.
+func isInterfaceRecv(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// isConversion reports whether a call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// builtinName returns the name of the builtin being called, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if tv, ok := info.Types[fun]; ok && tv.IsBuiltin() {
+			return fun.Name
+		}
+	}
+	return ""
+}
+
+// walkWithStack traverses root, calling visit with each node and the
+// stack of its ancestors (innermost last). Returning false from visit
+// prunes the subtree.
+func walkWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := visit(n, stack)
+		if ok {
+			stack = append(stack, n)
+		}
+		return ok
+	})
+}
+
+// rootIdent returns the leftmost identifier of an expression chain
+// (x in x.f.g[i]), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.CallExpr:
+			e = v.Fun
+		default:
+			return nil
+		}
+	}
+}

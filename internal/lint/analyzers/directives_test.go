@@ -1,0 +1,81 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestCollectAllowsMalformed(t *testing.T) {
+	src := `package p
+
+//sdnfv:allow(alloc) justified fine
+var a int
+
+//sdnfv:allow(alloc
+var b int
+
+//sdnfv:allow(alloc)
+var c int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	allows := collectAllows(fset, f, func(pos token.Pos, msg string) {
+		msgs = append(msgs, msg)
+	})
+	if len(msgs) != 2 {
+		t.Fatalf("got %d malformed reports, want 2: %v", len(msgs), msgs)
+	}
+	if !strings.Contains(msgs[0], "missing ')'") {
+		t.Errorf("first report should flag the missing close paren, got %q", msgs[0])
+	}
+	if !strings.Contains(msgs[1], "justification") {
+		t.Errorf("second report should demand a justification, got %q", msgs[1])
+	}
+	// The well-formed directive covers its own line and the next.
+	if len(allows) != 2 {
+		t.Fatalf("well-formed directive should cover two lines, got %d entries", len(allows))
+	}
+	for k, rules := range allows {
+		if !rules["alloc"] {
+			t.Errorf("allow entry %s missing the alloc rule", k)
+		}
+	}
+}
+
+func TestHotpathDirectiveSpelling(t *testing.T) {
+	src := `package p
+
+//sdnfv:hotpath
+func yes() {}
+
+// sdnfv:hotpath (leading space: not a directive)
+func no() {}
+
+//sdnfv:hotpathish
+func alsoNo() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			got[fn.Name.Name] = hasHotpathDirective(fn)
+		}
+	}
+	want := map[string]bool{"yes": true, "no": false, "alsoNo": false}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("hasHotpathDirective(%s) = %v, want %v", name, got[name], w)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sdnfv/internal/lint/analysis"
+)
+
+// Hotpath enforces the packet-path discipline of §4.1: functions marked
+// //sdnfv:hotpath may not allocate, may not touch synchronization
+// primitives other than sync/atomic, and may only call functions that are
+// themselves hotpath-annotated (or on a small allowlist of known
+// allocation-free standard-library routines). The rules, each a
+// suppression category for //sdnfv:allow:
+//
+//	alloc   make/new/append, slice·map literals, &composite, closures,
+//	        string concatenation and string<->[]byte conversions,
+//	        map writes
+//	boxing  converting a non-pointer-shaped concrete value to an
+//	        interface type (assignment, return, call argument, or
+//	        explicit conversion)
+//	sync    mutex/channel/select/go — any call into package sync, any
+//	        channel operation, any goroutine launch
+//	call    calling a function that is neither //sdnfv:hotpath-annotated
+//	        nor allowlisted (fmt/log land here)
+//	dyncall calling through a function value or interface method, which
+//	        the analyzer cannot verify
+var Hotpath = &analysis.Analyzer{
+	Name:    "hotpath",
+	Doc:     "//sdnfv:hotpath functions must be allocation-free, lock-free, and only call verified functions",
+	Collect: hotpathCollect,
+	Run:     hotpathRun,
+}
+
+const hotpathFactPrefix = "hotpath/func/"
+
+// hotpathCollect records every annotated function in the module so calls
+// across package boundaries can be verified.
+func hotpathCollect(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasHotpathDirective(fn) {
+				continue
+			}
+			if key := declKey(pass, fn); key != "" {
+				pass.Facts.Set(hotpathFactPrefix+key, true)
+			}
+		}
+	}
+}
+
+// hotpathAllowedCalls lists standard-library routines known not to
+// allocate or block, callable from hotpath code without annotation.
+// Whole packages are keyed by path; single functions and methods by
+// funcKey spelling.
+var hotpathAllowedPkgs = map[string]bool{
+	"sync/atomic":     true,
+	"math":            true,
+	"math/bits":       true,
+	"encoding/binary": true,
+}
+
+var hotpathAllowedFuncs = map[string]bool{
+	"runtime.Gosched":             true,
+	"time.Now":                    true,
+	"time.Since":                  true,
+	"time.Sleep":                  true,
+	"time.(Time).UnixNano":        true,
+	"time.(Time).Sub":             true,
+	"time.(Duration).Nanoseconds": true,
+	"time.(Duration).Seconds":     true,
+	"errors.Is":                   true,
+}
+
+func hotpathRun(pass *analysis.Pass) error {
+	allows := fileAllows(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasHotpathDirective(fn) || fn.Body == nil {
+				continue
+			}
+			hc := &hotpathChecker{pass: pass, allows: allows, fn: fn}
+			hc.check()
+		}
+	}
+	return nil
+}
+
+type hotpathChecker struct {
+	pass   *analysis.Pass
+	allows allowSet
+	fn     *ast.FuncDecl
+}
+
+// report emits a diagnostic unless suppressed for the given rule.
+func (hc *hotpathChecker) report(pos token.Pos, rule, format string, args ...any) {
+	if hc.allows.allowed(hc.pass.Fset, pos, rule) {
+		return
+	}
+	args = append(args, rule)
+	hc.pass.Reportf(pos, format+" [%s]", args...)
+}
+
+func (hc *hotpathChecker) check() {
+	info := hc.pass.TypesInfo
+	walkWithStack(hc.fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			hc.report(v.Pos(), "alloc", "hotpath %s: closure allocates", hc.fn.Name.Name)
+			return false // don't descend: the closure body has its own rules
+		case *ast.GoStmt:
+			hc.report(v.Pos(), "sync", "hotpath %s: go statement launches a goroutine", hc.fn.Name.Name)
+		case *ast.SendStmt:
+			hc.report(v.Pos(), "sync", "hotpath %s: channel send", hc.fn.Name.Name)
+		case *ast.SelectStmt:
+			hc.report(v.Pos(), "sync", "hotpath %s: select statement", hc.fn.Name.Name)
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				hc.report(v.Pos(), "sync", "hotpath %s: channel receive", hc.fn.Name.Name)
+			}
+			if v.Op == token.AND {
+				if cl, ok := ast.Unparen(v.X).(*ast.CompositeLit); ok {
+					hc.report(cl.Pos(), "alloc", "hotpath %s: &composite literal escapes to the heap", hc.fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			hc.checkCompositeLit(v, stack)
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isString(info.Types[v].Type) {
+				hc.report(v.Pos(), "alloc", "hotpath %s: string concatenation allocates", hc.fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			hc.checkCall(v)
+		case *ast.AssignStmt:
+			hc.checkAssign(v)
+		case *ast.ReturnStmt:
+			hc.checkReturn(v)
+		}
+		return true
+	})
+}
+
+// checkCompositeLit flags slice and map literals (always heap-backed).
+// Value struct/array literals are fine — they live in registers or on the
+// stack; the &composite case is handled at the UnaryExpr.
+func (hc *hotpathChecker) checkCompositeLit(cl *ast.CompositeLit, stack []ast.Node) {
+	t := hc.pass.TypesInfo.Types[cl].Type
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		hc.report(cl.Pos(), "alloc", "hotpath %s: slice literal allocates", hc.fn.Name.Name)
+	case *types.Map:
+		hc.report(cl.Pos(), "alloc", "hotpath %s: map literal allocates", hc.fn.Name.Name)
+	}
+}
+
+func (hc *hotpathChecker) checkCall(call *ast.CallExpr) {
+	info := hc.pass.TypesInfo
+	name := hc.fn.Name.Name
+
+	if isConversion(info, call) {
+		hc.checkConversion(call)
+		return
+	}
+	if b := builtinName(info, call); b != "" {
+		switch b {
+		case "make":
+			hc.report(call.Pos(), "alloc", "hotpath %s: make allocates", name)
+		case "new":
+			hc.report(call.Pos(), "alloc", "hotpath %s: new allocates", name)
+		case "append":
+			hc.report(call.Pos(), "alloc", "hotpath %s: append may grow its backing array", name)
+		case "print", "println":
+			hc.report(call.Pos(), "call", "hotpath %s: %s is debug output", name, b)
+		}
+		return
+	}
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		hc.report(call.Pos(), "dyncall",
+			"hotpath %s: dynamic call (function value or interface method) cannot be verified", name)
+		return
+	}
+	hc.checkBoxingAtCall(call, callee)
+	orig := callee.Origin()
+	if orig.Pkg() == nil { // error.Error and friends from Universe scope
+		hc.report(call.Pos(), "dyncall", "hotpath %s: dynamic call cannot be verified", name)
+		return
+	}
+	pkgPath := orig.Pkg().Path()
+	if pkgPath == "sync" {
+		hc.report(call.Pos(), "sync", "hotpath %s: calls %s.%s — synchronization primitives are forbidden on the packet path",
+			name, pkgPath, orig.Name())
+		return
+	}
+	if hotpathAllowedPkgs[pkgPath] || hotpathAllowedFuncs[funcKey(orig)] {
+		return
+	}
+	if hc.pass.Facts.Has(hotpathFactPrefix + funcKey(orig)) {
+		return
+	}
+	hc.report(call.Pos(), "call", "hotpath %s: calls %s, which is neither //sdnfv:hotpath-annotated nor allowlisted",
+		name, funcKey(orig))
+}
+
+// checkConversion flags conversions that allocate: string<->[]byte/[]rune
+// and boxing a concrete value into an interface.
+func (hc *hotpathChecker) checkConversion(call *ast.CallExpr) {
+	info := hc.pass.TypesInfo
+	dst := info.Types[call.Fun].Type
+	if dst == nil || len(call.Args) != 1 {
+		return
+	}
+	src := info.Types[call.Args[0]].Type
+	name := hc.fn.Name.Name
+	if isString(src) && isByteOrRuneSlice(dst) || isByteOrRuneSlice(src) && isString(dst) {
+		hc.report(call.Pos(), "alloc", "hotpath %s: string/slice conversion copies", name)
+		return
+	}
+	if boxes(dst, call.Args[0], info) {
+		hc.report(call.Pos(), "boxing", "hotpath %s: conversion to interface boxes %s", name, types.TypeString(src, nil))
+	}
+}
+
+// checkBoxingAtCall flags concrete values passed to interface parameters.
+func (hc *hotpathChecker) checkBoxingAtCall(call *ast.CallExpr, callee *types.Func) {
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	info := hc.pass.TypesInfo
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pt, arg, info) {
+			hc.report(arg.Pos(), "boxing", "hotpath %s: argument boxes %s into %s",
+				hc.fn.Name.Name, types.TypeString(info.Types[arg].Type, nil), types.TypeString(pt, nil))
+		}
+	}
+}
+
+func (hc *hotpathChecker) checkAssign(as *ast.AssignStmt) {
+	info := hc.pass.TypesInfo
+	name := hc.fn.Name.Name
+	for i, lhs := range as.Lhs {
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if t := info.Types[idx.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					hc.report(as.Pos(), "alloc", "hotpath %s: map write may grow the map", name)
+				}
+			}
+		}
+		if i >= len(as.Rhs) {
+			continue // multi-value RHS: conversions there are caught at the call
+		}
+		lt := info.Types[lhs].Type
+		if lt == nil {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		}
+		if lt != nil && boxes(lt, as.Rhs[i], info) {
+			hc.report(as.Rhs[i].Pos(), "boxing", "hotpath %s: assignment boxes %s into %s",
+				name, types.TypeString(info.Types[as.Rhs[i]].Type, nil), types.TypeString(lt, nil))
+		}
+	}
+}
+
+func (hc *hotpathChecker) checkReturn(ret *ast.ReturnStmt) {
+	sig, _ := hc.pass.TypesInfo.Defs[hc.fn.Name].(*types.Func)
+	if sig == nil {
+		return
+	}
+	results := sig.Type().(*types.Signature).Results()
+	if results.Len() != len(ret.Results) {
+		return // bare return or multi-value call
+	}
+	info := hc.pass.TypesInfo
+	for i, r := range ret.Results {
+		if boxes(results.At(i).Type(), r, info) {
+			hc.report(r.Pos(), "boxing", "hotpath %s: return boxes %s into %s",
+				hc.fn.Name.Name, types.TypeString(info.Types[r].Type, nil), types.TypeString(results.At(i).Type(), nil))
+		}
+	}
+}
+
+// boxes reports whether assigning src to a destination of type dst would
+// box a concrete value into an interface, allocating. Pointer-shaped
+// values (pointers, channels, maps, funcs, unsafe.Pointer) fit in the
+// interface word and do not allocate; nil and values that are already
+// interfaces do not convert.
+func boxes(dst types.Type, src ast.Expr, info *types.Info) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := info.Types[src]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type) {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if tv.Type.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

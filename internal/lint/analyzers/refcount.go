@@ -1,0 +1,426 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sdnfv/internal/lint/analysis"
+)
+
+// Refcount enforces the mempool reference-count contract:
+//
+//  1. The error returned by Pool.Retain / Pool.Release must not be
+//     discarded — dropping it hides generation-tag mismatches, the
+//     symptom of every use-after-free bug the pool's tags exist to catch.
+//  2. Every Retain must be balanced: on each control-flow path out of the
+//     function the retained handle is either Released or its ownership is
+//     transferred (the handle, or a value containing it, is passed to
+//     another call — a ring enqueue, a drop helper, a goroutine).
+//
+// The balance check is a path-approximate AST walk, deliberately
+// optimistic: a release or transfer in any branch of a conditional counts
+// for the merged path, loops are treated as executing once, and a
+// deferred Release covers the whole function. It catches the real bug
+// class — an early return between Retain and Release — without flagging
+// the cross-thread handoffs the dataplane is built on.
+//
+// Suppression rule: refcount.
+var Refcount = &analysis.Analyzer{
+	Name: "refcount",
+	Doc:  "pool.Retain must be balanced by Release or ownership transfer; Retain/Release errors must not be discarded",
+	Run:  refcountRun,
+}
+
+// refcountMethods are the method names whose error results and pairing
+// the analyzer tracks. Matching is by name so fixtures and future pools
+// are covered without a type allowlist; receivers must be a named type.
+func isRetainName(name string) bool  { return name == "Retain" }
+func isReleaseName(name string) bool { return name == "Release" }
+
+func refcountRun(pass *analysis.Pass) error {
+	allows := fileAllows(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			rc := &refcountChecker{pass: pass, allows: allows, fn: fn, reported: map[token.Pos]bool{}}
+			rc.checkDiscards()
+			rc.checkBalance()
+		}
+	}
+	return nil
+}
+
+type refcountChecker struct {
+	pass     *analysis.Pass
+	allows   allowSet
+	fn       *ast.FuncDecl
+	reported map[token.Pos]bool
+}
+
+func (rc *refcountChecker) report(pos token.Pos, format string, args ...any) {
+	if rc.reported[pos] || rc.allows.allowed(rc.pass.Fset, pos, "refcount") {
+		return
+	}
+	rc.reported[pos] = true
+	rc.pass.Reportf(pos, format+" [refcount]", args...)
+}
+
+// refcountCall matches a call to a Retain/Release method on a named
+// receiver and returns the method name and the handle argument.
+func refcountCall(info *types.Info, call *ast.CallExpr) (name string, handle ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	name = sel.Sel.Name
+	if !isRetainName(name) && !isReleaseName(name) {
+		return "", nil, false
+	}
+	s, isMethod := info.Selections[sel]
+	if !isMethod || s.Kind() != types.MethodVal {
+		return "", nil, false
+	}
+	fn, _ := s.Obj().(*types.Func)
+	if fn == nil {
+		return "", nil, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() == 0 {
+		return "", nil, false // balance only applies to the error-returning pool API
+	}
+	if len(call.Args) == 0 {
+		return "", nil, false
+	}
+	return name, call.Args[0], true
+}
+
+// checkDiscards flags Retain/Release calls whose error result is dropped:
+// a bare expression statement, or an assignment binding the error to _.
+func (rc *refcountChecker) checkDiscards() {
+	info := rc.pass.TypesInfo
+	ast.Inspect(rc.fn.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				if name, _, ok := refcountCall(info, call); ok {
+					rc.report(stmt.Pos(), "%s error discarded — a failed refcount op means a stale handle; count or handle it", name)
+				}
+			}
+		case *ast.DeferStmt:
+			// defer pool.Release(h) discards too, but it is the only way
+			// to release on panic paths; flag only the explicit `_ =` and
+			// bare-statement forms, not defers.
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) != 1 {
+				return true
+			}
+			call, ok := stmt.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, _, ok := refcountCall(info, call)
+			if !ok {
+				return true
+			}
+			allBlank := true
+			for _, lhs := range stmt.Lhs {
+				if id, isID := ast.Unparen(lhs).(*ast.Ident); !isID || id.Name != "_" {
+					allBlank = false
+				}
+			}
+			if allBlank {
+				rc.report(stmt.Pos(), "%s error assigned to _ — a failed refcount op means a stale handle; count or handle it", name)
+			}
+		}
+		return true
+	})
+}
+
+// retainSite is one live (unbalanced) Retain.
+type retainSite struct {
+	pos  token.Pos
+	root string // leftmost identifier of the handle expression
+}
+
+// rcState tracks live retains along one abstract path.
+type rcState struct {
+	open   map[string]token.Pos // root ident -> Retain position
+	guards map[string]string    // error ident -> retained root it guards
+}
+
+func newRCState() *rcState {
+	return &rcState{open: map[string]token.Pos{}, guards: map[string]string{}}
+}
+
+func (s *rcState) clone() *rcState {
+	c := &rcState{
+		open:   make(map[string]token.Pos, len(s.open)),
+		guards: make(map[string]string, len(s.guards)),
+	}
+	for k, v := range s.open {
+		c.open[k] = v
+	}
+	for k, v := range s.guards {
+		c.guards[k] = v
+	}
+	return c
+}
+
+// checkBalance walks the function body tracking Retain/Release pairing.
+func (rc *refcountChecker) checkBalance() {
+	st := newRCState()
+	terminated := rc.walkStmts(rc.fn.Body.List, st)
+	if !terminated {
+		rc.leakAll(st) // fell off the end of the function
+	}
+}
+
+func (rc *refcountChecker) leakAll(st *rcState) {
+	for _, pos := range st.open {
+		rc.report(pos, "Retain is not balanced by a Release or ownership transfer on every path out of %s", rc.fn.Name.Name)
+	}
+	st.open = map[string]token.Pos{}
+}
+
+// walkStmts applies stmts to st in order; the return value reports
+// whether the statement list definitely terminates (returns/panics), so
+// callers know not to merge its state back.
+func (rc *refcountChecker) walkStmts(stmts []ast.Stmt, st *rcState) bool {
+	for _, s := range stmts {
+		if rc.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (rc *refcountChecker) walkStmt(s ast.Stmt, st *rcState) bool {
+	switch v := s.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range v.Results {
+			rc.scanExpr(r, st)
+		}
+		rc.leakAll(st)
+		return true
+	case *ast.ExprStmt:
+		rc.scanExpr(v.X, st)
+		if call, ok := v.X.(*ast.CallExpr); ok && isPanicCall(rc.pass.TypesInfo, call) {
+			st.open = map[string]token.Pos{}
+			return true
+		}
+	case *ast.AssignStmt:
+		for _, r := range v.Rhs {
+			rc.scanExpr(r, st)
+		}
+		// `err := p.Retain(h, n)` — remember which error guards which
+		// retain, so the `if err != nil { return err }` branch can treat
+		// the retain as not having happened.
+		if len(v.Rhs) == 1 {
+			if call, ok := ast.Unparen(v.Rhs[0]).(*ast.CallExpr); ok {
+				if name, handle, ok := refcountCall(rc.pass.TypesInfo, call); ok && isRetainName(name) {
+					if root := rootIdent(handle); root != nil && len(v.Lhs) >= 1 {
+						if errID, ok := ast.Unparen(v.Lhs[len(v.Lhs)-1]).(*ast.Ident); ok && errID.Name != "_" {
+							st.guards[errID.Name] = root.Name
+						}
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		rc.scanExpr(v.Call, st)
+	case *ast.GoStmt:
+		rc.scanExpr(v.Call, st)
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						rc.scanExpr(val, st)
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		return rc.walkStmts(v.List, st)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			rc.walkStmt(v.Init, st)
+		}
+		rc.scanExpr(v.Cond, st)
+		thenSt := st.clone()
+		elseSt := st.clone()
+		// `if err != nil` where err guards a retain: on the error path
+		// the retain failed, so the handle is not held there.
+		if id, isNeq, ok := nilComparison(v.Cond); ok {
+			if root, guarded := st.guards[id]; guarded {
+				if isNeq {
+					delete(thenSt.open, root)
+				} else {
+					delete(elseSt.open, root)
+				}
+			}
+		}
+		thenTerm := rc.walkStmts(v.Body.List, thenSt)
+		elseTerm := false
+		if v.Else != nil {
+			elseTerm = rc.walkStmt(v.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			st.open = elseSt.open
+		case elseTerm:
+			st.open = thenSt.open
+		default:
+			// Optimistic merge: released in either branch counts.
+			st.open = intersectOpen(thenSt.open, elseSt.open)
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			rc.walkStmt(v.Init, st)
+		}
+		if v.Cond != nil {
+			rc.scanExpr(v.Cond, st)
+		}
+		rc.walkStmts(v.Body.List, st) // approximate: body executes once
+		if v.Post != nil {
+			rc.walkStmt(v.Post, st)
+		}
+	case *ast.RangeStmt:
+		rc.scanExpr(v.X, st)
+		rc.walkStmts(v.Body.List, st)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			rc.walkStmt(v.Init, st)
+		}
+		if v.Tag != nil {
+			rc.scanExpr(v.Tag, st)
+		}
+		rc.walkCases(v.Body, st)
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			rc.walkStmt(v.Init, st)
+		}
+		rc.walkCases(v.Body, st)
+	case *ast.SelectStmt:
+		rc.walkCases(v.Body, st)
+	case *ast.LabeledStmt:
+		return rc.walkStmt(v.Stmt, st)
+	case *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.SendStmt:
+		// Branch statements (break/continue/goto) are treated as
+		// fallthrough — the optimistic approximation again.
+	}
+	return false
+}
+
+// walkCases merges case clauses optimistically: a handle released in any
+// live clause is considered released.
+func (rc *refcountChecker) walkCases(body *ast.BlockStmt, st *rcState) {
+	merged := st.open
+	sawLive := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				rc.scanExpr(e, st)
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				rc.walkStmt(cc.Comm, st)
+			}
+			stmts = cc.Body
+		}
+		caseSt := st.clone()
+		if !rc.walkStmts(stmts, caseSt) {
+			if !sawLive {
+				merged = caseSt.open
+				sawLive = true
+			} else {
+				merged = intersectOpen(merged, caseSt.open)
+			}
+		}
+	}
+	st.open = merged
+}
+
+// nilComparison matches `x != nil` / `x == nil`, returning the identifier
+// and whether the operator is !=.
+func nilComparison(cond ast.Expr) (ident string, isNeq, ok bool) {
+	bin, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return "", false, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		id, okID := pair[0].(*ast.Ident)
+		nilID, okNil := pair[1].(*ast.Ident)
+		if okID && okNil && nilID.Name == "nil" && id.Name != "nil" {
+			return id.Name, bin.Op == token.NEQ, true
+		}
+	}
+	return "", false, false
+}
+
+func intersectOpen(a, b map[string]token.Pos) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// scanExpr looks for Retain/Release calls and ownership transfers inside
+// an expression. Function literals are skipped: their bodies run on other
+// goroutines' schedules and are analyzed as their own scopes is future
+// work; capturing a handle counts as a transfer below.
+func (rc *refcountChecker) scanExpr(e ast.Expr, st *rcState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Arguments first (inner calls happen before the outer one).
+		for _, arg := range call.Args {
+			rc.scanExpr(arg, st)
+		}
+		if name, handle, ok := refcountCall(rc.pass.TypesInfo, call); ok {
+			root := rootIdent(handle)
+			if root == nil {
+				return false
+			}
+			if isRetainName(name) {
+				st.open[root.Name] = call.Pos()
+			} else {
+				delete(st.open, root.Name)
+			}
+			return false
+		}
+		// Any other call that mentions a retained root transfers
+		// ownership of that handle (enqueue, drop helper, callback).
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil {
+				delete(st.open, root.Name)
+			}
+		}
+		return false
+	})
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	return builtinName(info, call) == "panic"
+}

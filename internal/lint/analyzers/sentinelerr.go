@@ -1,0 +1,86 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"sdnfv/internal/lint/analysis"
+)
+
+// SentinelErr enforces the control-plane error contract: functions at the
+// controller boundary (any package named "control") must return errors
+// that wrap the package's sentinel set (ErrQueueFull, ErrStopped,
+// ErrRejected, ...), because the southbound agents and the northbound API
+// dispatch on errors.Is. A bare errors.New or a fmt.Errorf whose format
+// has no %w verb creates an error no caller can classify.
+//
+// Package-level sentinel declarations themselves (var ErrX = errors.New)
+// are exempt — the rule applies inside function bodies only.
+//
+// Suppression rule: sentinel.
+var SentinelErr = &analysis.Analyzer{
+	Name: "sentinelerr",
+	Doc:  "control-boundary errors must wrap the sentinel set, not be bare errors.New/fmt.Errorf",
+	Run:  sentinelErrRun,
+}
+
+func sentinelErrRun(pass *analysis.Pass) error {
+	if pass.Pkg == nil || pass.Pkg.Name() != "control" {
+		return nil
+	}
+	allows := fileAllows(pass)
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(info, call)
+				if callee == nil {
+					return true
+				}
+				switch funcKey(callee) {
+				case "errors.New":
+					if !allows.allowed(pass.Fset, call.Pos(), "sentinel") {
+						pass.Reportf(call.Pos(),
+							"bare errors.New at the control boundary — wrap a sentinel (fmt.Errorf(\"...: %%w\", ErrX)) so callers can errors.Is [sentinel]")
+					}
+				case "fmt.Errorf":
+					if len(call.Args) == 0 {
+						return true
+					}
+					format, ok := stringLiteral(call.Args[0])
+					if !ok {
+						return true // dynamic format: give it the benefit of the doubt
+					}
+					if !strings.Contains(format, "%w") && !allows.allowed(pass.Fset, call.Pos(), "sentinel") {
+						pass.Reportf(call.Pos(),
+							"fmt.Errorf without %%w at the control boundary — wrap a sentinel so callers can errors.Is [sentinel]")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// stringLiteral unquotes a string literal expression.
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

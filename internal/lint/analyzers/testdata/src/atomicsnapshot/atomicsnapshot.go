@@ -1,0 +1,46 @@
+// Fixture for the atomicsnapshot analyzer: sync/atomic-typed struct
+// fields may only be touched through their methods.
+package atomicsnapshot
+
+import "sync/atomic"
+
+type snapshot struct{ entries []int }
+
+type table struct {
+	snap  atomic.Pointer[snapshot]
+	count atomic.Uint64
+	gen   atomic.Value
+	name  string
+}
+
+func good(t *table) *snapshot {
+	t.count.Add(1)
+	t.gen.Store(1)
+	if s := t.snap.Load(); s != nil {
+		return s
+	}
+	t.snap.CompareAndSwap(nil, &snapshot{})
+	return t.snap.Load()
+}
+
+func plainFieldsAreFine(t *table) string {
+	return t.name
+}
+
+func copies(t *table) {
+	s := t.snap // want "accessed directly"
+	_ = s
+}
+
+func addresses(t *table) *atomic.Uint64 {
+	return &t.count // want "accessed directly"
+}
+
+func reassigns(t *table) {
+	t.gen = atomic.Value{} // want "accessed directly"
+}
+
+func suppressed(t *table) {
+	//sdnfv:allow(atomic) single-threaded constructor, no readers yet
+	t.count = atomic.Uint64{}
+}

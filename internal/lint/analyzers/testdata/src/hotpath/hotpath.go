@@ -1,0 +1,104 @@
+// Fixture for the hotpath analyzer: each want comment is a diagnostic
+// the analyzer must produce on that line; lines without wants must stay
+// silent.
+package hotpath
+
+import "sync"
+
+var mu sync.Mutex
+
+func helper() int { return 0 }
+
+//sdnfv:hotpath
+func fast(x int) int { return x + 1 }
+
+//sdnfv:hotpath
+func allocates(n int) []int {
+	s := make([]int, n) // want "make allocates"
+	s = append(s, 1)    // want "append may grow"
+	return s
+}
+
+//sdnfv:hotpath
+func literals() {
+	_ = []int{1, 2, 3}         // want "slice literal allocates"
+	_ = map[int]int{1: 1}      // want "map literal allocates"
+	_ = &struct{ a int }{a: 1} // want "composite literal escapes"
+	_ = struct{ a int }{a: 1}  // value struct literal: fine
+}
+
+//sdnfv:hotpath
+func closes(x int) func() int {
+	return func() int { return x } // want "closure allocates"
+}
+
+//sdnfv:hotpath
+func strcat(a, b string) int {
+	return len(a + b) // want "string concatenation allocates"
+}
+
+//sdnfv:hotpath
+func strconv2(b []byte) int {
+	return len(string(b)) // want "string/slice conversion copies"
+}
+
+//sdnfv:hotpath
+func boxesReturn(x int) any {
+	return x // want "return boxes int"
+}
+
+//sdnfv:hotpath
+func boxesAssign(x uint64) {
+	var v any
+	v = x // want "assignment boxes uint64"
+	_ = v
+}
+
+//sdnfv:hotpath
+func noBoxPointer(p *int) any {
+	return p // pointer-shaped: fits the interface word, no allocation
+}
+
+//sdnfv:hotpath
+func locks() {
+	mu.Lock()         // want `calls sync\.Lock`
+	defer mu.Unlock() // want `calls sync\.Unlock`
+}
+
+//sdnfv:hotpath
+func chans(c chan int) int {
+	c <- 1     // want "channel send"
+	return <-c // want "channel receive"
+}
+
+//sdnfv:hotpath
+func spawns() {
+	go helper() // want "launches a goroutine" "neither //sdnfv:hotpath-annotated"
+}
+
+//sdnfv:hotpath
+func callsAnnotated(x int) int {
+	return fast(x) // annotated callee: fine
+}
+
+//sdnfv:hotpath
+func callsUnannotated() int {
+	return helper() // want "neither //sdnfv:hotpath-annotated"
+}
+
+//sdnfv:hotpath
+func dynamic(f func() int) int {
+	return f() // want "dynamic call"
+}
+
+//sdnfv:hotpath
+func mapWrite(m map[int]int) {
+	m[1] = 2 // want "map write may grow"
+}
+
+//sdnfv:hotpath
+func suppressed() {
+	//sdnfv:allow(alloc) scratch buffer reused across the poll loop
+	s := make([]int, 4)
+	_ = s
+}

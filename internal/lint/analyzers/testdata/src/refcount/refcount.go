@@ -1,0 +1,69 @@
+// Fixture for the refcount analyzer: Retain/Release discipline on a
+// pool-shaped API (error-returning Retain/Release methods on a named
+// receiver, first argument the handle).
+package refcount
+
+type Handle struct{ idx uint32 }
+
+type Pool struct{ refs map[uint32]int }
+
+func (p *Pool) Retain(h Handle, delta int32) error { return nil }
+func (p *Pool) Release(h Handle) error             { return nil }
+
+func enqueue(h Handle) bool { return true }
+
+func discardBare(p *Pool, h Handle) {
+	p.Release(h) // want "Release error discarded"
+}
+
+func discardBlank(p *Pool, h Handle) {
+	_ = p.Release(h)   // want "Release error assigned to _"
+	_ = p.Retain(h, 1) // want "Retain error assigned to _"
+	if err := p.Release(h); err != nil {
+		_ = err
+	}
+}
+
+func leaksOnEarlyReturn(p *Pool, h Handle, bad bool) error {
+	if err := p.Retain(h, 1); err != nil { // want "not balanced by a Release"
+		return err // error path: retain failed, returning is fine
+	}
+	if bad {
+		return nil // leak: retained handle abandoned
+	}
+	return p.Release(h)
+}
+
+func balanced(p *Pool, h Handle, bad bool) error {
+	if err := p.Retain(h, 1); err != nil {
+		return err
+	}
+	if bad {
+		return p.Release(h)
+	}
+	return p.Release(h)
+}
+
+func transfersOwnership(p *Pool, h Handle) error {
+	if err := p.Retain(h, 1); err != nil {
+		return err
+	}
+	if !enqueue(h) { // passing the handle transfers ownership
+		return p.Release(h)
+	}
+	return nil
+}
+
+func deferred(p *Pool, h Handle, n int) error {
+	if err := p.Retain(h, 1); err != nil {
+		return err
+	}
+	defer p.Release(h) // defers are exempt from the discard rule and balance the retain
+	_ = n
+	return nil
+}
+
+func suppressedDiscard(p *Pool, h Handle) {
+	//sdnfv:allow(refcount) teardown path, pool is being destroyed
+	_ = p.Release(h)
+}

@@ -1,0 +1,37 @@
+// Fixture for the sentinelerr analyzer. The package is named "control"
+// (the analyzer keys on package name, not directory) so it is treated as
+// a controller boundary.
+package control
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinel declarations are the one legitimate home for
+// errors.New in a control package.
+var (
+	ErrStopped   = errors.New("control: stopped")
+	ErrQueueFull = errors.New("control: queue full")
+)
+
+func bare() error {
+	return errors.New("boom") // want "bare errors.New"
+}
+
+func unwrapped(code int) error {
+	return fmt.Errorf("remote error %d", code) // want "fmt.Errorf without %w"
+}
+
+func wrapped(code int) error {
+	return fmt.Errorf("remote error %d: %w", code, ErrStopped)
+}
+
+func dynamicFormat(format string) error {
+	return fmt.Errorf(format, ErrQueueFull) // dynamic format: benefit of the doubt
+}
+
+func suppressed() error {
+	//sdnfv:allow(sentinel) never crosses the API boundary, test-only
+	return errors.New("internal probe")
+}

@@ -1,0 +1,73 @@
+// Package lint drives the sdnfv static-analysis suite: it loads packages
+// (source-checked, imports via export data) and applies each analyzer in
+// two phases — a module-wide Collect pass that gathers cross-package
+// facts, then a per-package Run pass that reports diagnostics. The
+// cmd/sdnfv-lint multichecker and the linttest fixture harness are both
+// thin wrappers over this package.
+package lint
+
+import (
+	"sort"
+
+	"sdnfv/internal/lint/analysis"
+	"sdnfv/internal/lint/load"
+)
+
+// Run loads patterns relative to dir and applies analyzers, returning all
+// diagnostics sorted by position.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(pkgs, analyzers)
+}
+
+// RunPackages applies analyzers to already-loaded packages.
+func RunPackages(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		facts := analysis.NewFacts()
+		if a.Collect != nil {
+			for _, p := range pkgs {
+				a.Collect(newPass(a, p, facts, nil))
+			}
+		}
+		for _, p := range pkgs {
+			fset := p.Fset
+			report := func(d analysis.Diagnostic) {
+				d.Position = fset.Position(d.Pos)
+				diags = append(diags, d)
+			}
+			if err := a.Run(newPass(a, p, facts, report)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := diags[i].Position, diags[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+func newPass(a *analysis.Analyzer, p *load.Package, facts *analysis.Facts, report func(analysis.Diagnostic)) *analysis.Pass {
+	if report == nil {
+		report = func(analysis.Diagnostic) {}
+	}
+	return &analysis.Pass{
+		Analyzer:  a,
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Types,
+		TypesInfo: p.TypesInfo,
+		Facts:     facts,
+		Report:    report,
+	}
+}

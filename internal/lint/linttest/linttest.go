@@ -1,0 +1,142 @@
+// Package linttest is the fixture harness for the sdnfv-lint analyzers,
+// modeled on golang.org/x/tools' analysistest: a fixture package under
+// testdata/src/<name>/ is type-checked for real (imports resolved from
+// export data), the analyzer runs over it, and its diagnostics are
+// matched against `// want "regex"` comments in the fixture source. Every
+// want must be matched by a diagnostic on its line, and every diagnostic
+// must be claimed by a want — extra or missing findings fail the test.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sdnfv/internal/lint"
+	"sdnfv/internal/lint/analysis"
+	"sdnfv/internal/lint/load"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Wants accept both quoting styles analysistest supports: "re" with Go
+// escapes, and `re` raw.
+var wantRE = regexp.MustCompile("// want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)\\s*$")
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run applies one analyzer to the fixture package in dir (a path relative
+// to the calling test's package directory, conventionally
+// testdata/src/<analyzer>) and checks diagnostics against the fixture's
+// want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := load.LoadDir(moduleDir, abs)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.RunPackages([]*load.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s",
+				filepath.Base(d.Position.Filename), d.Position.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// regexp matches the message.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Position.Line || w.file != d.Position.Filename {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the want expectations from the fixture's comments.
+func parseWants(pkg *load.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						pos := pkg.Fset.Position(c.Pos())
+						return nil, fmt.Errorf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					expr := arg[1]
+					if strings.HasPrefix(strings.TrimSpace(arg[0]), "`") {
+						expr = arg[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: expr})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// findModuleRoot walks up from the working directory to the enclosing
+// go.mod, anchoring the `go list` calls the loader makes.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,37 @@
+//go:build !race
+
+package mempool
+
+// Zero-allocation budget test for the buffer pool fast paths — the
+// measured counterpart of the hotpath analyzer's static no-alloc proof.
+// Excluded under the race detector, whose instrumentation changes
+// allocation behavior.
+
+import "testing"
+
+func TestPoolFastPathZeroAlloc(t *testing.T) {
+	p := New(64, 2048)
+	if n := testing.AllocsPerRun(200, func() {
+		h, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.SetLength(h, 64); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Data(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Retain(h, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Release(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Release(h); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("pool alloc/retain/release cycle allocates %.1f/op, want 0", n)
+	}
+}

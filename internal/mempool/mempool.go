@@ -34,15 +34,20 @@ const (
 	indexMask = (1 << indexBits) - 1
 )
 
+//sdnfv:hotpath
 func makeHandle(index uint32, gen uint32) Handle {
 	// Generation 0 is reserved so that NilHandle (0,0) is never valid.
 	return Handle(uint64(gen)<<indexBits | uint64(index))
 }
 
 // Index returns the buffer slot this handle refers to.
+//
+//sdnfv:hotpath
 func (h Handle) Index() uint32 { return uint32(uint64(h) & indexMask) }
 
 // Generation returns the allocation generation of this handle.
+//
+//sdnfv:hotpath
 func (h Handle) Generation() uint32 { return uint32(uint64(h) >> indexBits) }
 
 // Errors returned by Pool operations.
@@ -50,6 +55,14 @@ var (
 	ErrExhausted   = errors.New("mempool: pool exhausted")
 	ErrStaleHandle = errors.New("mempool: stale handle (buffer was freed)")
 	ErrDoubleFree  = errors.New("mempool: release of unreferenced buffer")
+	// ErrInvalidHandle reports a handle whose index is out of range (or
+	// the nil handle). Plain sentinels, not wrapped fmt errors: these
+	// are returned on the packet path, which must not allocate.
+	ErrInvalidHandle = errors.New("mempool: invalid handle")
+	// ErrBadLength reports a SetLength outside [0, BufSize].
+	ErrBadLength = errors.New("mempool: length out of range")
+	// ErrBadDelta reports a non-positive Retain delta.
+	ErrBadDelta = errors.New("mempool: non-positive retain delta")
 )
 
 type slot struct {
@@ -110,6 +123,8 @@ func (p *Pool) BufSize() int { return p.bufSize }
 // Alloc takes a buffer from the pool with refcount 1. It returns
 // ErrExhausted when no buffers are free (the caller should drop the packet,
 // as a NIC would on descriptor exhaustion).
+//
+//sdnfv:hotpath
 func (p *Pool) Alloc() (Handle, error) {
 	for {
 		old := p.freeHead.Load()
@@ -134,10 +149,12 @@ func (p *Pool) Alloc() (Handle, error) {
 }
 
 // check validates h and returns its slot index.
+//
+//sdnfv:hotpath
 func (p *Pool) check(h Handle) (uint32, error) {
 	i := h.Index()
 	if int(i) >= len(p.slots) || h == NilHandle {
-		return 0, fmt.Errorf("mempool: invalid handle %#x", uint64(h))
+		return 0, ErrInvalidHandle
 	}
 	if p.slots[i].gen.Load() != h.Generation() {
 		return 0, ErrStaleHandle
@@ -147,6 +164,8 @@ func (p *Pool) check(h Handle) (uint32, error) {
 
 // Buf returns the packet buffer for h. The slice aliases pool memory; it is
 // valid until the last Release of h.
+//
+//sdnfv:hotpath
 func (p *Pool) Buf(h Handle) ([]byte, error) {
 	i, err := p.check(h)
 	if err != nil {
@@ -156,6 +175,8 @@ func (p *Pool) Buf(h Handle) ([]byte, error) {
 }
 
 // Data returns the valid bytes of the packet (Buf truncated to its length).
+//
+//sdnfv:hotpath
 func (p *Pool) Data(h Handle) ([]byte, error) {
 	i, err := p.check(h)
 	if err != nil {
@@ -165,19 +186,23 @@ func (p *Pool) Data(h Handle) ([]byte, error) {
 }
 
 // SetLength records the number of valid bytes in the buffer.
+//
+//sdnfv:hotpath
 func (p *Pool) SetLength(h Handle, n int) error {
 	i, err := p.check(h)
 	if err != nil {
 		return err
 	}
 	if n < 0 || n > p.bufSize {
-		return fmt.Errorf("mempool: length %d out of range [0,%d]", n, p.bufSize)
+		return ErrBadLength
 	}
 	p.slots[i].length.Store(int32(n))
 	return nil
 }
 
 // Length returns the number of valid bytes in the buffer.
+//
+//sdnfv:hotpath
 func (p *Pool) Length(h Handle) (int, error) {
 	i, err := p.check(h)
 	if err != nil {
@@ -188,6 +213,8 @@ func (p *Pool) Length(h Handle) (int, error) {
 
 // SetMeta stores per-packet metadata (the cached flow-table lookup token of
 // §4.2 "Caching flow table lookups") on the descriptor.
+//
+//sdnfv:hotpath
 func (p *Pool) SetMeta(h Handle, m uint64) error {
 	i, err := p.check(h)
 	if err != nil {
@@ -198,6 +225,8 @@ func (p *Pool) SetMeta(h Handle, m uint64) error {
 }
 
 // Meta loads the per-packet metadata word.
+//
+//sdnfv:hotpath
 func (p *Pool) Meta(h Handle) (uint64, error) {
 	i, err := p.check(h)
 	if err != nil {
@@ -208,13 +237,15 @@ func (p *Pool) Meta(h Handle) (uint64, error) {
 
 // Retain increments the reference count by delta (the "parallelization
 // factor" of §4.2). The buffer must be live.
+//
+//sdnfv:hotpath
 func (p *Pool) Retain(h Handle, delta int) error {
 	i, err := p.check(h)
 	if err != nil {
 		return err
 	}
 	if delta <= 0 {
-		return fmt.Errorf("mempool: non-positive retain delta %d", delta)
+		return ErrBadDelta
 	}
 	p.slots[i].refcnt.Add(int32(delta))
 	return nil
@@ -232,6 +263,8 @@ func (p *Pool) RefCount(h Handle) (int, error) {
 // Release drops one reference. When the count reaches zero the buffer's
 // generation advances (invalidating all outstanding handles) and the slot
 // returns to the free list.
+//
+//sdnfv:hotpath
 func (p *Pool) Release(h Handle) error {
 	i, err := p.check(h)
 	if err != nil {

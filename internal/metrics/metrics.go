@@ -206,6 +206,8 @@ func NewEWMA(alpha float64) *EWMA {
 
 // Observe folds v into the average. The first observation seeds the
 // average directly.
+//
+//sdnfv:hotpath
 func (e *EWMA) Observe(v float64) {
 	for {
 		old := e.bits.Load()
@@ -223,6 +225,8 @@ func (e *EWMA) Observe(v float64) {
 }
 
 // Value returns the current average, or 0 before any observation.
+//
+//sdnfv:hotpath
 func (e *EWMA) Value() float64 {
 	b := e.bits.Load()
 	if b == ewmaEmpty {

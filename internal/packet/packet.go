@@ -71,6 +71,8 @@ func (k FlowKey) String() string {
 }
 
 // Reverse returns the key of the opposite direction of the same connection.
+//
+//sdnfv:hotpath
 func (k FlowKey) Reverse() FlowKey {
 	return FlowKey{
 		SrcIP: k.DstIP, DstIP: k.SrcIP,
@@ -79,32 +81,36 @@ func (k FlowKey) Reverse() FlowKey {
 	}
 }
 
+// fnvMix folds one byte into an FNV-1a state.
+//
+//sdnfv:hotpath
+func fnvMix(h uint64, b byte) uint64 {
+	const prime64 = 1099511628211
+	return (h ^ uint64(b)) * prime64
+}
+
 // Hash returns a 64-bit FNV-1a hash of the key, used for flow-affinity load
-// balancing (§4.2) and flow-table bucketing. It is written out manually so
-// the hot path performs zero allocations.
+// balancing (§4.2) and flow-table bucketing. It is written out manually —
+// no closure, no fmt, no hash/fnv — so the hot path performs zero
+// allocations (enforced by the hotpath analyzer).
+//
+//sdnfv:hotpath
 func (k FlowKey) Hash() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
+	const offset64 = 14695981039346656037
 	h := uint64(offset64)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	mix(byte(k.SrcIP >> 24))
-	mix(byte(k.SrcIP >> 16))
-	mix(byte(k.SrcIP >> 8))
-	mix(byte(k.SrcIP))
-	mix(byte(k.DstIP >> 24))
-	mix(byte(k.DstIP >> 16))
-	mix(byte(k.DstIP >> 8))
-	mix(byte(k.DstIP))
-	mix(byte(k.SrcPort >> 8))
-	mix(byte(k.SrcPort))
-	mix(byte(k.DstPort >> 8))
-	mix(byte(k.DstPort))
-	mix(k.Proto)
+	h = fnvMix(h, byte(k.SrcIP>>24))
+	h = fnvMix(h, byte(k.SrcIP>>16))
+	h = fnvMix(h, byte(k.SrcIP>>8))
+	h = fnvMix(h, byte(k.SrcIP))
+	h = fnvMix(h, byte(k.DstIP>>24))
+	h = fnvMix(h, byte(k.DstIP>>16))
+	h = fnvMix(h, byte(k.DstIP>>8))
+	h = fnvMix(h, byte(k.DstIP))
+	h = fnvMix(h, byte(k.SrcPort>>8))
+	h = fnvMix(h, byte(k.SrcPort))
+	h = fnvMix(h, byte(k.DstPort>>8))
+	h = fnvMix(h, byte(k.DstPort))
+	h = fnvMix(h, k.Proto)
 	return h
 }
 
@@ -124,6 +130,8 @@ type View struct {
 // Parse interprets buf as Ethernet/IPv4/{TCP,UDP}. Non-IPv4 frames and
 // unknown transports still return a View (so L2 forwarding works) with
 // Transport() reporting false.
+//
+//sdnfv:hotpath
 func Parse(buf []byte) (View, error) {
 	v := View{buf: buf}
 	if len(buf) < EthHeaderLen {
@@ -170,61 +178,99 @@ func Parse(buf []byte) (View, error) {
 }
 
 // Valid reports whether the view parsed a full L2–L4 IPv4 packet.
+//
+//sdnfv:hotpath
 func (v *View) Valid() bool { return v.valid }
 
 // Buf returns the underlying buffer.
+//
+//sdnfv:hotpath
 func (v *View) Buf() []byte { return v.buf }
 
 // SrcMAC returns the Ethernet source address.
+//
+//sdnfv:hotpath
 func (v *View) SrcMAC() MAC { var m MAC; copy(m[:], v.buf[6:12]); return m }
 
 // DstMAC returns the Ethernet destination address.
+//
+//sdnfv:hotpath
 func (v *View) DstMAC() MAC { var m MAC; copy(m[:], v.buf[0:6]); return m }
 
 // SrcIP returns the IPv4 source address.
+//
+//sdnfv:hotpath
 func (v *View) SrcIP() IP { return IP(binary.BigEndian.Uint32(v.buf[v.l3Off+12:])) }
 
 // DstIP returns the IPv4 destination address.
+//
+//sdnfv:hotpath
 func (v *View) DstIP() IP { return IP(binary.BigEndian.Uint32(v.buf[v.l3Off+16:])) }
 
 // SetSrcIP rewrites the IPv4 source address (checksum must be refreshed
 // with UpdateChecksums before transmit).
+//
+//sdnfv:hotpath
 func (v *View) SetSrcIP(ip IP) { binary.BigEndian.PutUint32(v.buf[v.l3Off+12:], uint32(ip)) }
 
 // SetDstIP rewrites the IPv4 destination address.
+//
+//sdnfv:hotpath
 func (v *View) SetDstIP(ip IP) { binary.BigEndian.PutUint32(v.buf[v.l3Off+16:], uint32(ip)) }
 
 // Proto returns the IPv4 protocol field.
+//
+//sdnfv:hotpath
 func (v *View) Proto() uint8 { return v.proto }
 
 // TTL returns the IPv4 time-to-live.
+//
+//sdnfv:hotpath
 func (v *View) TTL() uint8 { return v.buf[v.l3Off+8] }
 
 // SetTTL rewrites the IPv4 time-to-live.
+//
+//sdnfv:hotpath
 func (v *View) SetTTL(t uint8) { v.buf[v.l3Off+8] = t }
 
 // TotalLen returns the IPv4 total length field.
+//
+//sdnfv:hotpath
 func (v *View) TotalLen() int { return int(binary.BigEndian.Uint16(v.buf[v.l3Off+2:])) }
 
 // SrcPort returns the transport source port.
+//
+//sdnfv:hotpath
 func (v *View) SrcPort() uint16 { return binary.BigEndian.Uint16(v.buf[v.l4Off:]) }
 
 // DstPort returns the transport destination port.
+//
+//sdnfv:hotpath
 func (v *View) DstPort() uint16 { return binary.BigEndian.Uint16(v.buf[v.l4Off+2:]) }
 
 // SetSrcPort rewrites the transport source port.
+//
+//sdnfv:hotpath
 func (v *View) SetSrcPort(p uint16) { binary.BigEndian.PutUint16(v.buf[v.l4Off:], p) }
 
 // SetDstPort rewrites the transport destination port.
+//
+//sdnfv:hotpath
 func (v *View) SetDstPort(p uint16) { binary.BigEndian.PutUint16(v.buf[v.l4Off+2:], p) }
 
 // Payload returns the application payload bytes.
+//
+//sdnfv:hotpath
 func (v *View) Payload() []byte { return v.buf[v.dataOff:] }
 
 // PayloadOffset returns the byte offset of the application payload.
+//
+//sdnfv:hotpath
 func (v *View) PayloadOffset() int { return v.dataOff }
 
 // FlowKey extracts the 5-tuple.
+//
+//sdnfv:hotpath
 func (v *View) FlowKey() FlowKey {
 	return FlowKey{
 		SrcIP:   v.SrcIP(),
@@ -236,6 +282,8 @@ func (v *View) FlowKey() FlowKey {
 }
 
 // checksum computes the Internet checksum (RFC 1071) over b.
+//
+//sdnfv:hotpath
 func checksum(b []byte) uint16 {
 	var sum uint32
 	for i := 0; i+1 < len(b); i += 2 {
@@ -252,6 +300,8 @@ func checksum(b []byte) uint16 {
 
 // UpdateChecksums recomputes the IPv4 header checksum (transport checksums
 // are treated as offloaded, as they would be to a NIC).
+//
+//sdnfv:hotpath
 func (v *View) UpdateChecksums() {
 	if !v.valid {
 		return
@@ -263,6 +313,8 @@ func (v *View) UpdateChecksums() {
 }
 
 // VerifyIPChecksum reports whether the IPv4 header checksum is correct.
+//
+//sdnfv:hotpath
 func (v *View) VerifyIPChecksum() bool {
 	if !v.valid {
 		return false

@@ -38,11 +38,15 @@ func NewSPSCOf[T any](capacity int) *SPSCOf[T] {
 func (r *SPSCOf[T]) Cap() int { return len(r.buf) }
 
 // Len returns an instantaneous queue-depth snapshot.
+//
+//sdnfv:hotpath
 func (r *SPSCOf[T]) Len() int {
 	return int(r.head.Load() - r.tail.Load())
 }
 
 // Enqueue appends v; false when full. Single producer only.
+//
+//sdnfv:hotpath
 func (r *SPSCOf[T]) Enqueue(v T) bool {
 	h := r.head.Load()
 	if h-r.cachedTail > r.mask {
@@ -57,6 +61,8 @@ func (r *SPSCOf[T]) Enqueue(v T) bool {
 }
 
 // Dequeue removes the oldest element; false when empty. Single consumer.
+//
+//sdnfv:hotpath
 func (r *SPSCOf[T]) Dequeue() (T, bool) {
 	var zero T
 	t := r.tail.Load()
@@ -77,6 +83,8 @@ func (r *SPSCOf[T]) Dequeue() (T, bool) {
 // release-store on the producer index covers the whole burst, so the NF
 // out-path pays one atomic per burst instead of one per descriptor.
 // Single producer only.
+//
+//sdnfv:hotpath
 func (r *SPSCOf[T]) EnqueueBatch(src []T) int {
 	h := r.head.Load()
 	if h+uint64(len(src))-r.cachedTail > r.mask+1 {
@@ -99,6 +107,8 @@ func (r *SPSCOf[T]) EnqueueBatch(src []T) int {
 }
 
 // DequeueBatch fills dst and returns the count dequeued. Single consumer.
+//
+//sdnfv:hotpath
 func (r *SPSCOf[T]) DequeueBatch(dst []T) int {
 	var zero T
 	t := r.tail.Load()

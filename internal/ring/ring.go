@@ -67,6 +67,8 @@ func (r *SPSC) Cap() int { return len(r.buf) }
 // instantaneous snapshot and may be stale by the time it returns; the NF
 // Manager uses it for queue-depth load balancing where staleness is
 // acceptable.
+//
+//sdnfv:hotpath
 func (r *SPSC) Len() int {
 	h := r.head.Load()
 	t := r.tail.Load()
@@ -75,6 +77,8 @@ func (r *SPSC) Len() int {
 
 // Enqueue appends d to the ring. It returns false when the ring is full.
 // Must be called from a single producer goroutine.
+//
+//sdnfv:hotpath
 func (r *SPSC) Enqueue(d uint64) bool {
 	h := r.head.Load()
 	if h-r.cachedTail > r.mask {
@@ -91,6 +95,8 @@ func (r *SPSC) Enqueue(d uint64) bool {
 // Dequeue removes and returns the oldest descriptor. The second return is
 // false when the ring is empty. Must be called from a single consumer
 // goroutine.
+//
+//sdnfv:hotpath
 func (r *SPSC) Dequeue() (uint64, bool) {
 	t := r.tail.Load()
 	if t >= r.cachedHead {
@@ -107,6 +113,8 @@ func (r *SPSC) Dequeue() (uint64, bool) {
 // DequeueBatch fills dst with up to len(dst) descriptors and returns the
 // number dequeued. Batch draining amortizes the atomic store on the consumer
 // index, mirroring DPDK's burst dequeue.
+//
+//sdnfv:hotpath
 func (r *SPSC) DequeueBatch(dst []uint64) int {
 	t := r.tail.Load()
 	if t >= r.cachedHead {
@@ -128,6 +136,8 @@ func (r *SPSC) DequeueBatch(dst []uint64) int {
 
 // EnqueueBatch appends as many of src as fit and returns the number
 // enqueued.
+//
+//sdnfv:hotpath
 func (r *SPSC) EnqueueBatch(src []uint64) int {
 	h := r.head.Load()
 	if h+uint64(len(src))-r.cachedTail > r.mask {
