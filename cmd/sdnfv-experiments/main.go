@@ -17,9 +17,26 @@ import (
 )
 
 func main() {
+	// Child role for the two-process wire experiment: serve host B over
+	// stdio (see experiments.RunWirePeer), no flags involved.
+	if os.Getenv("SDNFV_WIRE_ROLE") == "peer" {
+		if err := experiments.RunWirePeer(); err != nil {
+			fmt.Fprintf(os.Stderr, "wire peer: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	seed := flag.Int64("seed", 42, "random seed (experiments are deterministic per seed)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
+
+	// The wire experiment re-executes this binary as its peer process.
+	if os.Getenv("SDNFV_WIRE_EXEC") == "" {
+		if exe, err := os.Executable(); err == nil {
+			os.Setenv("SDNFV_WIRE_EXEC", exe)
+		}
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {

@@ -11,6 +11,16 @@
 // path. SIGINT/SIGTERM stop the generator, drain the data plane, and
 // exit 0.
 //
+// Real packet I/O: -port binds a pluggable transport behind a NIC port
+// (repeatable), so two hosts can exchange frames over actual sockets —
+//
+//	sdnfv-host -port 1=udp:127.0.0.1:7001/127.0.0.1:7002 -packets 10000
+//	sdnfv-host -port 0=udp:127.0.0.1:7002 -packets 0
+//
+// runs a sender whose chain egresses over UDP loopback into a second
+// process serving until SIGINT. -packets 0 means serve mode: no local
+// generator, traffic comes in off the wire.
+//
 //	sdnfv-host -controller 127.0.0.1:6653 -packets 10000
 package main
 
@@ -31,6 +41,7 @@ import (
 	"sdnfv/internal/nf"
 	"sdnfv/internal/nfs"
 	"sdnfv/internal/orchestrator"
+	"sdnfv/internal/portio"
 	"sdnfv/internal/traffic"
 )
 
@@ -42,6 +53,8 @@ func main() {
 	autoScale := flag.Bool("autoscale", true, "autoscale the counter service from its queue telemetry")
 	scaleMin := flag.Int("scale-min", 1, "autoscale: minimum replicas")
 	scaleMax := flag.Int("scale-max", 3, "autoscale: maximum replicas")
+	var ports portio.PortFlags
+	flag.Var(&ports, "port", "bind a port driver, N=udp:LADDR[/RADDR] | N=tcp:ADDR | N=tcp-listen:ADDR | N=afpacket:IFACE (repeatable)")
 	flag.Parse()
 
 	cfg := dataplane.Config{PoolSize: 4096, TXThreads: 1}
@@ -94,10 +107,29 @@ func main() {
 			close(doneCh)
 		}
 	})
+	// Driver teardown runs after host.Stop (LIFO defers): the engine
+	// drains through the sinks first, then each driver flushes its
+	// egress queue onto the wire and closes its socket.
+	var bindings []*portio.Binding
+	defer func() {
+		for _, b := range bindings {
+			if err := b.Close(); err != nil {
+				log.Printf("sdnfv-host: close port %d: %v", b.Port(), err)
+			}
+		}
+	}()
 	if err := host.Start(); err != nil {
 		log.Fatal(err)
 	}
 	defer host.Stop()
+	for _, ps := range ports.Ports {
+		b, err := portio.Bind(host, ps.Port, ps.Driver)
+		if err != nil {
+			log.Fatalf("bind %s: %v", ps.Spec, err)
+		}
+		bindings = append(bindings, b)
+		log.Printf("sdnfv-host: port %d bound to %s (%s)", ps.Port, ps.Driver.Name(), ps.Spec)
+	}
 
 	// Elasticity loop (§3.3/§5 dynamic scaling): the counter service
 	// scales between -scale-min and -scale-max replicas from its own
@@ -129,42 +161,72 @@ func main() {
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	interrupted := false
 
-	factory := traffic.NewFactory()
-gen:
-	for i := 0; i < *packets; i++ {
-		select {
-		case s := <-sigs:
-			log.Printf("sdnfv-host: %s received, stopping generator", s)
-			interrupted = true
-			break gen
-		default:
-		}
-		spec := traffic.Flow(i%*flows, 512, 0)
-		frame, err := factory.Frame(spec, time.Now().UnixNano())
-		if err != nil {
-			log.Fatal(err)
-		}
-		for {
-			if err := host.Inject(0, frame); err == nil {
-				break
+	if *packets == 0 {
+		// Serve mode: no local generator — traffic arrives off the wire
+		// through the bound port drivers until a signal stops us.
+		log.Printf("sdnfv-host: serving (%d port driver(s) bound), ^C to stop", len(bindings))
+		s := <-sigs
+		log.Printf("sdnfv-host: %s received, draining", s)
+	} else {
+		factory := traffic.NewFactory()
+	gen:
+		for i := 0; i < *packets; i++ {
+			select {
+			case s := <-sigs:
+				log.Printf("sdnfv-host: %s received, stopping generator", s)
+				interrupted = true
+				break gen
+			default:
 			}
-			time.Sleep(5 * time.Microsecond)
+			spec := traffic.Flow(i%*flows, 512, 0)
+			frame, err := factory.Frame(spec, time.Now().UnixNano())
+			if err != nil {
+				log.Fatal(err)
+			}
+			for {
+				if err := host.Inject(0, frame); err == nil {
+					break
+				}
+				time.Sleep(5 * time.Microsecond)
+			}
 		}
-	}
-	if !interrupted {
-		select {
-		case <-doneCh:
-		case s := <-sigs:
-			log.Printf("sdnfv-host: %s received, draining", s)
-		case <-time.After(30 * time.Second):
-			log.Printf("sdnfv-host: timed out waiting for deliveries")
+		// With port drivers bound, deliveries happen on the far side of
+		// the wire — fall through to the idle drain instead of waiting
+		// for a local delivery count that will never be reached.
+		if !interrupted && len(bindings) == 0 {
+			select {
+			case <-doneCh:
+			case s := <-sigs:
+				log.Printf("sdnfv-host: %s received, draining", s)
+			case <-time.After(30 * time.Second):
+				log.Printf("sdnfv-host: timed out waiting for deliveries")
+			}
 		}
 	}
 	host.WaitIdle(5 * time.Second)
 
+	// Ordered shutdown before the final stats read so the wire counters
+	// reconcile: engine drained through the sinks, then every driver
+	// flushes its egress queue and closes. The deferred copies of these
+	// calls are idempotent no-ops after this.
+	if scaler != nil {
+		scaler.Stop()
+	}
+	host.Stop()
+	for _, b := range bindings {
+		if err := b.Close(); err != nil {
+			log.Printf("sdnfv-host: close port %d: %v", b.Port(), err)
+		}
+	}
+
 	st := host.Stats()
-	log.Printf("sdnfv-host: rx=%d tx=%d drops=%d overflows=%d misses=%d rules=%d",
-		st.RxPackets, st.TxPackets, st.Drops, st.Overflows, st.Misses, st.Table.Rules)
+	log.Printf("sdnfv-host: rx=%d tx=%d drops=%d overflows=%d txdrops=%d rxdrops=%d misses=%d rules=%d",
+		st.RxPackets, st.TxPackets, st.Drops, st.Overflows, st.TxDrops, st.RxDrops, st.Misses, st.Table.Rules)
+	for _, ps := range st.Ports {
+		log.Printf("sdnfv-host: port %d (%s): rx=%d/%dB tx=%d/%dB oversize=%d truncated=%d refused=%d txdrops=%d reconnects=%d",
+			ps.Port, ps.Driver, ps.RxFrames, ps.RxBytes, ps.TxFrames, ps.TxBytes,
+			ps.RxOversize, ps.RxTruncated, ps.RxRefused, ps.TxDrops, ps.Reconnects)
+	}
 	for _, rs := range st.Replicas {
 		log.Printf("sdnfv-host: replica %s/%d (%s): processed=%d overflow=%d queue=%d svc=%.0fns",
 			rs.Service, rs.Index, rs.Name, rs.Processed, rs.OverflowDrops, rs.QueueDepth, rs.ServiceTimeNs)

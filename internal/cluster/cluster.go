@@ -29,6 +29,7 @@ import (
 	"sdnfv/internal/control"
 	"sdnfv/internal/dataplane"
 	"sdnfv/internal/flowtable"
+	"sdnfv/internal/portio"
 )
 
 // Errors returned by fabric operations.
@@ -165,6 +166,7 @@ type Fabric struct {
 	mu    sync.Mutex
 	hosts map[control.DatapathID]*member
 	links []*Link
+	wires []*portio.Binding
 }
 
 // New builds an empty fabric.
@@ -264,6 +266,30 @@ func (f *Fabric) Connect(src control.DatapathID, outPort int, dst control.Datapa
 	return l, nil
 }
 
+// BindWire attaches a portio driver behind port on datapath dp: the
+// member host's egress out that port goes onto the driver's wire, and
+// frames the driver receives enter the host's driver ingress (counted
+// under the RxDrops discipline). This is how a fabric member faces a
+// peer in ANOTHER process — the in-process Links above stay available
+// for co-located hosts. The binding is closed by Stop after the hosts,
+// so queued egress drains onto the wire during teardown.
+func (f *Fabric) BindWire(dp control.DatapathID, port int, d portio.PortDriver) (*portio.Binding, error) {
+	f.mu.Lock()
+	m, ok := f.hosts[dp]
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownHost, dp)
+	}
+	b, err := portio.Bind(m.host, port, d)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.wires = append(f.wires, b)
+	f.mu.Unlock()
+	return b, nil
+}
+
 // Link wires both directions of (a, aPort) ↔ (b, bPort) with the same
 // shaping and returns the two directions (a→b, b→a).
 func (f *Fabric) Link(a control.DatapathID, aPort int, b control.DatapathID, bPort int, cfg LinkConfig) (ab, ba *Link, err error) {
@@ -359,6 +385,14 @@ func (f *Fabric) Stop() {
 			l.closeOnce.Do(func() { close(l.done) })
 			l.wg.Wait()
 		}
+	}
+	f.mu.Lock()
+	wires := append([]*portio.Binding(nil), f.wires...)
+	f.mu.Unlock()
+	for _, w := range wires {
+		// Binding.Close drains queued egress onto the wire first; late
+		// arrivals off the wire count in the host's RxDrops.
+		_ = w.Close()
 	}
 }
 

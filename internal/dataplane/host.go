@@ -99,10 +99,19 @@ type HostStats struct {
 	// went stale before the bytes could be read. They are neither
 	// TxPackets (nothing left the host) nor Drops (no policy or
 	// overload decided their fate) — keeping them separate means
-	// RxPackets = TxPackets + Drops + Overflows + TxDrops holds exactly
-	// once the host is idle and no parallel fan-out rule was involved
-	// (parallel refusals count offers, not packets — see Drops).
+	// RxPackets = TxPackets + Drops + Overflows + TxDrops + RxDrops
+	// holds exactly once the host is idle and no parallel fan-out rule
+	// was involved (parallel refusals count offers, not packets — see
+	// Drops).
 	TxDrops uint64
+	// RxDrops counts wire frames refused at the driver ingress boundary
+	// (Ingest): oversize for the pool frame cap, unparseable, arriving
+	// on a port with no ingress binding, or hitting a capacity refusal
+	// (pool/ring/stopped). Each one also counts in RxPackets — the wire
+	// delivered it, so unlike a refused Inject it is this host's loss
+	// to account (see ingress.go). Inject refusals still appear in
+	// neither counter.
+	RxDrops uint64
 	// ReleaseErrs counts pool.Release calls that failed — a release of a
 	// stale or double-freed handle. Any nonzero value is a refcounting
 	// bug (a use-after-free caught by the pool's generation tags), so
@@ -125,6 +134,11 @@ type HostStats struct {
 	// processed/overflow counts, EWMA service time), ordered by
 	// registration.
 	Replicas []ReplicaStats
+	// Ports is the wire-boundary telemetry of every registered port
+	// driver (RegisterPortStats), ordered by port. These are the
+	// drivers' own counters — socket-level drops and reconnects that
+	// happen outside the host's conservation identity.
+	Ports []PortDriverStats
 }
 
 // routeSnap is the immutable routing snapshot the packet-path threads
@@ -189,6 +203,14 @@ type Host struct {
 	// the packet path). Bind* methods publish fresh tables copy-on-write.
 	egress atomic.Pointer[egressTable]
 
+	// ingress is the atomically published ingress-bound port set:
+	// Ingest admits wire frames only on ports a driver has bound
+	// (BindIngress), read with one atomic load like egress.
+	ingress atomic.Pointer[ingressTable]
+	// ports holds the registered per-port driver stats hooks
+	// (RegisterPortStats), guarded by mu; lazily allocated.
+	ports map[int]registeredPort
+
 	// parallel-join state, indexed by buffer slot.
 	parPending []atomic.Int32
 	parBest    []atomic.Uint64
@@ -199,6 +221,7 @@ type Host struct {
 	fanScratch [][]*Instance
 
 	rxCount         atomic.Uint64
+	rxDropCount     atomic.Uint64
 	txCount         atomic.Uint64
 	txDropCount     atomic.Uint64
 	dropCount       atomic.Uint64
@@ -942,6 +965,7 @@ func (h *Host) Stats() HostStats {
 	h.mu.Unlock()
 	return HostStats{
 		RxPackets:    h.rxCount.Load(),
+		RxDrops:      h.rxDropCount.Load(),
 		TxPackets:    h.txCount.Load(),
 		TxDrops:      h.txDropCount.Load(),
 		ReleaseErrs:  h.releaseErrCount.Load(),
@@ -953,6 +977,7 @@ func (h *Host) Stats() HostStats {
 		Pool:         h.pool.Stats(),
 		Table:        h.table.Stats(),
 		Replicas:     replicas,
+		Ports:        h.portDriverStats(),
 	}
 }
 

@@ -339,7 +339,7 @@ func Cluster(seed int64) *ClusterResult {
 		res.Overflows = append(res.Overflows, st.Overflows)
 		res.TxDrops = append(res.TxDrops, st.TxDrops)
 		res.Misses = append(res.Misses, st.Misses)
-		if st.RxPackets != st.TxPackets+st.Drops+st.Overflows+st.TxDrops ||
+		if st.RxPackets != st.TxPackets+st.Drops+st.Overflows+st.TxDrops+st.RxDrops ||
 			st.Pool.InUse != 0 {
 			res.AccountingOK = false
 		}

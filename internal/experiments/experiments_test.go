@@ -417,3 +417,37 @@ func TestClusterShape(t *testing.T) {
 		t.Fatal("render missing title")
 	}
 }
+
+func TestWireShape(t *testing.T) {
+	// Real sockets on loopback, both hosts in this process (the
+	// two-process mode is exercised by the CLI smoke in CI). Assertions
+	// are timing-independent: delivery floor and exact wire accounting.
+	t.Setenv("SDNFV_WIRE_EXEC", "")
+	r := Wire(7)
+	if r.Mode != "in-process" {
+		t.Fatalf("mode = %q", r.Mode)
+	}
+	if r.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	// UDP may legitimately shed under a loaded -race runner; the wire
+	// exactness checks below still have to balance whatever arrived.
+	if r.Delivered < r.Sent*9/10 || r.Delivered > r.Sent {
+		t.Fatalf("delivered %d of %d", r.Delivered, r.Sent)
+	}
+	if !r.WireABExact || !r.WireBAExact {
+		t.Fatalf("wire accounting not exact: A->B=%v B->A=%v", r.WireABExact, r.WireBAExact)
+	}
+	if !r.AccountingOK {
+		t.Fatalf("host accounting broken: A=%+v B=%+v", r.A, r.B)
+	}
+	if r.P50Us <= 0 || r.P95Us < r.P50Us {
+		t.Fatalf("latency percentiles malformed: p50=%v p95=%v", r.P50Us, r.P95Us)
+	}
+	for _, want := range []string{"Cross-host chain over real sockets", "chain latency"} {
+		if !strings.Contains(r.Render(), want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+	t.Logf("in-process wire: %d/%d delivered, p50 %.0fus p95 %.0fus", r.Delivered, r.Sent, r.P50Us, r.P95Us)
+}

@@ -1,0 +1,14 @@
+package portio
+
+// AFPacketConfig configures the linux AF_PACKET driver: a raw socket
+// bound to one interface, so a host port faces a real TAP/veth/NIC
+// wire. The driver itself lives behind a linux build tag
+// (afpacket_linux.go); on other platforms Open fails.
+type AFPacketConfig struct {
+	// Interface is the interface name to bind ("veth0", "tap0", "lo").
+	Interface string
+	// Burst is the RX pump burst size (default 32).
+	Burst int
+	// QueueDepth is the egress queue depth (default 256).
+	QueueDepth int
+}

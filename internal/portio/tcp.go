@@ -1,0 +1,293 @@
+package portio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdnfv/internal/dataplane"
+)
+
+// maxTCPFrame is the sanity bound on a length prefix: anything larger
+// means the stream is desynchronized (or hostile), so the connection
+// is dropped and re-established rather than discarding gigabytes.
+const maxTCPFrame = 1 << 20
+
+// TCPConfig configures a TCPDriver.
+type TCPConfig struct {
+	// Addr is the remote address to dial, or the local address to
+	// listen on when Listen is true.
+	Addr string
+	// Listen accepts one peer at a time instead of dialing out.
+	Listen bool
+	// Burst is the RX pump burst size (default 32).
+	Burst int
+	// QueueDepth is the egress queue depth (default 256).
+	QueueDepth int
+	// BackoffMin/BackoffMax bound the reconnect backoff
+	// (defaults 50ms and 2s, doubling between attempts).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// DialTimeout bounds each dial attempt (default 1s).
+	DialTimeout time.Duration
+}
+
+// TCPDriver carries frames over a TCP stream with a 4-byte big-endian
+// length prefix per frame. The connection loop re-establishes the link
+// with exponential backoff after any failure — counted in Reconnects —
+// and frames egressing while the link is down count in TxDrops (the
+// wire was down; nothing is buffered across reconnects beyond the
+// egress queue). A length prefix above the ingress frame cap is
+// skipped and counted in RxOversize; a stream cut mid-frame counts in
+// RxTruncated.
+type TCPDriver struct {
+	cfg    TCPConfig
+	ln     net.Listener
+	cur    atomic.Pointer[tcpConn]
+	q      *egressQueue
+	ing    Ingress
+	st     counters
+	done   chan struct{}
+	wg     sync.WaitGroup
+	opened atomic.Bool
+	closed atomic.Bool
+	// wbuf assembles prefix+frame for one Write call; owned by the
+	// single egress writer goroutine.
+	wbuf []byte
+}
+
+// tcpConn boxes the live connection for atomic publication between the
+// connection loop (writes) and the egress writer (reads).
+type tcpConn struct{ c net.Conn }
+
+// NewTCP builds an unopened TCP driver.
+func NewTCP(cfg TCPConfig) *TCPDriver { return &TCPDriver{cfg: cfg} }
+
+// Name implements PortDriver.
+func (d *TCPDriver) Name() string {
+	if d.cfg.Listen {
+		return "tcp-listen"
+	}
+	return "tcp"
+}
+
+// Open implements PortDriver: start the egress writer and the
+// connection loop (which dials or accepts, then pumps RX).
+func (d *TCPDriver) Open(ing Ingress) error {
+	if ing == nil {
+		return errors.New("portio: tcp driver needs an ingress")
+	}
+	if !d.opened.CompareAndSwap(false, true) {
+		return errors.New("portio: tcp driver already open")
+	}
+	if d.cfg.Listen {
+		ln, err := net.Listen("tcp", d.cfg.Addr)
+		if err != nil {
+			return err
+		}
+		d.ln = ln
+	}
+	d.ing = ing
+	d.done = make(chan struct{})
+	d.q = newEgressQueue(d.cfg.QueueDepth, &d.st, d.writeWire)
+	d.q.start()
+	d.wg.Add(1)
+	go d.connLoop()
+	return nil
+}
+
+// LocalAddr returns the listener address (listen mode, after Open).
+func (d *TCPDriver) LocalAddr() net.Addr {
+	if d.ln != nil {
+		return d.ln.Addr()
+	}
+	return nil
+}
+
+// Sink implements PortDriver: the queued egress handoff.
+func (d *TCPDriver) Sink() dataplane.PortSink { return d.q.egress }
+
+func (d *TCPDriver) backoffMin() time.Duration {
+	if d.cfg.BackoffMin > 0 {
+		return d.cfg.BackoffMin
+	}
+	return 50 * time.Millisecond
+}
+
+func (d *TCPDriver) backoffMax() time.Duration {
+	if d.cfg.BackoffMax > 0 {
+		return d.cfg.BackoffMax
+	}
+	return 2 * time.Second
+}
+
+// connLoop owns the connection lifecycle: establish (dial with backoff
+// or accept), publish for the egress writer, pump RX until the
+// connection dies, repeat until Close.
+func (d *TCPDriver) connLoop() {
+	defer d.wg.Done()
+	backoff := d.backoffMin()
+	first := true
+	for {
+		select {
+		case <-d.done:
+			return
+		default:
+		}
+		c, err := d.establish()
+		if err != nil {
+			if d.closed.Load() {
+				return
+			}
+			select {
+			case <-d.done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > d.backoffMax() {
+				backoff = d.backoffMax()
+			}
+			continue
+		}
+		backoff = d.backoffMin()
+		if !first {
+			d.st.reconnects.Add(1)
+		}
+		first = false
+		d.cur.Store(&tcpConn{c: c})
+		if d.closed.Load() {
+			// Close ran while we were establishing and may have missed
+			// this connection; tear it down ourselves.
+			c.Close()
+			d.cur.Store(nil)
+			return
+		}
+		d.readLoop(c)
+		d.cur.Store(nil)
+		c.Close()
+	}
+}
+
+func (d *TCPDriver) establish() (net.Conn, error) {
+	if d.ln != nil {
+		return d.ln.Accept() // unblocked by ln.Close
+	}
+	to := d.cfg.DialTimeout
+	if to == 0 {
+		to = time.Second
+	}
+	return net.DialTimeout("tcp", d.cfg.Addr, to)
+}
+
+// readLoop decodes length-prefixed frames off one connection and
+// pumps them into the host in bursts until the stream errors.
+func (d *TCPDriver) readLoop(c net.Conn) {
+	br := bufio.NewReaderSize(c, 64<<10)
+	fcap := d.ing.FrameCap()
+	burst := d.cfg.Burst
+	if burst <= 0 {
+		burst = defaultBurst
+	}
+	bufs := make([][]byte, burst)
+	for i := range bufs {
+		bufs[i] = make([]byte, fcap)
+	}
+	frames := make([][]byte, 0, burst)
+	flush := func() {
+		if len(frames) == 0 {
+			return
+		}
+		for _, f := range frames {
+			d.st.countRx(len(f))
+		}
+		offer(d.ing, frames, func() bool { return d.closed.Load() }, &d.st)
+		frames = frames[:0]
+	}
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				d.st.rxTruncated.Add(1)
+			}
+			flush()
+			return
+		}
+		n := int(binary.BigEndian.Uint32(hdr[:]))
+		switch {
+		case n > maxTCPFrame:
+			// Desynced stream: drop the connection, let the loop
+			// re-establish a clean one.
+			d.st.rxTruncated.Add(1)
+			flush()
+			return
+		case n > fcap:
+			d.st.rxOversize.Add(1)
+			if _, err := io.CopyN(io.Discard, br, int64(n)); err != nil {
+				d.st.rxTruncated.Add(1)
+				flush()
+				return
+			}
+		default:
+			buf := bufs[len(frames)]
+			if _, err := io.ReadFull(br, buf[:n]); err != nil {
+				d.st.rxTruncated.Add(1)
+				flush()
+				return
+			}
+			frames = append(frames, buf[:n])
+		}
+		// Flush when the burst is full or the stream has gone quiet
+		// enough that the next header read would likely block.
+		if len(frames) == burst || br.Buffered() < len(hdr) {
+			flush()
+		}
+	}
+}
+
+// writeWire writes one prefixed frame (egress writer goroutine only);
+// a write error kills the connection so the loop reconnects.
+func (d *TCPDriver) writeWire(frame []byte) {
+	cw := d.cur.Load()
+	if cw == nil {
+		d.st.txDrops.Add(1)
+		return
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	d.wbuf = append(append(d.wbuf[:0], hdr[:]...), frame...)
+	if _, err := cw.c.Write(d.wbuf); err != nil {
+		d.st.txDrops.Add(1)
+		cw.c.Close()
+		return
+	}
+	d.st.countTx(len(frame))
+}
+
+// Close implements PortDriver: flush queued egress, then tear down the
+// listener/connection and join the loops.
+func (d *TCPDriver) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if !d.opened.Load() {
+		return nil
+	}
+	d.q.close()
+	close(d.done)
+	if d.ln != nil {
+		d.ln.Close()
+	}
+	if cw := d.cur.Load(); cw != nil {
+		cw.c.Close()
+	}
+	d.wg.Wait()
+	return nil
+}
+
+// Stats implements PortDriver.
+func (d *TCPDriver) Stats() DriverStats { return d.st.snapshot() }

@@ -1,0 +1,33 @@
+//go:build linux
+
+package portio
+
+import "syscall"
+
+// tryRecv performs one non-blocking datagram read on the raw fd. The
+// socket is already O_NONBLOCK under the runtime poller, so an empty
+// queue comes back EAGAIN immediately — unlike a deadline-bounded
+// ReadFromUDP, which parks in netpoll and pays its ~1ms timer
+// granularity. ok is false when nothing was queued (or the read
+// failed); oversize handling is the caller's, as with ReadFromUDP.
+func (d *UDPDriver) tryRecv(buf []byte) (n int, ok bool) {
+	if d.raw == nil {
+		return 0, false
+	}
+	if err := d.raw.Read(func(fd uintptr) bool {
+		for {
+			nn, _, err := syscall.Recvfrom(int(fd), buf, syscall.MSG_DONTWAIT)
+			if err == syscall.EINTR {
+				continue
+			}
+			if err == nil {
+				n, ok = nn, true
+			}
+			// Always true: never hand the fd back to the poller to wait.
+			return true
+		}
+	}); err != nil {
+		return 0, false
+	}
+	return n, ok
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package portio
+
+// tryRecv without raw-fd access: report nothing queued, so the pump
+// delivers one IngestBurst per datagram (a positive Coalesce window
+// still batches through the deadline path).
+func (d *UDPDriver) tryRecv([]byte) (int, bool) { return 0, false }
