@@ -510,6 +510,77 @@ func BenchmarkPortIOSnapshot(b *testing.B) {
 	}
 }
 
+// BenchmarkDataplaneSnapshot records the dataplane perf trajectory:
+// full-pipeline throughput (lookup cache on and off) plus the two
+// portio reference points (in-process channel, real UDP socket), written
+// to BENCH_dataplane.json alongside BENCH_portio.json so CI archives a
+// per-PR snapshot of both the engine and the wire seam.
+func BenchmarkDataplaneSnapshot(b *testing.B) {
+	const n = 20000
+	results := map[string]benchResult{}
+	record := func(name string, run func() float64) {
+		b.Run(name, func(b *testing.B) {
+			var pps float64
+			for i := 0; i < b.N; i++ {
+				pps = run()
+			}
+			b.ReportMetric(pps, "pkts/s")
+			results[name] = benchResult{Name: name, NsPerOp: 1e9 / pps, Ops: n}
+		})
+	}
+
+	record("PipelineCached", func() float64 {
+		return engineThroughput(b, dataplane.Config{}, n)
+	})
+	record("PipelineUncached", func() float64 {
+		return engineThroughput(b, dataplane.Config{DisableLookupCache: true}, n)
+	})
+	record("PortioChanSync", func() float64 {
+		return portIOThroughput(b, n, func(b *testing.B, h *dataplane.Host, delivered *atomic.Int64) (func(), func()) {
+			da, db := portio.NewChanPair(0)
+			if err := db.Open(&benchIngress{delivered: delivered}); err != nil {
+				b.Fatal(err)
+			}
+			bind, err := portio.Bind(h, 1, da)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() { bind.Close() }, func() { db.Close() }
+		})
+	})
+	record("PortioUDPLoopback", func() float64 {
+		return portIOThroughput(b, n, func(b *testing.B, h *dataplane.Host, delivered *atomic.Int64) (func(), func()) {
+			recv := portio.NewUDP(portio.UDPConfig{Listen: "127.0.0.1:0"})
+			if err := recv.Open(&benchIngress{delivered: delivered}); err != nil {
+				b.Fatal(err)
+			}
+			send := portio.NewUDP(portio.UDPConfig{
+				Listen: "127.0.0.1:0", Peer: recv.LocalAddr().String(), QueueDepth: 1024,
+			})
+			bind, err := portio.Bind(h, 1, send)
+			if err != nil {
+				recv.Close()
+				b.Fatal(err)
+			}
+			return func() { bind.Close() }, func() { recv.Close() }
+		})
+	})
+
+	snap := benchSnapshot{Package: "dataplane", Timestamp: time.Now().UTC()}
+	for _, name := range []string{"PipelineCached", "PipelineUncached", "PortioChanSync", "PortioUDPLoopback"} {
+		if r, ok := results[name]; ok {
+			snap.Results = append(snap.Results, r)
+		}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_dataplane.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkMicroCosts regenerates the §5.1 micro-cost table.
 func BenchmarkMicroCosts(b *testing.B) {
 	for i := 0; i < b.N; i++ {

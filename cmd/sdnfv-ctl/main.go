@@ -11,16 +11,30 @@
 //
 //	sdnfv-ctl  -listen 127.0.0.1:6653 &
 //	sdnfv-host -controller 127.0.0.1:6653
+//
+// The show subcommand queries a running host's telemetry endpoint
+// (sdnfv-host -telemetry ADDR) by state path — or fetches and
+// conformance-checks the raw exporter output:
+//
+//	sdnfv-ctl show -host 127.0.0.1:9464                  # list state paths
+//	sdnfv-ctl show -host 127.0.0.1:9464 dataplane/hosts  # one JSON snapshot
+//	sdnfv-ctl show -host 127.0.0.1:9464 metrics          # validated /metrics
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -29,9 +43,81 @@ import (
 	"sdnfv/internal/controller"
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/graph"
+	"sdnfv/internal/telemetry"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "show" {
+		if err := runShow(os.Args[2:]); err != nil {
+			log.Fatalf("sdnfv-ctl show: %v", err)
+		}
+		return
+	}
+	runController()
+}
+
+// runShow queries a running host's telemetry server: no argument lists
+// the registered state paths, "metrics" fetches /metrics and runs the
+// conformance parser over it, anything else is resolved as a /state
+// path ("ports" and "/state/ports" are equivalent).
+func runShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	host := fs.String("host", "127.0.0.1:9464", "telemetry address of a running sdnfv-host")
+	timeout := fs.Duration("timeout", 5*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *timeout}
+	get := func(path string) ([]byte, error) {
+		resp, err := client.Get("http://" + *host + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+		}
+		return body, nil
+	}
+
+	path := fs.Arg(0)
+	if path == "metrics" || path == "/metrics" {
+		body, err := get("/metrics")
+		if err != nil {
+			return err
+		}
+		if _, err := telemetry.ParseText(bytes.NewReader(body)); err != nil {
+			return fmt.Errorf("exposition output failed conformance: %w", err)
+		}
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	switch {
+	case path == "":
+		path = "/state"
+	case strings.HasPrefix(path, "/state/"):
+	case strings.HasPrefix(path, "/"):
+		path = "/state" + path
+	default:
+		path = "/state/" + path
+	}
+	body, err := get(path)
+	if err != nil {
+		return err
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, bytes.TrimSpace(body), "", "  "); err != nil {
+		return fmt.Errorf("%s returned non-JSON: %w", path, err)
+	}
+	fmt.Println(pretty.String())
+	return nil
+}
+
+func runController() {
 	listen := flag.String("listen", "127.0.0.1:6653", "southbound listen address")
 	service := flag.Duration("service-time", 0, "artificial per-request controller delay (e.g. 31ms to mimic POX)")
 	workers := flag.Int("workers", 1, "concurrent request processors (1 = POX-like single thread)")

@@ -21,7 +21,12 @@
 // process serving until SIGINT. -packets 0 means serve mode: no local
 // generator, traffic comes in off the wire.
 //
-//	sdnfv-host -controller 127.0.0.1:6653 -packets 10000
+// Observability: -telemetry ADDR serves the Prometheus exporter at
+// /metrics and the show/state API under /state/ (query it with
+// `sdnfv-ctl show`); on shutdown the host prints one final exporter
+// snapshot from the same registry.
+//
+//	sdnfv-host -controller 127.0.0.1:6653 -telemetry 127.0.0.1:9464 -packets 10000
 package main
 
 import (
@@ -42,6 +47,7 @@ import (
 	"sdnfv/internal/nfs"
 	"sdnfv/internal/orchestrator"
 	"sdnfv/internal/portio"
+	"sdnfv/internal/telemetry"
 	"sdnfv/internal/traffic"
 )
 
@@ -53,6 +59,7 @@ func main() {
 	autoScale := flag.Bool("autoscale", true, "autoscale the counter service from its queue telemetry")
 	scaleMin := flag.Int("scale-min", 1, "autoscale: minimum replicas")
 	scaleMax := flag.Int("scale-max", 3, "autoscale: maximum replicas")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics and /state/... on this address (e.g. 127.0.0.1:9464; empty = off)")
 	var ports portio.PortFlags
 	flag.Var(&ports, "port", "bind a port driver, N=udp:LADDR[/RADDR] | N=tcp:ADDR | N=tcp-listen:ADDR | N=afpacket:IFACE (repeatable)")
 	flag.Parse()
@@ -131,6 +138,13 @@ func main() {
 		log.Printf("sdnfv-host: port %d bound to %s (%s)", ps.Port, ps.Driver.Name(), ps.Spec)
 	}
 
+	// Observability plane: the same registry backs the live exporter
+	// (-telemetry) and the final shutdown snapshot, so what an operator
+	// scrapes mid-run and what the host prints on exit come from one
+	// code path.
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterHost(reg, "host1", control.DatapathID(*datapath), host)
+
 	// Elasticity loop (§3.3/§5 dynamic scaling): the counter service
 	// scales between -scale-min and -scale-max replicas from its own
 	// queue/overflow telemetry, actuating through the orchestrator
@@ -153,6 +167,16 @@ func main() {
 			}, clock)
 		scaler.Start()
 		defer scaler.Stop()
+		telemetry.RegisterAutoscale(reg, flowtable.ServiceID(2).String(), scaler)
+	}
+
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("sdnfv-host: telemetry on http://%s/metrics (state index at /state)", srv.Addr())
 	}
 
 	// Graceful shutdown: a signal stops the generator loop and falls
@@ -222,14 +246,10 @@ func main() {
 	st := host.Stats()
 	log.Printf("sdnfv-host: rx=%d tx=%d drops=%d overflows=%d txdrops=%d rxdrops=%d misses=%d rules=%d",
 		st.RxPackets, st.TxPackets, st.Drops, st.Overflows, st.TxDrops, st.RxDrops, st.Misses, st.Table.Rules)
-	for _, ps := range st.Ports {
-		log.Printf("sdnfv-host: port %d (%s): rx=%d/%dB tx=%d/%dB oversize=%d truncated=%d refused=%d txdrops=%d reconnects=%d",
-			ps.Port, ps.Driver, ps.RxFrames, ps.RxBytes, ps.TxFrames, ps.TxBytes,
-			ps.RxOversize, ps.RxTruncated, ps.RxRefused, ps.TxDrops, ps.Reconnects)
-	}
-	for _, rs := range st.Replicas {
-		log.Printf("sdnfv-host: replica %s/%d (%s): processed=%d overflow=%d queue=%d svc=%.0fns",
-			rs.Service, rs.Index, rs.Name, rs.Processed, rs.OverflowDrops, rs.QueueDepth, rs.ServiceTimeNs)
+	// Final snapshot through the exporter itself: the same families a
+	// live scrape would see, per-port and per-replica counters included.
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		log.Printf("sdnfv-host: final snapshot: %v", err)
 	}
 	if scaler != nil {
 		for _, ev := range scaler.Events() {

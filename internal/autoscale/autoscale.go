@@ -169,6 +169,44 @@ type Controller struct {
 	lastOverflows uint64
 	haveOverflow  bool
 	events        []Event
+
+	// Telemetry counters (see Stats).
+	ticks        uint64
+	ups          uint64
+	downs        uint64
+	actErrors    uint64
+	lastDecision Decision
+	lastTickAt   float64
+	lastSample   Sample
+}
+
+// Stats is a telemetry snapshot of the policy loop: cumulative tick and
+// decision counts plus the most recent tick's outcome and load sample.
+type Stats struct {
+	// Ticks counts policy evaluations; Ups/Downs count actuated scale
+	// decisions (including ones whose actuator returned an error);
+	// Errors counts actuator failures.
+	Ticks, Ups, Downs, Errors uint64
+	// LastDecision and LastTickAt describe the most recent tick;
+	// Last is the load sample it evaluated.
+	LastDecision Decision
+	LastTickAt   float64
+	Last         Sample
+}
+
+// Stats returns a snapshot of the loop's telemetry counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Ticks:        c.ticks,
+		Ups:          c.ups,
+		Downs:        c.downs,
+		Errors:       c.actErrors,
+		LastDecision: c.lastDecision,
+		LastTickAt:   c.lastTickAt,
+		Last:         c.lastSample,
+	}
 }
 
 // New builds a controller; src, act, and clock must not be nil.
@@ -227,6 +265,9 @@ func (c *Controller) TickNow() Decision {
 	now := c.clock.Now()
 
 	c.mu.Lock()
+	c.ticks++
+	c.lastTickAt = now
+	c.lastSample = s
 	overflowDelta := uint64(0)
 	if c.haveOverflow && s.Overflows >= c.lastOverflows {
 		overflowDelta = s.Overflows - c.lastOverflows
@@ -266,11 +307,17 @@ func (c *Controller) TickNow() Decision {
 		decision = Down
 	}
 	prevUp, prevDown := c.upStreak, c.downStreak
+	c.lastDecision = decision
 	if decision != Hold {
 		c.lastActionAt = now
 		c.haveActed = true
 		c.upStreak = 0
 		c.downStreak = 0
+		if decision == Up {
+			c.ups++
+		} else {
+			c.downs++
+		}
 	}
 	c.mu.Unlock()
 
@@ -285,6 +332,7 @@ func (c *Controller) TickNow() Decision {
 	}
 	c.mu.Lock()
 	if err != nil {
+		c.actErrors++
 		// Nothing was actuated: keep the streak memory so the retry only
 		// waits out the cooldown (a throttle on failing actuators)
 		// instead of rebuilding the whole hysteresis window.

@@ -1,0 +1,58 @@
+package autoscale
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStatsCountsTicksAndDecisions(t *testing.T) {
+	c, src, act, clk := newTestController(Config{
+		UpBacklog: 10, UpStreak: 1, DownStreak: 1, DownBacklog: 1,
+		CooldownSec: 0.001, IntervalSec: 1, Max: 4,
+	})
+	if st := c.Stats(); st.Ticks != 0 || st.LastDecision != Hold {
+		t.Fatalf("fresh controller stats = %+v", st)
+	}
+
+	src.backlog = 100
+	clk.now = 1
+	if d := c.TickNow(); d != Up {
+		t.Fatalf("tick = %v, want up", d)
+	}
+	st := c.Stats()
+	if st.Ticks != 1 || st.Ups != 1 || st.Downs != 0 || st.Errors != 0 {
+		t.Fatalf("after up: %+v", st)
+	}
+	if st.LastDecision != Up || st.LastTickAt != 1 || st.Last.Backlog != 100 {
+		t.Fatalf("last-tick snapshot wrong: %+v", st)
+	}
+	if act.ups != 1 {
+		t.Fatalf("actuator ups = %d", act.ups)
+	}
+
+	src.backlog = 0
+	clk.now = 10
+	if d := c.TickNow(); d != Down {
+		t.Fatalf("tick = %v, want down", d)
+	}
+	st = c.Stats()
+	if st.Ticks != 2 || st.Downs != 1 || st.LastDecision != Down {
+		t.Fatalf("after down: %+v", st)
+	}
+}
+
+func TestStatsCountsActuatorErrors(t *testing.T) {
+	c, src, act, clk := newTestController(Config{
+		UpBacklog: 10, UpStreak: 1, CooldownSec: 0.001, IntervalSec: 1, Max: 4,
+	})
+	act.failUp = errors.New("boot failed")
+	src.backlog = 100
+	clk.now = 1
+	if d := c.TickNow(); d != Up {
+		t.Fatalf("tick = %v, want up (decision precedes actuation)", d)
+	}
+	st := c.Stats()
+	if st.Ups != 1 || st.Errors != 1 {
+		t.Fatalf("failed actuation: %+v", st)
+	}
+}

@@ -444,7 +444,16 @@ func TestWireShape(t *testing.T) {
 	if r.P50Us <= 0 || r.P95Us < r.P50Us {
 		t.Fatalf("latency percentiles malformed: p50=%v p95=%v", r.P50Us, r.P95Us)
 	}
-	for _, want := range []string{"Cross-host chain over real sockets", "chain latency"} {
+	// The run scrapes its own live telemetry server (baseline, mid-run,
+	// final): every scrape must parse, counters must be monotonic, and
+	// the final scrape must reconcile with the accounting identity.
+	if r.TelemetryScrapes < 3 {
+		t.Fatalf("telemetry scrapes = %d, want >= 3", r.TelemetryScrapes)
+	}
+	if !r.TelemetryOK {
+		t.Fatal("scraped telemetry failed conformance or did not reconcile with host accounting")
+	}
+	for _, want := range []string{"Cross-host chain over real sockets", "chain latency", "telemetry: scrapes="} {
 		if !strings.Contains(r.Render(), want) {
 			t.Fatalf("render missing %q", want)
 		}

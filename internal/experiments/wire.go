@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"sdnfv/internal/metrics"
 	"sdnfv/internal/nfs"
 	"sdnfv/internal/portio"
+	"sdnfv/internal/telemetry"
 	"sdnfv/internal/traffic"
 )
 
@@ -47,6 +49,14 @@ type WireResult struct {
 	// rx == tx+drops+overflows+txdrops+rxdrops and a leak-free pool on
 	// both hosts.
 	AccountingOK bool
+	// TelemetryScrapes counts the /metrics scrapes taken over a live
+	// telemetry HTTP server during the run (baseline, mid-injection,
+	// final). TelemetryOK reports that every scrape passed the
+	// conformance parser, no counter regressed between scrapes, and the
+	// final scrape satisfies the accounting identity from scraped
+	// values alone — the exporter reconciles with HostStats.
+	TelemetryScrapes int
+	TelemetryOK      bool
 }
 
 // Name implements Result.
@@ -79,6 +89,7 @@ func (r *WireResult) Render() string {
 	b.WriteString(fmt.Sprintf("chain latency across two UDP hops: p50 %.1f us / p95 %.1f us\n", r.P50Us, r.P95Us))
 	b.WriteString(fmt.Sprintf("wire exactness: A->B=%v B->A=%v; per-host accounting: ok=%v\n",
 		r.WireABExact, r.WireBAExact, r.AccountingOK))
+	b.WriteString(fmt.Sprintf("telemetry: scrapes=%d ok=%v\n", r.TelemetryScrapes, r.TelemetryOK))
 	return b.String()
 }
 
@@ -245,6 +256,78 @@ func (r *WireResult) wireFinish() {
 	r.AccountingOK = identity(r.A) && identity(r.B)
 }
 
+// wireTelemetry scrapes a live telemetry server over HTTP during the
+// run and accumulates conformance evidence: every scrape must parse,
+// counters must be monotonic across scrapes, and the final scrape must
+// satisfy the host accounting identity from scraped values alone.
+type wireTelemetry struct {
+	srv     *telemetry.Server
+	scrapes []*telemetry.Parsed
+	errs    []string
+}
+
+func newWireTelemetry(reg *telemetry.Registry) *wireTelemetry {
+	srv, err := telemetry.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		panic(err)
+	}
+	return &wireTelemetry{srv: srv}
+}
+
+func (wt *wireTelemetry) scrape() {
+	resp, err := http.Get("http://" + wt.srv.Addr() + "/metrics")
+	if err != nil {
+		wt.errs = append(wt.errs, fmt.Sprintf("scrape: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	p, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		wt.errs = append(wt.errs, fmt.Sprintf("conformance: %v", err))
+		return
+	}
+	if len(wt.scrapes) > 0 {
+		if regs := telemetry.CounterRegressions(wt.scrapes[len(wt.scrapes)-1], p); len(regs) > 0 {
+			wt.errs = append(wt.errs, "counter regressions: "+strings.Join(regs, "; "))
+		}
+	}
+	wt.scrapes = append(wt.scrapes, p)
+}
+
+// finish takes the final scrape (hosts drained, counters frozen),
+// verifies the accounting identity for every host label present, and
+// folds the verdict into res.
+func (wt *wireTelemetry) finish(res *WireResult) {
+	wt.scrape()
+	_ = wt.srv.Close()
+	res.TelemetryScrapes = len(wt.scrapes)
+	if len(wt.scrapes) == 0 {
+		return
+	}
+	final := wt.scrapes[len(wt.scrapes)-1]
+	rxs := final.Find("sdnfv_host_rx_packets_total", nil)
+	identityOK := len(rxs) > 0
+	for _, rx := range rxs {
+		sel := map[string]string{"host": rx.Labels["host"], "datapath": rx.Labels["datapath"]}
+		var sum float64
+		for _, name := range []string{
+			"sdnfv_host_tx_packets_total", "sdnfv_host_drops_total",
+			"sdnfv_host_overflows_total", "sdnfv_host_tx_drops_total",
+			"sdnfv_host_rx_drops_total",
+		} {
+			v, ok := final.Value(name, sel)
+			if !ok {
+				identityOK = false
+			}
+			sum += v
+		}
+		if rx.Value != sum {
+			identityOK = false
+		}
+	}
+	res.TelemetryOK = len(wt.errs) == 0 && identityOK
+}
+
 // Wire runs the experiment: two-process when SDNFV_WIRE_EXEC names a
 // peer binary (cmd/sdnfv-experiments sets it to itself), in-process
 // otherwise (both hosts in this process, still over real UDP sockets).
@@ -274,7 +357,19 @@ func wireInProcess(seed int64) *WireResult {
 		panic(err)
 	}
 
-	res.Sent = wireInject(a, seed, wireN)
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterHost(reg, "A", 0xa, a.host)
+	telemetry.RegisterHost(reg, "B", 0xb, b.host)
+	reg.MustRegister(telemetry.NewHistogramCollector(
+		"sdnfv_wire_latency_ns", "End-to-end wire chain latency.",
+		nil, hist, telemetry.DefaultLatencyBoundsNs))
+	wt := newWireTelemetry(reg)
+	wt.scrape() // baseline
+
+	half := wireN / 2
+	res.Sent = wireInject(a, seed, half)
+	wt.scrape() // mid-run, traffic in flight
+	res.Sent += wireInject(a, seed, wireN-half)
 	wireWaitDelivered(delivered, res.Sent, 20*time.Second)
 	a.host.WaitIdle(10 * time.Second)
 	b.host.WaitIdle(10 * time.Second)
@@ -287,6 +382,7 @@ func wireInProcess(seed int64) *WireResult {
 	res.A = a.host.Stats()
 	res.B = b.host.Stats()
 	res.wireFinish()
+	wt.finish(res) // final scrape: hosts stopped, counters frozen
 	return res
 }
 
@@ -337,7 +433,20 @@ func wireTwoProcess(seed int64, exe string) *WireResult {
 	fmt.Fprintf(stdin, "PEER %s\n", a.drv3.LocalAddr())
 	readLine("GO")
 
-	res.Sent = wireInject(a, seed, wireN)
+	// Host B lives in the peer process; only A is scrapeable here. Its
+	// identity still closes over the full round trip once drained.
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterHost(reg, "A", 0xa, a.host)
+	reg.MustRegister(telemetry.NewHistogramCollector(
+		"sdnfv_wire_latency_ns", "End-to-end wire chain latency.",
+		nil, hist, telemetry.DefaultLatencyBoundsNs))
+	wt := newWireTelemetry(reg)
+	wt.scrape() // baseline
+
+	half := wireN / 2
+	res.Sent = wireInject(a, seed, half)
+	wt.scrape() // mid-run, traffic in flight
+	res.Sent += wireInject(a, seed, wireN-half)
 	wireWaitDelivered(delivered, res.Sent, 20*time.Second)
 	a.host.WaitIdle(10 * time.Second)
 
@@ -358,6 +467,7 @@ func wireTwoProcess(seed int64, exe string) *WireResult {
 	res.A = a.host.Stats()
 	res.B = bstats
 	res.wireFinish()
+	wt.finish(res) // final scrape: host A stopped, counters frozen
 	return res
 }
 

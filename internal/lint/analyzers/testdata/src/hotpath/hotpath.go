@@ -126,3 +126,27 @@ func (q *egressq) egress(data []byte) {
 func (q *egressq) egressUnsanctioned(data []byte) {
 	q.push(data) // want "neither //sdnfv:hotpath-annotated"
 }
+
+// The telemetry-collector shape (internal/telemetry): collectors are
+// cold-path by construction — they allocate snapshot slices, build
+// label sets, format strings — and carry no annotation, which the
+// analyzer must accept in silence. The boundary holds from the other
+// side: annotated packet-path code calling into a collector is flagged
+// like any other unannotated callee, so stat collection can never be
+// pulled onto the packet path.
+type telemetrySample struct {
+	name  string
+	value float64
+}
+
+func collectSnapshot(rx, tx uint64) []telemetrySample {
+	return []telemetrySample{
+		{name: "rx_packets_total", value: float64(rx)},
+		{name: "tx_packets_total", value: float64(tx)},
+	}
+}
+
+//sdnfv:hotpath
+func scrapeFromPacketPath(rx, tx uint64) {
+	_ = collectSnapshot(rx, tx) // want "neither //sdnfv:hotpath-annotated"
+}

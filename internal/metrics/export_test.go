@@ -1,0 +1,58 @@
+package metrics
+
+import "testing"
+
+func TestHistogramExportEmpty(t *testing.T) {
+	h := NewHistogram()
+	bounds := []float64{10, 100}
+	cum, count, sum := h.Export(bounds)
+	if count != 0 || sum != 0 {
+		t.Fatalf("empty export: count=%d sum=%v", count, sum)
+	}
+	for i, c := range cum {
+		if c != 0 {
+			t.Fatalf("bucket %d = %d, want 0", i, c)
+		}
+	}
+}
+
+func TestHistogramExportCumulative(t *testing.T) {
+	h := NewHistogram()
+	values := []float64{5, 50, 500, 5000, 50000}
+	for _, v := range values {
+		h.Observe(v)
+	}
+	bounds := []float64{10, 100, 1000, 10000}
+	cum, count, sum := h.Export(bounds)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if sum != 55555 {
+		t.Fatalf("sum = %v, want 55555", sum)
+	}
+	// Midpoint attribution carries the histogram's ~4% relative error,
+	// but every value here sits a full decade from the nearest bound, so
+	// bucket placement must be exact.
+	want := []uint64{1, 2, 3, 4}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum = %v, want %v", cum, want)
+		}
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("buckets not cumulative: %v", cum)
+		}
+	}
+}
+
+func TestHistogramExportClampsToObservedRange(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(7)
+	// A single observation's midpoint estimate is clamped to min=max=7,
+	// so it lands at or below any bound ≥ 7.
+	cum, count, _ := h.Export([]float64{7, 1000})
+	if count != 1 || cum[0] != 1 || cum[1] != 1 {
+		t.Fatalf("cum=%v count=%d, want [1 1] 1", cum, count)
+	}
+}

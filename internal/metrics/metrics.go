@@ -151,6 +151,36 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// Export maps the histogram onto caller-supplied ascending upper bounds
+// and returns the cumulative count at or below each bound, plus the
+// total count and sum — the shape a Prometheus histogram family needs.
+// Each internal log bucket is attributed to its midpoint (clamped to
+// the observed min/max), consistent with Quantile, so exported bucket
+// placement carries the same ~4% relative error as every other readout.
+func (h *Histogram) Export(bounds []float64) (cum []uint64, count uint64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(bounds))
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		v := (h.bucketLow(i) + h.bucketLow(i+1)) / 2
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		for bi, ub := range bounds {
+			if v <= ub {
+				cum[bi] += c
+			}
+		}
+	}
+	return cum, h.total, h.sum
+}
+
 // CDFPoint is one point on an empirical CDF.
 type CDFPoint struct {
 	Value    float64

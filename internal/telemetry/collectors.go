@@ -1,0 +1,401 @@
+package telemetry
+
+// Collectors over every layer that owns statistics. Each Register*
+// function is idempotent-by-registry: the first call installs one
+// collector and its show paths, later calls extend the same set (a
+// process with two in-memory hosts registers each and gets one
+// sdnfv_host_* family with two label sets, not a duplicate-family
+// panic).
+//
+// Everything here runs at scrape/query time on the scraper's goroutine
+// and reads the snapshot accessors the layers already expose
+// (Host.Stats, Link.Stats, Session.Stats, autoscale.Controller.Stats).
+// Nothing is //sdnfv:hotpath-annotated and nothing may be — the lint
+// fixture in internal/lint/analyzers/testdata pins that boundary.
+
+import (
+	"context"
+	"strconv"
+	"sync"
+
+	"sdnfv/internal/autoscale"
+	"sdnfv/internal/cluster"
+	"sdnfv/internal/control"
+	"sdnfv/internal/controller"
+	"sdnfv/internal/dataplane"
+	"sdnfv/internal/metrics"
+)
+
+// Show paths registered by the collectors in this file.
+const (
+	PathHosts     = "/state/dataplane/hosts"
+	PathReplicas  = "/state/dataplane/replicas"
+	PathPorts     = "/state/ports"
+	PathLinks     = "/state/cluster/links"
+	PathSessions  = "/state/control/sessions"
+	PathAutoscale = "/state/autoscale"
+)
+
+// DefaultLatencyBoundsNs is the decade ladder used for latency
+// histograms: 1µs to 10s in nanoseconds.
+var DefaultLatencyBoundsNs = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+
+// ---------------------------------------------------------------- hosts
+
+type hostEntry struct {
+	name string
+	dp   control.DatapathID
+	host *dataplane.Host
+}
+
+type hostSet struct {
+	mu    sync.Mutex
+	hosts []hostEntry
+}
+
+func (s *hostSet) snapshot() []hostEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]hostEntry(nil), s.hosts...)
+}
+
+// RegisterHost exposes one NF Manager host's statistics — host
+// counters, pool and flow-table activity, per-replica load, and
+// per-port driver telemetry — under labels {host, datapath}. Repeated
+// calls on the same registry add hosts to one collector.
+func RegisterHost(r *Registry, name string, dp control.DatapathID, h *dataplane.Host) {
+	set := r.shared("dataplane.hosts", func() any {
+		s := &hostSet{}
+		r.MustRegister(CollectorFunc(s.collect))
+		r.MustRegisterShow(PathHosts, s.showHosts)
+		r.MustRegisterShow(PathReplicas, s.showReplicas)
+		r.MustRegisterShow(PathPorts, s.showPorts)
+		return s
+	}).(*hostSet)
+	set.mu.Lock()
+	set.hosts = append(set.hosts, hostEntry{name: name, dp: dp, host: h})
+	set.mu.Unlock()
+}
+
+func (s *hostSet) collect() []Family {
+	b := newFamilyBuilder()
+	for _, e := range s.snapshot() {
+		st := e.host.Stats()
+		hl := []Label{{"host", e.name}, {"datapath", e.dp.String()}}
+
+		hostCounters := []struct {
+			name, help string
+			v          uint64
+		}{
+			{"sdnfv_host_rx_packets_total", "Packets admitted into the host (wire ingests and injects).", st.RxPackets},
+			{"sdnfv_host_tx_packets_total", "Packets delivered out an egress port.", st.TxPackets},
+			{"sdnfv_host_drops_total", "Admitted packets discarded by policy or manager-ring overload.", st.Drops},
+			{"sdnfv_host_overflows_total", "Packets or fan-out offers refused by full NF input rings.", st.Overflows},
+			{"sdnfv_host_tx_drops_total", "Frames that reached egress but could not be delivered.", st.TxDrops},
+			{"sdnfv_host_rx_drops_total", "Wire frames refused at the driver ingress boundary.", st.RxDrops},
+			{"sdnfv_host_release_errors_total", "Failed pool releases (refcounting bugs made visible).", st.ReleaseErrs},
+			{"sdnfv_host_misses_total", "Flow-table misses escalated to the controller.", st.Misses},
+			{"sdnfv_host_ctrl_messages_total", "Cross-layer messages from NFs handled by the manager.", st.CtrlMessages},
+			{"sdnfv_host_msgs_rejected_total", "Cross-layer messages refused (invalid or policy-rejected).", st.MsgsRejected},
+			{"sdnfv_host_pool_allocs_total", "Buffer pool allocations.", st.Pool.Allocs},
+			{"sdnfv_host_pool_frees_total", "Buffer pool releases.", st.Pool.Frees},
+			{"sdnfv_host_pool_alloc_fails_total", "Buffer pool allocation failures (pool exhausted).", st.Pool.AllocFails},
+			{"sdnfv_flowtable_lookups_total", "Flow table lookups.", st.Table.Lookups},
+			{"sdnfv_flowtable_misses_total", "Flow table lookup misses.", st.Table.Misses},
+			{"sdnfv_flowtable_modifies_total", "Flow table rule modifications.", st.Table.Modifies},
+		}
+		for _, c := range hostCounters {
+			b.counter(c.name, c.help, hl, float64(c.v))
+		}
+		b.gauge("sdnfv_host_pool_in_use", "Buffers currently allocated from the pool.", hl, float64(st.Pool.InUse))
+		b.gauge("sdnfv_flowtable_rules", "Rules currently installed in the flow table.", hl, float64(st.Table.Rules))
+
+		for _, rs := range st.Replicas {
+			rl := []Label{
+				{"host", e.name},
+				{"service", rs.Service.String()},
+				{"replica", strconv.Itoa(rs.Index)},
+				{"nf", rs.Name},
+			}
+			b.counter("sdnfv_replica_processed_total", "Packets handed to the NF replica.", rl, float64(rs.Processed))
+			b.counter("sdnfv_replica_overflow_drops_total", "Offers refused because the replica's input rings were full.", rl, float64(rs.OverflowDrops))
+			b.gauge("sdnfv_replica_queue_depth", "Descriptors waiting in the replica's input rings.", rl, float64(rs.QueueDepth))
+			b.gauge("sdnfv_replica_service_time_ns", "EWMA per-packet NF service time in nanoseconds.", rl, rs.ServiceTimeNs)
+		}
+
+		for _, ps := range st.Ports {
+			pl := []Label{
+				{"host", e.name},
+				{"port", strconv.Itoa(ps.Port)},
+				{"driver", ps.Driver},
+			}
+			portCounters := []struct {
+				name, help string
+				v          uint64
+			}{
+				{"sdnfv_port_rx_frames_total", "Frames read off the wire and offered to host ingress.", ps.RxFrames},
+				{"sdnfv_port_rx_bytes_total", "Bytes read off the wire.", ps.RxBytes},
+				{"sdnfv_port_tx_frames_total", "Frames written to the wire.", ps.TxFrames},
+				{"sdnfv_port_tx_bytes_total", "Bytes written to the wire.", ps.TxBytes},
+				{"sdnfv_port_rx_oversize_total", "Wire frames dropped for exceeding the ingress frame cap.", ps.RxOversize},
+				{"sdnfv_port_rx_truncated_total", "Short reads and truncated framing.", ps.RxTruncated},
+				{"sdnfv_port_rx_refused_total", "Wire frames that never entered the packet path.", ps.RxRefused},
+				{"sdnfv_port_tx_drops_total", "Egress frames never written to the wire.", ps.TxDrops},
+				{"sdnfv_port_reconnects_total", "Re-established driver connections.", ps.Reconnects},
+			}
+			for _, c := range portCounters {
+				b.counter(c.name, c.help, pl, float64(c.v))
+			}
+		}
+	}
+	return b.families()
+}
+
+func (s *hostSet) showHosts(context.Context) (any, error) {
+	type hostState struct {
+		Host     string              `json:"host"`
+		Datapath string              `json:"datapath"`
+		Stats    dataplane.HostStats `json:"stats"`
+	}
+	out := []hostState{}
+	for _, e := range s.snapshot() {
+		st := e.host.Stats()
+		// The flattened views have their own paths.
+		st.Replicas, st.Ports = nil, nil
+		out = append(out, hostState{Host: e.name, Datapath: e.dp.String(), Stats: st})
+	}
+	return out, nil
+}
+
+func (s *hostSet) showReplicas(context.Context) (any, error) {
+	type replicaState struct {
+		Host          string  `json:"host"`
+		Service       string  `json:"service"`
+		Replica       int     `json:"replica"`
+		NF            string  `json:"nf"`
+		QueueDepth    int     `json:"queue_depth"`
+		Processed     uint64  `json:"processed"`
+		OverflowDrops uint64  `json:"overflow_drops"`
+		ServiceTimeNs float64 `json:"service_time_ns"`
+	}
+	out := []replicaState{}
+	for _, e := range s.snapshot() {
+		for _, rs := range e.host.Stats().Replicas {
+			out = append(out, replicaState{
+				Host: e.name, Service: rs.Service.String(), Replica: rs.Index, NF: rs.Name,
+				QueueDepth: rs.QueueDepth, Processed: rs.Processed,
+				OverflowDrops: rs.OverflowDrops, ServiceTimeNs: rs.ServiceTimeNs,
+			})
+		}
+	}
+	return out, nil
+}
+
+func (s *hostSet) showPorts(context.Context) (any, error) {
+	type portState struct {
+		Host   string                `json:"host"`
+		Port   int                   `json:"port"`
+		Driver string                `json:"driver"`
+		Stats  dataplane.DriverStats `json:"stats"`
+	}
+	out := []portState{}
+	for _, e := range s.snapshot() {
+		for _, ps := range e.host.Stats().Ports {
+			out = append(out, portState{Host: e.name, Port: ps.Port, Driver: ps.Driver, Stats: ps.DriverStats})
+		}
+	}
+	return out, nil
+}
+
+// -------------------------------------------------------------- cluster
+
+// RegisterCluster exposes the fabric's inter-host links under labels
+// {link, src, dst} (link is "src:outPort->dst:inPort") and registers
+// the /state/cluster/links show path.
+func RegisterCluster(r *Registry, f *cluster.Fabric) {
+	r.shared("cluster.fabric", func() any {
+		r.MustRegister(CollectorFunc(func() []Family { return collectLinks(f) }))
+		r.MustRegisterShow(PathLinks, func(context.Context) (any, error) {
+			return showLinks(f), nil
+		})
+		return f
+	})
+}
+
+func linkName(l *cluster.Link) string {
+	return l.Src.String() + ":" + strconv.Itoa(l.OutPort) + "->" + l.Dst.String() + ":" + strconv.Itoa(l.InPort)
+}
+
+func collectLinks(f *cluster.Fabric) []Family {
+	b := newFamilyBuilder()
+	for _, l := range f.Links() {
+		st := l.Stats()
+		ll := []Label{{"link", linkName(l)}, {"src", l.Src.String()}, {"dst", l.Dst.String()}}
+		b.counter("sdnfv_link_tx_frames_total", "Frames delivered into the peer host.", ll, float64(st.TxFrames))
+		b.counter("sdnfv_link_tx_bytes_total", "Bytes delivered into the peer host.", ll, float64(st.TxBytes))
+		b.counter("sdnfv_link_drops_total", "Frames lost on the wire (shaper overflow or refused inject).", ll, float64(st.Drops))
+	}
+	return b.families()
+}
+
+func showLinks(f *cluster.Fabric) any {
+	type linkState struct {
+		Link     string `json:"link"`
+		Src      string `json:"src"`
+		Dst      string `json:"dst"`
+		OutPort  int    `json:"out_port"`
+		InPort   int    `json:"in_port"`
+		TxFrames uint64 `json:"tx_frames"`
+		TxBytes  uint64 `json:"tx_bytes"`
+		Drops    uint64 `json:"drops"`
+	}
+	out := []linkState{}
+	for _, l := range f.Links() {
+		st := l.Stats()
+		out = append(out, linkState{
+			Link: linkName(l), Src: l.Src.String(), Dst: l.Dst.String(),
+			OutPort: l.OutPort, InPort: l.InPort,
+			TxFrames: st.TxFrames, TxBytes: st.TxBytes, Drops: st.Drops,
+		})
+	}
+	return out
+}
+
+// ----------------------------------------------------------- controller
+
+// RegisterController exposes the SDN controller's aggregate counters
+// (no labels) and each session's counters under label {session} (the
+// peer's datapath id), plus the /state/control/sessions show path.
+func RegisterController(r *Registry, c *controller.Controller) {
+	r.shared("controller", func() any {
+		r.MustRegister(CollectorFunc(func() []Family { return collectController(c) }))
+		r.MustRegisterShow(PathSessions, func(ctx context.Context) (any, error) {
+			return showSessions(ctx, c)
+		})
+		return c
+	})
+}
+
+func controllerCounters(b *familyBuilder, prefix string, labels []Label, st control.Stats) {
+	b.counter(prefix+"requests_total", "Flow-resolve requests admitted.", labels, float64(st.Requests))
+	b.counter(prefix+"rejected_total", "Flow-resolve requests refused (queue full).", labels, float64(st.Rejected))
+	b.counter(prefix+"flow_mods_total", "Rules compiled and shipped to datapaths.", labels, float64(st.FlowMods))
+	b.counter(prefix+"nf_msgs_total", "Cross-layer NF messages routed northbound.", labels, float64(st.NFMsgs))
+}
+
+func collectController(c *controller.Controller) []Family {
+	b := newFamilyBuilder()
+	st, _ := c.Stats(context.Background())
+	controllerCounters(b, "sdnfv_controller_", nil, st)
+	for _, dp := range c.Datapaths() {
+		ss, err := c.Session(dp).Stats(context.Background())
+		if err != nil {
+			continue
+		}
+		controllerCounters(b, "sdnfv_controller_session_", []Label{{"session", dp.String()}}, ss)
+	}
+	return b.families()
+}
+
+func showSessions(ctx context.Context, c *controller.Controller) (any, error) {
+	type sessionState struct {
+		Session string        `json:"session"`
+		Stats   control.Stats `json:"stats"`
+	}
+	agg, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sessions := []sessionState{}
+	for _, dp := range c.Datapaths() {
+		ss, err := c.Session(dp).Stats(ctx)
+		if err != nil {
+			continue
+		}
+		sessions = append(sessions, sessionState{Session: dp.String(), Stats: ss})
+	}
+	return map[string]any{"aggregate": agg, "sessions": sessions}, nil
+}
+
+// ------------------------------------------------------------ autoscale
+
+type scalerEntry struct {
+	service string
+	ctl     *autoscale.Controller
+}
+
+type scalerSet struct {
+	mu      sync.Mutex
+	scalers []scalerEntry
+}
+
+func (s *scalerSet) snapshot() []scalerEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]scalerEntry(nil), s.scalers...)
+}
+
+// RegisterAutoscale exposes one autoscale policy loop's telemetry under
+// label {service} (decisions additionally by {decision}) and the
+// /state/autoscale show path. Repeated calls add services to one
+// collector.
+func RegisterAutoscale(r *Registry, service string, c *autoscale.Controller) {
+	set := r.shared("autoscale", func() any {
+		s := &scalerSet{}
+		r.MustRegister(CollectorFunc(s.collect))
+		r.MustRegisterShow(PathAutoscale, s.show)
+		return s
+	}).(*scalerSet)
+	set.mu.Lock()
+	set.scalers = append(set.scalers, scalerEntry{service: service, ctl: c})
+	set.mu.Unlock()
+}
+
+func (s *scalerSet) collect() []Family {
+	b := newFamilyBuilder()
+	for _, e := range s.snapshot() {
+		st := e.ctl.Stats()
+		sl := []Label{{"service", e.service}}
+		b.counter("sdnfv_autoscale_ticks_total", "Autoscale policy evaluations.", sl, float64(st.Ticks))
+		b.counter("sdnfv_autoscale_errors_total", "Actuator failures on scale decisions.", sl, float64(st.Errors))
+		b.counter("sdnfv_autoscale_decisions_total", "Actuated scale decisions by direction.",
+			append(sl, Label{"decision", autoscale.Up.String()}), float64(st.Ups))
+		b.counter("sdnfv_autoscale_decisions_total", "Actuated scale decisions by direction.",
+			append(sl, Label{"decision", autoscale.Down.String()}), float64(st.Downs))
+		b.gauge("sdnfv_autoscale_replicas", "Live replicas at the last tick.", sl, float64(st.Last.Replicas))
+		b.gauge("sdnfv_autoscale_pending", "Replica boots in flight at the last tick.", sl, float64(st.Last.Pending))
+		b.gauge("sdnfv_autoscale_backlog", "Queued descriptors across replicas at the last tick.", sl, float64(st.Last.Backlog))
+		b.gauge("sdnfv_autoscale_service_time_ns", "Mean per-packet service time at the last tick.", sl, st.Last.ServiceTimeNs)
+	}
+	return b.families()
+}
+
+func (s *scalerSet) show(context.Context) (any, error) {
+	type scalerState struct {
+		Service string          `json:"service"`
+		Stats   autoscale.Stats `json:"stats"`
+	}
+	out := []scalerState{}
+	for _, e := range s.snapshot() {
+		out = append(out, scalerState{Service: e.service, Stats: e.ctl.Stats()})
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------------ histogram
+
+// NewHistogramCollector exposes a metrics.Histogram as one Prometheus
+// histogram family, exporting onto the given upper bounds (e.g.
+// DefaultLatencyBoundsNs).
+func NewHistogramCollector(name, help string, labels []Label, h *metrics.Histogram, bounds []float64) Collector {
+	return CollectorFunc(func() []Family {
+		cum, count, sum := h.Export(bounds)
+		buckets := make([]Bucket, len(bounds))
+		for i, ub := range bounds {
+			buckets[i] = Bucket{UpperBound: ub, Count: cum[i]}
+		}
+		b := newFamilyBuilder()
+		b.histogram(name, help, Sample{Labels: labels, Buckets: buckets, Sum: sum, Count: count})
+		return b.families()
+	})
+}

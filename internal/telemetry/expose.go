@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the exposition format this
+// package writes (Prometheus text format 0.0.4).
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus gathers every collector and writes the snapshot in
+// Prometheus text format 0.0.4: one # HELP and # TYPE line per family,
+// then its samples with escaped label values. Families are sorted by
+// name (see Gather), so consecutive scrapes over unchanged counters are
+// byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.Samples {
+			if f.Kind == KindHistogram {
+				writeHistogram(bw, f.Name, s)
+				continue
+			}
+			writeSample(bw, f.Name, s.Labels, "", "", s.Value)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample writes one exposition line: name{labels,extraKey=extraVal} value.
+func writeSample(bw *bufio.Writer, name string, labels []Label, extraKey, extraVal string, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		bw.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(l.Key)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if extraKey != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraKey)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraVal))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(v))
+	bw.WriteByte('\n')
+}
+
+// writeHistogram writes the _bucket/_sum/_count triplet of one
+// histogram sample. Buckets are cumulative; the +Inf bucket carries the
+// total count, per the format.
+func writeHistogram(bw *bufio.Writer, name string, s Sample) {
+	for _, b := range s.Buckets {
+		writeSample(bw, name+"_bucket", s.Labels, "le", formatValue(b.UpperBound), float64(b.Count))
+	}
+	writeSample(bw, name+"_bucket", s.Labels, "le", "+Inf", float64(s.Count))
+	writeSample(bw, name+"_sum", s.Labels, "", "", s.Sum)
+	writeSample(bw, name+"_count", s.Labels, "", "", float64(s.Count))
+}
+
+// formatValue renders v the way Prometheus expects: integers without a
+// fraction, infinities as +Inf/-Inf.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// escapeHelp escapes help text: backslash and newline (quotes are legal
+// in help).
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }

@@ -1,0 +1,341 @@
+package telemetry
+
+// Exposition-format parser: the conformance half of the exporter. It
+// accepts the Prometheus text format 0.0.4 and *validates* as it goes —
+// metric and label names against the format's grammar, escape sequences
+// in label values, TYPE lines preceding their samples, histogram
+// sample-name suffixes — so a test (or the CI scrape smoke) can point
+// it at our own /metrics output and fail on any malformation. It is a
+// conformance checker for what this package writes, not a general
+// Prometheus client: samples must follow their family's TYPE line, the
+// grouping our exporter always produces.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ParsedMetric is one sample line: its full name (histogram suffixes
+// included), labels, and value.
+type ParsedMetric struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one family reconstructed from a scrape.
+type ParsedFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Metrics []ParsedMetric
+}
+
+// Parsed is a validated scrape.
+type Parsed struct {
+	// Families maps family (base) name to its reconstruction, in
+	// Order.
+	Families map[string]*ParsedFamily
+	Order    []string
+}
+
+// ParseText reads one exposition-format scrape from r, validating
+// format conformance. Any violation returns an error naming the line.
+func ParseText(r io.Reader) (*Parsed, error) {
+	p := &Parsed{Families: make(map[string]*ParsedFamily)}
+	var cur *ParsedFamily
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !metricNameRE.MatchString(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in HELP", lineNo, name)
+			}
+			f := p.family(name)
+			f.Help = help
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			if !metricNameRE.MatchString(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			f := p.family(name)
+			if f.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for family %s", lineNo, name)
+			}
+			f.Type = typ
+			cur = f
+		case strings.HasPrefix(line, "#"):
+			continue // other comments are legal and ignored
+		default:
+			m, err := parseSampleLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			f, err := p.claim(cur, m.Name)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			f.Metrics = append(f.Metrics, m)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// family returns (creating if needed) the family record for name.
+func (p *Parsed) family(name string) *ParsedFamily {
+	if f, ok := p.Families[name]; ok {
+		return f
+	}
+	f := &ParsedFamily{Name: name}
+	p.Families[name] = f
+	p.Order = append(p.Order, name)
+	return f
+}
+
+// claim attributes sample name to the current family, enforcing that a
+// TYPE line preceded it and that histogram suffixes are the only names
+// allowed to differ from the family name.
+func (p *Parsed) claim(cur *ParsedFamily, name string) (*ParsedFamily, error) {
+	if cur != nil {
+		if name == cur.Name && cur.Type != "histogram" {
+			return cur, nil
+		}
+		if cur.Type == "histogram" {
+			switch strings.TrimPrefix(name, cur.Name) {
+			case "_bucket", "_sum", "_count":
+				return cur, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("sample %s has no preceding TYPE line for its family", name)
+}
+
+// parseSampleLine parses `name{k="v",...} value [timestamp]`,
+// validating names and unescaping label values.
+func parseSampleLine(line string) (ParsedMetric, error) {
+	m := ParsedMetric{Labels: map[string]string{}}
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return m, fmt.Errorf("malformed sample line %q", line)
+	}
+	m.Name = rest[:end]
+	if !metricNameRE.MatchString(m.Name) {
+		return m, fmt.Errorf("invalid metric name %q", m.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest[1:], m.Labels)
+		if err != nil {
+			return m, err
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	valStr, _, _ := strings.Cut(rest, " ") // a trailing timestamp is legal
+	v, err := parseFloat(valStr)
+	if err != nil {
+		return m, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	m.Value = v
+	return m, nil
+}
+
+// parseLabels consumes `k="v",...}` from s into out and returns the
+// remainder after the closing brace.
+func parseLabels(s string, out map[string]string) (string, error) {
+	for {
+		s = strings.TrimLeft(s, ",")
+		if s == "" {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label without '=' near %q", s)
+		}
+		key := s[:eq]
+		if !labelNameRE.MatchString(key) {
+			return "", fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return "", fmt.Errorf("label %s value not quoted", key)
+		}
+		val, rest, err := unquoteLabel(s[1:])
+		if err != nil {
+			return "", fmt.Errorf("label %s: %v", key, err)
+		}
+		if _, dup := out[key]; dup {
+			return "", fmt.Errorf("duplicate label %s", key)
+		}
+		out[key] = val
+		s = rest
+	}
+}
+
+// unquoteLabel consumes an escaped label value up to its closing quote
+// and returns (value, remainder). Only \\, \", and \n escapes are legal.
+func unquoteLabel(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("illegal escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// parseFloat accepts the exposition format's value grammar, including
+// +Inf, -Inf, and NaN.
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Value returns the value of the sample in family metrics matching name
+// and every given label exactly (labels the sample carries beyond sel
+// must not exist; use Find for subset matching).
+func (p *Parsed) Value(name string, sel map[string]string) (float64, bool) {
+	for _, m := range p.find(name) {
+		if len(m.Labels) != len(sel) {
+			continue
+		}
+		if labelsMatch(m.Labels, sel) {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Find returns every sample line named name (histogram suffixes are
+// distinct names) whose labels are a superset of sel.
+func (p *Parsed) Find(name string, sel map[string]string) []ParsedMetric {
+	var out []ParsedMetric
+	for _, m := range p.find(name) {
+		if labelsMatch(m.Labels, sel) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// find returns all sample lines with the given full name.
+func (p *Parsed) find(name string) []ParsedMetric {
+	var out []ParsedMetric
+	for _, f := range p.Families {
+		for _, m := range f.Metrics {
+			if m.Name == name {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+func labelsMatch(have map[string]string, sel map[string]string) bool {
+	for k, v := range sel {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// CounterRegressions compares two scrapes and returns a description of
+// every counter sample whose value decreased from prev to cur —
+// counters are monotonic, so any regression is an exporter (or
+// accounting) bug. Samples absent from cur are ignored: a replica or
+// port may legitimately retire between scrapes.
+func CounterRegressions(prev, cur *Parsed) []string {
+	var out []string
+	for _, name := range prev.Order {
+		pf := prev.Families[name]
+		if pf.Type != "counter" && pf.Type != "histogram" {
+			continue
+		}
+		cf, ok := cur.Families[name]
+		if !ok {
+			continue
+		}
+		for _, pm := range pf.Metrics {
+			for _, cm := range cf.Metrics {
+				if pm.Name != cm.Name || !sameLabels(pm.Labels, cm.Labels) {
+					continue
+				}
+				if cm.Value < pm.Value {
+					out = append(out, fmt.Sprintf("%s%v: %v -> %v", pm.Name, pm.Labels, pm.Value, cm.Value))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sameLabels(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns the registry's HTTP surface:
+//
+//	/metrics  — Prometheus text format 0.0.4
+//	/state    — JSON index of registered show paths
+//	/state/.. — JSON snapshot from the matching show handler
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/state", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"paths": r.ShowPaths()})
+	})
+	mux.HandleFunc("/state/", func(w http.ResponseWriter, req *http.Request) {
+		v, err := r.Show(req.Context(), req.URL.Path)
+		if err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, ErrUnknownPath) {
+				code = http.StatusNotFound
+			}
+			writeJSON(w, code, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Server is a running telemetry HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving reg's Handler on addr (":0" picks a free port)
+// and returns once the listener is bound.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           reg.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, waiting briefly for in-flight scrapes.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

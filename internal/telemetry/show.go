@@ -1,0 +1,84 @@
+package telemetry
+
+// Show/state API: path-addressed JSON snapshot handlers in the style of
+// osvbng's registered show factories. Each layer registers a handler
+// under a "/state/..." path at wiring time; operators (or sdnfv-ctl
+// show) query a path and get back a JSON document built from the same
+// snapshots the metric collectors read. Paths are a flat registry —
+// there is no hierarchy walk, only exact-match dispatch plus an index.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Errors returned by the show API. ErrUnknownPath is the sentinel for
+// lookups of unregistered paths; handlers and HTTP glue match it with
+// errors.Is.
+var (
+	ErrUnknownPath   = errors.New("telemetry: unknown show path")
+	ErrDuplicatePath = errors.New("telemetry: show path already registered")
+)
+
+// ShowFunc builds the JSON-serializable state snapshot for one show
+// path. It runs on the caller's goroutine at query time; like metric
+// collectors it must read published snapshots, not touch the packet
+// path.
+type ShowFunc func(ctx context.Context) (any, error)
+
+// RegisterShow registers fn under path. The path must start with
+// "/state/"; registering the same path twice returns
+// ErrDuplicatePath.
+func (r *Registry) RegisterShow(path string, fn ShowFunc) error {
+	if !strings.HasPrefix(path, "/state/") || len(path) == len("/state/") {
+		return fmt.Errorf("telemetry: show path %q must start with /state/ and name a target", path)
+	}
+	if fn == nil {
+		return fmt.Errorf("telemetry: nil show handler for %q", path)
+	}
+	path = strings.TrimRight(path, "/")
+	r.showMu.Lock()
+	defer r.showMu.Unlock()
+	if _, dup := r.show[path]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicatePath, path)
+	}
+	r.show[path] = fn
+	return nil
+}
+
+// MustRegisterShow is RegisterShow that panics on error; wiring code
+// uses it because a bad path is a programming error.
+func (r *Registry) MustRegisterShow(path string, fn ShowFunc) {
+	if err := r.RegisterShow(path, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Show runs the handler registered under path (trailing slashes are
+// ignored) and returns its snapshot. Unregistered paths return an
+// error wrapping ErrUnknownPath.
+func (r *Registry) Show(ctx context.Context, path string) (any, error) {
+	path = strings.TrimRight(path, "/")
+	r.showMu.Lock()
+	fn, ok := r.show[path]
+	r.showMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPath, path)
+	}
+	return fn(ctx)
+}
+
+// ShowPaths returns every registered show path, sorted.
+func (r *Registry) ShowPaths() []string {
+	r.showMu.Lock()
+	defer r.showMu.Unlock()
+	out := make([]string, 0, len(r.show))
+	for p := range r.show {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func okShow(v any) ShowFunc {
+	return func(context.Context) (any, error) { return v, nil }
+}
+
+func TestRegisterShowValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterShow("/metrics", okShow(1)); err == nil {
+		t.Error("path outside /state/ accepted")
+	}
+	if err := r.RegisterShow("/state/", okShow(1)); err == nil {
+		t.Error("bare /state/ accepted")
+	}
+	if err := r.RegisterShow("/state/x", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if err := r.RegisterShow("/state/x", okShow(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterShow("/state/x", okShow(2)); !errors.Is(err, ErrDuplicatePath) {
+		t.Errorf("duplicate registration: got %v, want ErrDuplicatePath", err)
+	}
+}
+
+func TestShowDispatchAndUnknownPath(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegisterShow("/state/thing", okShow("snapshot"))
+	for _, path := range []string{"/state/thing", "/state/thing/"} {
+		v, err := r.Show(context.Background(), path)
+		if err != nil || v != "snapshot" {
+			t.Errorf("Show(%q) = %v, %v", path, v, err)
+		}
+	}
+	if _, err := r.Show(context.Background(), "/state/missing"); !errors.Is(err, ErrUnknownPath) {
+		t.Errorf("unknown path: got %v, want ErrUnknownPath", err)
+	}
+}
+
+func TestShowPathsSorted(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegisterShow("/state/b", okShow(1))
+	r.MustRegisterShow("/state/a", okShow(1))
+	r.MustRegisterShow("/state/c/d", okShow(1))
+	want := []string{"/state/a", "/state/b", "/state/c/d"}
+	if got := r.ShowPaths(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ShowPaths() = %v, want %v", got, want)
+	}
+}
+
+func TestHandlerRouting(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(CollectorFunc(func() []Family {
+		return []Family{{Name: "up", Kind: KindGauge, Samples: []Sample{{Value: 1}}}}
+	}))
+	r.MustRegisterShow("/state/thing", okShow(map[string]int{"n": 7}))
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ct, body := get("/metrics")
+	if code != http.StatusOK || ct != ContentType {
+		t.Fatalf("/metrics: code=%d ct=%q", code, ct)
+	}
+	if !strings.Contains(body, "up 1\n") {
+		t.Fatalf("/metrics body missing sample:\n%s", body)
+	}
+	if _, err := ParseText(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics output not conformant: %v", err)
+	}
+
+	code, ct, body = get("/state")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("/state: code=%d ct=%q", code, ct)
+	}
+	var idx struct {
+		Paths []string `json:"paths"`
+	}
+	if err := json.Unmarshal([]byte(body), &idx); err != nil || len(idx.Paths) != 1 || idx.Paths[0] != "/state/thing" {
+		t.Fatalf("/state index = %q (err %v)", body, err)
+	}
+
+	code, _, body = get("/state/thing")
+	if code != http.StatusOK {
+		t.Fatalf("/state/thing: code=%d", code)
+	}
+	var got map[string]int
+	if err := json.Unmarshal([]byte(body), &got); err != nil || got["n"] != 7 {
+		t.Fatalf("/state/thing = %q (err %v)", body, err)
+	}
+
+	code, _, body = get("/state/nope")
+	if code != http.StatusNotFound || !strings.Contains(body, "unknown show path") {
+		t.Fatalf("/state/nope: code=%d body=%q", code, body)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	r := NewRegistry()
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package telemetry is the observability plane of the SDNFV stack: a
+// stdlib-only metric registry whose collectors read snapshots of the
+// counters every layer already maintains (HostStats, ReplicaStats, port
+// DriverStats, cluster link stats, controller session counters,
+// autoscale decisions), a Prometheus text-format exporter served over
+// HTTP at /metrics, and an osvbng-style show/state API of path-addressed
+// JSON snapshot handlers under /state/.
+//
+// The paper's SDNFV manager is only as smart as what it can observe
+// (§3.3 automatic load balancing, §5 dynamic scaling): autoscaling,
+// rerouting, and flow-aware policy all hinge on per-host, per-replica,
+// and per-port statistics. This package makes those statistics
+// scrapeable and queryable by path WITHOUT adding any work to the
+// packet path: every collector runs at scrape time on the caller's
+// goroutine and reads atomically-published snapshots the data plane
+// updates anyway. Nothing here is //sdnfv:hotpath-annotated, and
+// nothing here may be called from annotated code — sdnfv-lint's
+// hotpath analyzer enforces the boundary.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind is a metric family's type.
+type Kind uint8
+
+// Metric kinds, matching the Prometheus exposition-format TYPE names.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the exposition-format TYPE name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one metric dimension. Labels are ordered: collectors emit
+// them in schema order (host, datapath, service, replica, port, driver,
+// link, session, ...) and the exporter preserves that order.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// at or below UpperBound.
+type Bucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// Sample is one labeled observation inside a family. Counter and gauge
+// samples carry Value; histogram samples carry Buckets (cumulative,
+// ascending bounds; the +Inf bucket is implicit in Count), Sum, and
+// Count.
+type Sample struct {
+	Labels  []Label
+	Value   float64
+	Buckets []Bucket
+	Sum     float64
+	Count   uint64
+}
+
+// Family is one metric family: a name, help text, a kind, and its
+// samples.
+type Family struct {
+	Name    string
+	Help    string
+	Kind    Kind
+	Samples []Sample
+}
+
+// Collector produces a snapshot of metric families at scrape time.
+// Collectors must be safe for concurrent use and must not block on the
+// packet path; they read already-published counter snapshots.
+type Collector interface {
+	Collect() []Family
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func() []Family
+
+// Collect implements Collector.
+func (f CollectorFunc) Collect() []Family { return f() }
+
+// Registry holds the registered collectors and show handlers of one
+// process. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+
+	showMu sync.Mutex
+	show   map[string]ShowFunc
+
+	// sharedMu serializes shared(); it is strictly above mu and showMu
+	// in the lock order (mk callbacks may register collectors and show
+	// paths).
+	sharedMu   sync.Mutex
+	sharedVals map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		show:       make(map[string]ShowFunc),
+		sharedVals: make(map[string]any),
+	}
+}
+
+// MustRegister adds collectors to the registry; their families are
+// merged into every subsequent Gather.
+func (r *Registry) MustRegister(cs ...Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range cs {
+		if c == nil {
+			panic("telemetry: nil collector")
+		}
+		r.collectors = append(r.collectors, c)
+	}
+}
+
+// Gather runs every collector and merges their families by name: the
+// first collector to emit a family fixes its help and kind, later
+// collectors append samples. Families are returned sorted by name, so
+// two Gathers over unchanged counters render identically.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+
+	byName := make(map[string]*Family)
+	var order []string
+	for _, c := range collectors {
+		for _, f := range c.Collect() {
+			have, ok := byName[f.Name]
+			if !ok {
+				cp := f
+				cp.Samples = append([]Sample(nil), f.Samples...)
+				byName[f.Name] = &cp
+				order = append(order, f.Name)
+				continue
+			}
+			if have.Kind != f.Kind {
+				panic(fmt.Sprintf("telemetry: family %s registered as both %s and %s",
+					f.Name, have.Kind, f.Kind))
+			}
+			have.Samples = append(have.Samples, f.Samples...)
+		}
+	}
+	sort.Strings(order)
+	out := make([]Family, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out
+}
+
+// shared returns the registry-scoped singleton stored under key,
+// creating it with mk on first use. Collector constructors use it so
+// repeated RegisterHost/RegisterAutoscale calls extend one collector
+// (and one set of show paths) instead of colliding.
+func (r *Registry) shared(key string, mk func() any) any {
+	r.sharedMu.Lock()
+	defer r.sharedMu.Unlock()
+	if v, ok := r.sharedVals[key]; ok {
+		return v
+	}
+	v := mk()
+	r.sharedVals[key] = v
+	return v
+}
+
+// familyBuilder accumulates samples into named families in first-emit
+// order; collectors use it to build their snapshot.
+type familyBuilder struct {
+	byName map[string]*Family
+	order  []string
+}
+
+func newFamilyBuilder() *familyBuilder {
+	return &familyBuilder{byName: make(map[string]*Family)}
+}
+
+func (b *familyBuilder) add(name, help string, kind Kind, s Sample) {
+	f, ok := b.byName[name]
+	if !ok {
+		f = &Family{Name: name, Help: help, Kind: kind}
+		b.byName[name] = f
+		b.order = append(b.order, name)
+	}
+	f.Samples = append(f.Samples, s)
+}
+
+func (b *familyBuilder) counter(name, help string, labels []Label, v float64) {
+	b.add(name, help, KindCounter, Sample{Labels: labels, Value: v})
+}
+
+func (b *familyBuilder) gauge(name, help string, labels []Label, v float64) {
+	b.add(name, help, KindGauge, Sample{Labels: labels, Value: v})
+}
+
+func (b *familyBuilder) histogram(name, help string, s Sample) {
+	b.add(name, help, KindHistogram, s)
+}
+
+func (b *familyBuilder) families() []Family {
+	out := make([]Family, 0, len(b.order))
+	for _, name := range b.order {
+		out = append(out, *b.byName[name])
+	}
+	return out
+}
