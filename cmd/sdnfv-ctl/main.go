@@ -43,17 +43,114 @@ import (
 	"sdnfv/internal/controller"
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/graph"
+	"sdnfv/internal/spec"
 	"sdnfv/internal/telemetry"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "show" {
-		if err := runShow(os.Args[2:]); err != nil {
-			log.Fatalf("sdnfv-ctl show: %v", err)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "show":
+			if err := runShow(os.Args[2:]); err != nil {
+				log.Fatalf("sdnfv-ctl show: %v", err)
+			}
+			return
+		case "diff":
+			if err := runDiff(os.Args[2:]); err != nil {
+				log.Fatalf("sdnfv-ctl diff: %v", err)
+			}
+			return
+		case "apply":
+			if err := runApply(os.Args[2:]); err != nil {
+				log.Fatalf("sdnfv-ctl apply: %v", err)
+			}
+			return
 		}
-		return
 	}
 	runController()
+}
+
+// runDiff loads and validates two spec files offline and prints the
+// typed change set between them — what a reconciler holding OLD would
+// do when handed NEW.
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: sdnfv-ctl diff OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return errors.New("expected exactly two spec files")
+	}
+	old, err := spec.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	next, err := spec.Load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	cs := spec.Diff(old, next)
+	if cs.Empty() {
+		fmt.Println("no changes")
+		return nil
+	}
+	for _, line := range cs.Summary() {
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// runApply validates a spec file locally, POSTs it to a running host's
+// /apply/spec action, and prints the applied generation and change set.
+func runApply(args []string) error {
+	fs := flag.NewFlagSet("apply", flag.ExitOnError)
+	host := fs.String("host", "127.0.0.1:9464", "telemetry address of a running sdnfv-host")
+	timeout := fs.Duration("timeout", 5*time.Second, "request timeout")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: sdnfv-ctl apply [-host ADDR] SPEC.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return errors.New("expected exactly one spec file")
+	}
+	// Validate locally first: a bad spec fails here with the full
+	// validation error instead of a remote 422.
+	sp, err := spec.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	data, err := sp.Marshal()
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Post("http://"+*host+"/apply/spec", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/apply/spec: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, bytes.TrimSpace(body), "", "  "); err != nil {
+		return fmt.Errorf("/apply/spec returned non-JSON: %w", err)
+	}
+	fmt.Println(pretty.String())
+	return nil
 }
 
 // runShow queries a running host's telemetry server: no argument lists

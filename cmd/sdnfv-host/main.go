@@ -60,9 +60,35 @@ func main() {
 	scaleMin := flag.Int("scale-min", 1, "autoscale: minimum replicas")
 	scaleMax := flag.Int("scale-max", 3, "autoscale: maximum replicas")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics and /state/... on this address (e.g. 127.0.0.1:9464; empty = off)")
+	specPath := flag.String("spec", "", "declarative deployment spec (JSON); boots the declared cluster under the reconcile loop instead of the imperative single-host setup")
 	var ports portio.PortFlags
 	flag.Var(&ports, "port", "bind a port driver, N=udp:LADDR[/RADDR] | N=tcp:ADDR | N=tcp-listen:ADDR | N=afpacket:IFACE (repeatable)")
 	flag.Parse()
+
+	if *specPath != "" {
+		// In spec mode replica bounds, placement, and wiring all come
+		// from the spec; flags that would contradict it are refused
+		// rather than silently ignored.
+		conflicts := map[string]string{
+			"scale-min":  "autoscale bounds come from the spec's per-service scale stanza",
+			"scale-max":  "autoscale bounds come from the spec's per-service scale stanza",
+			"autoscale":  "the reconciler owns the autoscalers in spec mode",
+			"controller": "spec mode runs its own in-process controller",
+			"port":       "spec mode wires ports from the spec's links",
+			"datapath":   "datapath ids come from the spec's host stanzas",
+		}
+		var conflict error
+		flag.Visit(func(f *flag.Flag) {
+			if why, ok := conflicts[f.Name]; ok && conflict == nil {
+				conflict = fmt.Errorf("sdnfv-host: -%s conflicts with -spec: %s", f.Name, why)
+			}
+		})
+		if conflict != nil {
+			log.Fatal(conflict)
+		}
+		runSpec(*specPath, *packets, *flows, *telemetryAddr)
+		return
+	}
 
 	cfg := dataplane.Config{PoolSize: 4096, TXThreads: 1}
 	if *ctlAddr != "" {

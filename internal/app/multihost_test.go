@@ -257,3 +257,157 @@ func TestChangeDefaultSteersDeployment(t *testing.T) {
 		t.Fatalf("failed steering logged as accepted: %+v", last)
 	}
 }
+
+// chainGraph: src -> s1 -> s2 -> s3 -> sink, all default edges.
+func chainGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("chain")
+	for _, v := range []graph.Vertex{{Service: s1}, {Service: s2}, {Service: s3}} {
+		if err := g.AddVertex(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]flowtable.ServiceID{
+		{graph.Source, s1}, {s1, s2}, {s2, s3}, {s3, graph.Sink},
+	} {
+		if err := g.AddEdge(e[0], e[1], true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestCompileDeltaEquivalence proves the incremental-recompile
+// contract: recompiling a one-host placement delta produces tables
+// identical to a full compile of the new deployment, regenerates only
+// the affected hosts, and reuses the untouched host's table verbatim.
+func TestCompileDeltaEquivalence(t *testing.T) {
+	const dpC control.DatapathID = 3
+	g := chainGraph(t)
+	channels := map[HostPair][]Channel{
+		{Src: dpA, Dst: dpB}: {{Out: 2, In: 2}},
+		{Src: dpB, Dst: dpC}: {{Out: 3, In: 2}},
+		{Src: dpB, Dst: dpA}: {{Out: 4, In: 3}},
+	}
+	mk := func(assign map[flowtable.ServiceID]control.DatapathID) *Deployment {
+		return &Deployment{
+			Graph: g, Assign: assign,
+			Ingress: dpA, IngressPort: 0, EgressPort: 1,
+			Channels: channels,
+		}
+	}
+	prev := mk(map[flowtable.ServiceID]control.DatapathID{s1: dpA, s2: dpB, s3: dpC})
+	prevTables, err := prev.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Move s3 from C to B: affected hosts are B (new) and C (old); A's
+	// rules cannot change and must be reused, not regenerated.
+	next := mk(map[flowtable.ServiceID]control.DatapathID{s1: dpA, s2: dpB, s3: dpB})
+	got, changed, err := next.CompileDelta(prev, prevTables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 2 || changed[0] != dpB || changed[1] != dpC {
+		t.Fatalf("changed = %v, want [B C]", changed)
+	}
+
+	full, err := mk(map[flowtable.ServiceID]control.DatapathID{s1: dpA, s2: dpB, s3: dpB}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(full) {
+		t.Fatalf("delta tables cover %d hosts, full compile %d", len(got), len(full))
+	}
+	for dp, want := range full {
+		gotRules := got[dp]
+		if len(gotRules) != len(want) {
+			t.Fatalf("host %d: delta %v, full %v", dp, gotRules, want)
+		}
+		for i := range want {
+			if gotRules[i].Scope != want[i].Scope || !gotRules[i].Match.Equal(want[i].Match) ||
+				len(gotRules[i].Actions) != len(want[i].Actions) {
+				t.Fatalf("host %d rule %d: delta %v, full %v", dp, i, gotRules[i], want[i])
+			}
+			for j := range want[i].Actions {
+				if gotRules[i].Actions[j] != want[i].Actions[j] {
+					t.Fatalf("host %d rule %d: delta %v, full %v", dp, i, gotRules[i], want[i])
+				}
+			}
+		}
+	}
+	// The unaffected host reuses the previous slice, not a copy.
+	if len(got[dpA]) > 0 && &got[dpA][0] != &prevTables[dpA][0] {
+		t.Fatal("unaffected host A was regenerated instead of reused")
+	}
+
+	// No movement: previous tables come back untouched with no change.
+	same := mk(map[flowtable.ServiceID]control.DatapathID{s1: dpA, s2: dpB, s3: dpC})
+	got, changed, err = same.CompileDelta(prev, prevTables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("no-op delta changed %v", changed)
+	}
+	if &got[dpA][0] != &prevTables[dpA][0] {
+		t.Fatal("no-op delta rebuilt tables")
+	}
+
+	// A structural change (different graph identity) falls back to a
+	// full compile: every host of either generation is listed changed.
+	structural := mk(map[flowtable.ServiceID]control.DatapathID{s1: dpA, s2: dpB, s3: dpC})
+	structural.Graph = chainGraph(t)
+	_, changed, err = structural.CompileDelta(prev, prevTables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 3 {
+		t.Fatalf("structural fallback changed %v, want all hosts", changed)
+	}
+}
+
+// TestUpdateDeployment swaps the installed deployment through the
+// incremental path and reports the hosts needing reinstall.
+func TestUpdateDeployment(t *testing.T) {
+	const dpC control.DatapathID = 3
+	g := chainGraph(t)
+	channels := map[HostPair][]Channel{
+		{Src: dpA, Dst: dpB}: {{Out: 2, In: 2}},
+		{Src: dpB, Dst: dpC}: {{Out: 3, In: 2}},
+	}
+	a := New(Config{})
+	prev := &Deployment{
+		Graph: g, Assign: map[flowtable.ServiceID]control.DatapathID{s1: dpA, s2: dpB, s3: dpC},
+		Ingress: dpA, IngressPort: 0, EgressPort: 1, Channels: channels,
+	}
+	if err := a.SetDeployment(prev); err != nil {
+		t.Fatal(err)
+	}
+	next := &Deployment{
+		Graph: g, Assign: map[flowtable.ServiceID]control.DatapathID{s1: dpA, s2: dpB, s3: dpB},
+		Ingress: dpA, IngressPort: 0, EgressPort: 1, Channels: channels,
+	}
+	tables, changed, err := a.UpdateDeployment(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 2 || changed[0] != dpB || changed[1] != dpC {
+		t.Fatalf("changed = %v, want [B C]", changed)
+	}
+	if _, ok := tables[dpC]; ok {
+		t.Fatal("host C still tabled after losing its only service")
+	}
+	if a.Deployment() != next {
+		t.Fatal("deployment not swapped")
+	}
+	// Steering answers now track the new generation: s2 -> s3 is local.
+	act, err := next.EdgeAction(s2, s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act != flowtable.Forward(s3) {
+		t.Fatalf("s2->s3 action after move = %v, want local forward", act)
+	}
+}

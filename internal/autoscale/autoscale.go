@@ -18,6 +18,7 @@ package autoscale
 
 import (
 	"context"
+	"fmt"
 	"sync"
 )
 
@@ -192,6 +193,9 @@ type Stats struct {
 	LastDecision Decision
 	LastTickAt   float64
 	Last         Sample
+	// Min/Max are the replica bounds currently in force (SetBounds may
+	// have changed them since construction).
+	Min, Max int
 }
 
 // Stats returns a snapshot of the loop's telemetry counters.
@@ -206,7 +210,25 @@ func (c *Controller) Stats() Stats {
 		LastDecision: c.lastDecision,
 		LastTickAt:   c.lastTickAt,
 		Last:         c.lastSample,
+		Min:          c.cfg.Min,
+		Max:          c.cfg.Max,
 	}
+}
+
+// SetBounds replaces the replica bounds the policy enforces, taking
+// effect from the next tick. This is how a new spec generation adjusts
+// a running loop without rebuilding it (losing streak and cooldown
+// state): the reconciler applies spec bounds here, and corrects any
+// out-of-bounds replica count itself.
+func (c *Controller) SetBounds(min, max int) error {
+	if min < 1 || max < min {
+		return fmt.Errorf("autoscale: bounds [%d,%d] invalid (need 1 <= min <= max)", min, max)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.Min = min
+	c.cfg.Max = max
+	return nil
 }
 
 // New builds a controller; src, act, and clock must not be nil.

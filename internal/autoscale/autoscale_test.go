@@ -299,3 +299,35 @@ func TestFailedActuationKeepsStreak(t *testing.T) {
 		t.Fatalf("retry after failed actuation = %v, want up (streak was burned)", d)
 	}
 }
+
+// TestSetBounds swaps the replica bounds on a live controller: invalid
+// bounds are refused, valid ones take effect on the next tick without
+// resetting the loop.
+func TestSetBounds(t *testing.T) {
+	c, src, _, clk := newTestController(Config{Min: 1, Max: 2, UpBacklog: 10, UpStreak: 1, CooldownSec: 0.001, IntervalSec: 1})
+	src.replicas = 2
+	src.backlog = 1000
+
+	if err := c.SetBounds(0, 2); err == nil {
+		t.Fatal("min 0 accepted")
+	}
+	if err := c.SetBounds(3, 2); err == nil {
+		t.Fatal("min > max accepted")
+	}
+	// At max: pressure holds.
+	if d := c.TickNow(); d != Hold {
+		t.Fatalf("at max, decision = %v", d)
+	}
+	// Raise the ceiling: the same pressure now scales up.
+	if err := c.SetBounds(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	clk.now = 1
+	if d := c.TickNow(); d != Up {
+		t.Fatalf("after raise, decision = %v", d)
+	}
+	st := c.Stats()
+	if st.Min != 1 || st.Max != 4 {
+		t.Fatalf("stats bounds [%d,%d], want [1,4]", st.Min, st.Max)
+	}
+}

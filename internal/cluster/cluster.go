@@ -159,6 +159,11 @@ func (l *Link) shape() {
 type member struct {
 	name string
 	host *dataplane.Host
+	// down marks a host killed by KillHost: it stays registered (its
+	// links keep counting refused deliveries as drops, its final stats
+	// stay readable) but Start/Stop skip it and Alive reports false —
+	// the reconcile observer's liveness signal.
+	down bool
 }
 
 // Fabric is the cluster: registered hosts plus the links between them.
@@ -216,6 +221,40 @@ func (f *Fabric) Hosts() []control.DatapathID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// KillHost is the chaos primitive: it stops dp's host and marks the
+// member dead. The host stays registered — frames links deliver toward
+// it are refused and counted as link drops, and its last counters stay
+// readable — but Alive reports false, Start will not revive it, and the
+// fabric's idle check no longer consults it. Killing an unknown or
+// already-dead host is an error (the caller meant a different victim).
+func (f *Fabric) KillHost(dp control.DatapathID) error {
+	f.mu.Lock()
+	m, ok := f.hosts[dp]
+	if ok && m.down {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s already dead", ErrUnknownHost, dp)
+	}
+	if ok {
+		m.down = true
+	}
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, dp)
+	}
+	// Stop outside the lock: it waits for the host's TX threads, which
+	// may be mid-delivery into a peer.
+	m.host.Stop()
+	return nil
+}
+
+// Alive reports whether dp is registered and not killed.
+func (f *Fabric) Alive(dp control.DatapathID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.hosts[dp]
+	return ok && !m.down
 }
 
 // Connect wires one direction: frames src transmits out outPort arrive
@@ -349,10 +388,10 @@ func (f *Fabric) UpdateDefault(dp control.DatapathID, scope flowtable.ServiceID,
 	return nil
 }
 
-// Start starts every host (datapath order). On failure the hosts
+// Start starts every live host (datapath order). On failure the hosts
 // already started are stopped again.
 func (f *Fabric) Start() error {
-	dps := f.Hosts()
+	dps := f.aliveHosts()
 	for i, dp := range dps {
 		h, _ := f.Host(dp)
 		if err := h.Start(); err != nil {
@@ -373,7 +412,7 @@ func (f *Fabric) Start() error {
 // link drops, keeping teardown losses visible and the pending counters
 // balanced.
 func (f *Fabric) Stop() {
-	for _, dp := range f.Hosts() {
+	for _, dp := range f.aliveHosts() {
 		h, _ := f.Host(dp)
 		h.Stop()
 	}
@@ -434,7 +473,7 @@ func (f *Fabric) WaitIdle(timeout time.Duration) bool {
 }
 
 func (f *Fabric) idle() bool {
-	for _, dp := range f.Hosts() {
+	for _, dp := range f.aliveHosts() {
 		h, _ := f.Host(dp)
 		if h.Pool().Stats().InUse != 0 {
 			return false
@@ -446,6 +485,48 @@ func (f *Fabric) idle() bool {
 		}
 	}
 	return true
+}
+
+// aliveHosts lists live datapaths, ascending.
+func (f *Fabric) aliveHosts() []control.DatapathID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]control.DatapathID, 0, len(f.hosts))
+	for dp, m := range f.hosts {
+		if !m.down {
+			out = append(out, dp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReplaceRules swaps one datapath's installed rule set: the previously
+// installed rule ids are deleted, then the new rules land in one batched
+// write. This is the reconciler's reroute primitive — a moved service
+// changes a host's action ports outright, which the constrained
+// UpdateDefault path (runtime steering within a compiled table) cannot
+// express. Flows resolved against the old rules re-miss and re-resolve
+// through the controller, whose application already answers for the new
+// generation. Unknown ids are skipped (the rule may have been replaced
+// by a concurrent generation); the new rules' ids are returned for the
+// next swap.
+func (f *Fabric) ReplaceRules(dp control.DatapathID, oldIDs []uint64, rules []flowtable.Rule) ([]uint64, error) {
+	h, ok := f.Host(dp)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownHost, dp)
+	}
+	for _, id := range oldIDs {
+		_ = h.Table().Delete(id)
+	}
+	if len(rules) == 0 {
+		return nil, nil
+	}
+	ids, err := h.Table().AddBatch(rules)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: replace rules on %s: %w", dp, err)
+	}
+	return ids, nil
 }
 
 var _ app.Downstream = (*Fabric)(nil)

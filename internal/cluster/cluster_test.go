@@ -257,3 +257,106 @@ func TestUpdateDefaultConstrained(t *testing.T) {
 		t.Fatal("unknown datapath accepted")
 	}
 }
+
+// TestKillHost is the chaos primitive's contract: the victim goes dead
+// (Alive false, Start will not revive it), frames wired toward it count
+// as link drops instead of vanishing, and the survivor's exact
+// accounting still holds.
+func TestKillHost(t *testing.T) {
+	f, _, hosts := twoHostFabric(t)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+
+	if !f.Alive(dpLeft) || !f.Alive(dpRight) {
+		t.Fatal("fresh hosts not alive")
+	}
+	if err := f.KillHost(dpRight); err != nil {
+		t.Fatal(err)
+	}
+	if f.Alive(dpRight) {
+		t.Fatal("killed host still alive")
+	}
+	if err := f.KillHost(dpRight); err == nil {
+		t.Fatal("double kill accepted")
+	}
+	if err := f.KillHost(99); err == nil {
+		t.Fatal("unknown victim accepted")
+	}
+
+	// Traffic still enters the survivor; the dead peer refuses delivery
+	// and the wire counts every refusal.
+	factory := traffic.NewFactory()
+	const n = 200
+	sent := 0
+	for i := 0; i < n; i++ {
+		frame, err := factory.Frame(traffic.Flow(i%16, 256, 0), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Inject(dpLeft, 0, frame); err == nil {
+			sent++
+		}
+	}
+	if !f.WaitIdle(10 * time.Second) {
+		t.Fatalf("survivor not idle: %+v", hosts[dpLeft].Pool().Stats())
+	}
+	l := hosts[dpLeft].Stats()
+	if l.RxPackets != l.TxPackets+l.Drops+l.Overflows+l.TxDrops {
+		t.Fatalf("survivor accounting: %+v", l)
+	}
+	ls := f.Links()[0].Stats()
+	if ls.TxFrames != 0 {
+		t.Fatalf("dead host accepted %d frames", ls.TxFrames)
+	}
+	if ls.Drops != l.TxPackets {
+		t.Fatalf("link drops %d != survivor tx %d", ls.Drops, l.TxPackets)
+	}
+
+	// Start skips the corpse (and must not error on a half-dead fabric).
+	hosts[dpLeft].Stop()
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplaceRules swaps a host's installed rule set atomically enough
+// for the reconciler: old ids gone, new rules in force, returned ids
+// usable for the next swap.
+func TestReplaceRules(t *testing.T) {
+	f, _, hosts := twoHostFabric(t)
+	tbl := hosts[dpLeft].Table()
+	before := tbl.Len()
+
+	ids, err := f.ReplaceRules(dpLeft, nil, []flowtable.Rule{
+		{Scope: flowtable.Port(7), Match: flowtable.MatchAll, Actions: []flowtable.Action{flowtable.Forward(svcL)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || tbl.Len() != before+1 {
+		t.Fatalf("install: ids=%v len=%d (before %d)", ids, tbl.Len(), before)
+	}
+
+	ids2, err := f.ReplaceRules(dpLeft, ids, []flowtable.Rule{
+		{Scope: flowtable.Port(8), Match: flowtable.MatchAll, Actions: []flowtable.Action{flowtable.Forward(svcL)}},
+		{Scope: flowtable.Port(9), Match: flowtable.MatchAll, Actions: []flowtable.Action{flowtable.Forward(svcL)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids2) != 2 || tbl.Len() != before+2 {
+		t.Fatalf("swap: ids=%v len=%d (before %d)", ids2, tbl.Len(), before)
+	}
+	// Deleting already-deleted ids is tolerated; emptying works.
+	if _, err := f.ReplaceRules(dpLeft, append(ids, ids2...), nil); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != before {
+		t.Fatalf("clear left %d rules, want %d", tbl.Len(), before)
+	}
+	if _, err := f.ReplaceRules(99, nil, nil); err == nil {
+		t.Fatal("unknown datapath accepted")
+	}
+}

@@ -241,7 +241,7 @@ func Cluster(seed int64) *ClusterResult {
 	}
 	sigs := acmatch.New([]string{"ATTACK-SIGNATURE"})
 	deployCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	err = orch.Deploy(deployCtx, []orchestrator.Placement{
+	_, err = orch.Deploy(deployCtx, []orchestrator.Placement{
 		{Host: names[dpA], Service: svcFW, NF: &nfs.Firewall{DefaultAllow: true}},
 		{Host: names[dpB], Service: svcIDS, NF: &nfs.IDS{Matcher: sigs, Scrubber: svcVideoB}},
 		{Host: names[dpC], Service: svcVideo, NF: &nfs.VideoDetector{PolicyEngine: svcVideo, Bypass: svcVideo}},

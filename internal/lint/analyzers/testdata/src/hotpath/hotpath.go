@@ -150,3 +150,27 @@ func collectSnapshot(rx, tx uint64) []telemetrySample {
 func scrapeFromPacketPath(rx, tx uint64) {
 	_ = collectSnapshot(rx, tx) // want "neither //sdnfv:hotpath-annotated"
 }
+
+// The reconcile-loop shape (internal/reconcile): the controller tick is
+// cold-path by design — it observes snapshots, diffs desired against
+// observed state, allocates action lists — and carries no annotation,
+// which must stay silent even though it calls annotated counter reads
+// (cold→hot is always allowed). The boundary holds from the other side:
+// packet-path code must never call into the reconcile tick, or a table
+// rebuild lands on the wire.
+//
+//sdnfv:hotpath
+func hotCounters() uint64 { return 42 }
+
+func reconcileTick() []telemetrySample {
+	drift := make([]telemetrySample, 0, 4)
+	if hotCounters() > 0 { // cold caller of hot callee: fine
+		drift = append(drift, telemetrySample{name: "drift", value: 1})
+	}
+	return drift
+}
+
+//sdnfv:hotpath
+func packetPathReconcile() {
+	_ = reconcileTick() // want "neither //sdnfv:hotpath-annotated"
+}

@@ -192,35 +192,49 @@ type Placement struct {
 // placement engine assigned it to — and waits until every launch has
 // completed or ctx expires. This is the hook that lets a solved
 // multi-node placement (placement.Assignment mapped to host names)
-// drive the live engine instead of remaining a paper exercise. The
-// first host refusal fails Deploy with the failing placement's identity
-// and the host's error; boots already scheduled continue in the
-// background (their outcomes land in Launches as usual).
-func (o *Orchestrator) Deploy(ctx context.Context, placements []Placement) error {
-	done := make(chan error, len(placements))
+// drive the live engine instead of remaining a paper exercise.
+//
+// Deploy schedules every placement (a host refusal does not stop the
+// rest) and returns the subset that actually came up, so a caller — in
+// particular the reconciler — can converge or undo the applied set
+// instead of guessing which placements a mid-slice failure left booted.
+// The error joins every individual failure. On ctx expiry the applied
+// set holds the launches that completed before the deadline and the
+// error wraps ctx.Err(); late boots still land in Launches as usual.
+func (o *Orchestrator) Deploy(ctx context.Context, placements []Placement) ([]Placement, error) {
+	type outcome struct {
+		p   Placement
+		err error
+	}
+	done := make(chan outcome, len(placements))
+	scheduled := 0
+	var errs []error
 	for _, p := range placements {
 		p := p
 		err := o.instantiate(ctx, p.Host, p.Service, p.NF, func(_ Launch, err error) {
-			if err != nil {
-				err = fmt.Errorf("orchestrator: deploy %s on %q: %w", p.Service, p.Host, err)
-			}
-			done <- err
+			done <- outcome{p: p, err: err}
 		})
 		if err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("orchestrator: deploy %s on %q: %w", p.Service, p.Host, err))
+			continue
 		}
+		scheduled++
 	}
-	for range placements {
+	var applied []Placement
+	for range scheduled {
 		select {
-		case err := <-done:
-			if err != nil {
-				return err
+		case oc := <-done:
+			if oc.err != nil {
+				errs = append(errs, fmt.Errorf("orchestrator: deploy %s on %q: %w", oc.p.Service, oc.p.Host, oc.err))
+				continue
 			}
+			applied = append(applied, oc.p)
 		case <-ctx.Done():
-			return ctx.Err()
+			errs = append(errs, ctx.Err())
+			return applied, errors.Join(errs...)
 		}
 	}
-	return nil
+	return applied, errors.Join(errs...)
 }
 
 // Remover is the optional scale-down capability of a HostHandle: retiring

@@ -1,0 +1,521 @@
+package reconcile
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdnfv/internal/flowtable"
+	"sdnfv/internal/spec"
+)
+
+// manualClock drives the loop in virtual time.
+type clockEvent struct {
+	at float64
+	fn func()
+}
+type eventHeap []clockEvent
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(clockEvent)) }
+func (h *eventHeap) Pop() any          { e := (*h)[len(*h)-1]; *h = (*h)[:len(*h)-1]; return e }
+
+type manualClock struct {
+	now    float64
+	events eventHeap
+}
+
+func (c *manualClock) Now() float64 { return c.now }
+func (c *manualClock) After(delay float64, fn func()) {
+	heap.Push(&c.events, clockEvent{at: c.now + delay, fn: fn})
+}
+
+// fakeCluster is observer + actuators in one: a map of live hosts and
+// replica counts the actuators mutate, so the loop sees its own effect.
+type fakeCluster struct {
+	hosts   map[string]*HostState
+	bounds  map[string]spec.Bounds // per service, as last actuated
+	routed  map[string]string
+	actions []string
+	// boots delays Place visibility: a successful Place increments
+	// pendingBoots; Finish moves them into Replicas (async boot model).
+	pendingBoots map[string]int // "svc@host" -> count
+	failPlace    error
+	failReroute  error
+}
+
+func newFakeCluster(hosts ...string) *fakeCluster {
+	f := &fakeCluster{
+		hosts:        map[string]*HostState{},
+		bounds:       map[string]spec.Bounds{},
+		pendingBoots: map[string]int{},
+	}
+	for _, h := range hosts {
+		f.hosts[h] = &HostState{Alive: true, Replicas: map[flowtable.ServiceID]int{}}
+	}
+	return f
+}
+
+func (f *fakeCluster) Observe() Observation {
+	o := Observation{Hosts: map[string]HostState{}}
+	for n, hs := range f.hosts {
+		reps := map[flowtable.ServiceID]int{}
+		for k, v := range hs.Replicas {
+			reps[k] = v
+		}
+		o.Hosts[n] = HostState{Alive: hs.Alive, Replicas: reps}
+	}
+	return o
+}
+
+func (f *fakeCluster) Place(_ context.Context, sp *spec.Spec, svc spec.Service, host string) error {
+	f.actions = append(f.actions, "place "+svc.Name+"@"+host)
+	if f.failPlace != nil {
+		return f.failPlace
+	}
+	f.pendingBoots[svc.Name+"@"+host]++
+	f.bounds[svc.Name] = svc.Scale
+	return nil
+}
+
+// finishBoots lands every pending boot (the async launch completing).
+func (f *fakeCluster) finishBoots(sp *spec.Spec) {
+	for k, n := range f.pendingBoots {
+		parts := strings.SplitN(k, "@", 2)
+		svc, _ := sp.Service(parts[0])
+		if hs, ok := f.hosts[parts[1]]; ok && hs.Alive {
+			hs.Replicas[svc.ID] += n
+		}
+		delete(f.pendingBoots, k)
+	}
+}
+
+func (f *fakeCluster) Retire(_ context.Context, sp *spec.Spec, svc spec.Service, host string) error {
+	f.actions = append(f.actions, "retire "+svc.Name+"@"+host)
+	if hs, ok := f.hosts[host]; ok && hs.Replicas[svc.ID] > 0 {
+		hs.Replicas[svc.ID]--
+	}
+	return nil
+}
+
+func (f *fakeCluster) Reroute(_ context.Context, sp *spec.Spec, assign map[string]string) error {
+	f.actions = append(f.actions, "reroute")
+	if f.failReroute != nil {
+		return f.failReroute
+	}
+	f.routed = assign
+	return nil
+}
+
+func (f *fakeCluster) SetBounds(_ context.Context, sp *spec.Spec, svc spec.Service, host string) error {
+	f.actions = append(f.actions, "set-bounds "+svc.Name+"@"+host)
+	f.bounds[svc.Name] = svc.Scale
+	return nil
+}
+
+func (f *fakeCluster) kill(host string) {
+	hs := f.hosts[host]
+	hs.Alive = false
+	hs.Replicas = map[flowtable.ServiceID]int{}
+}
+
+func chainSpec() *spec.Spec {
+	return &spec.Spec{
+		Version: spec.Version,
+		Name:    "chain",
+		Hosts: []spec.Host{
+			{Name: "A", Datapath: 1}, {Name: "B", Datapath: 2}, {Name: "C", Datapath: 3},
+		},
+		Services: []spec.Service{
+			{Name: "fw", ID: 1, NF: "fw", Placement: []string{"A"}},
+			{Name: "ids", ID: 2, NF: "ids", Placement: []string{"B", "A"}},
+			{Name: "video", ID: 3, NF: "video", Placement: []string{"C", "A"}, Scale: spec.Bounds{Min: 1, Max: 2}},
+		},
+		Edges: []spec.Edge{
+			{From: "ingress", To: "fw", Default: true},
+			{From: "fw", To: "ids", Default: true},
+			{From: "ids", To: "video", Default: true},
+			{From: "video", To: "egress", Default: true},
+		},
+		Ingress:    spec.IngressSpec{Host: "A", Port: 0},
+		EgressPort: 1,
+		Links: []spec.Link{
+			{A: spec.Endpoint{Host: "A", Port: 2}, B: spec.Endpoint{Host: "B", Port: 2}},
+			{A: spec.Endpoint{Host: "B", Port: 3}, B: spec.Endpoint{Host: "C", Port: 2}},
+			{A: spec.Endpoint{Host: "B", Port: 4}, B: spec.Endpoint{Host: "A", Port: 3}},
+		},
+	}
+}
+
+func newTestLoop(fc *fakeCluster) (*Reconciler, *manualClock) {
+	clk := &manualClock{}
+	r := New(Config{IntervalSec: 1, BackoffSec: 1, BackoffMaxSec: 8, PendingSec: 2}, fc, fc, clk)
+	return r, clk
+}
+
+// tick advances virtual time and runs one reconcile cycle.
+func tick(r *Reconciler, clk *manualClock, dt float64) {
+	clk.now += dt
+	r.TickNow()
+}
+
+func TestConvergeFromScratch(t *testing.T) {
+	fc := newFakeCluster("A", "B", "C")
+	r, clk := newTestLoop(fc)
+
+	gen, cs, err := r.Apply(chainSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("generation %d", gen)
+	}
+	if cs.Empty() {
+		t.Fatal("first generation diffed empty")
+	}
+
+	// Tick 1: places all three services; routing waits for replicas.
+	tick(r, clk, 1)
+	st := r.Status()
+	if st.Converged {
+		t.Fatal("converged before anything ran")
+	}
+	if fc.routed != nil {
+		t.Fatal("rerouted before replicas stood")
+	}
+	// Boots land; tick 2 reroutes; tick 3 observes zero drift.
+	fc.finishBoots(r.mustSpec())
+	tick(r, clk, 1)
+	if fc.routed == nil {
+		t.Fatal("no reroute after replicas landed")
+	}
+	if fc.routed["video"] != "C" {
+		t.Fatalf("video routed to %q", fc.routed["video"])
+	}
+	tick(r, clk, 1)
+	st = r.Status()
+	if !st.Converged {
+		t.Fatalf("not converged: drift=%v lastErr=%q", st.Drift, st.LastError)
+	}
+	if st.Generation != 1 || len(st.Drift) != 0 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.Placement["ids"] != "B" {
+		t.Fatalf("placement %v", st.Placement)
+	}
+	if fc.bounds["video"] != (spec.Bounds{Min: 1, Max: 2}) {
+		t.Fatalf("video bounds %+v", fc.bounds["video"])
+	}
+}
+
+// mustSpec is a test helper: the active spec, panicking when absent.
+func (r *Reconciler) mustSpec() *spec.Spec {
+	sp, _ := r.Spec()
+	if sp == nil {
+		panic("no spec")
+	}
+	return sp
+}
+
+func TestHostDeathReplacesAndReroutes(t *testing.T) {
+	fc := newFakeCluster("A", "B", "C")
+	r, clk := newTestLoop(fc)
+	if _, _, err := r.Apply(chainSpec()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tick(r, clk, 1)
+		fc.finishBoots(r.mustSpec())
+	}
+	if !r.Status().Converged {
+		t.Fatal("setup did not converge")
+	}
+
+	// C dies: video must re-place on A (its fallback) and the routing
+	// must follow.
+	fc.kill("C")
+	tick(r, clk, 3) // past the pending TTL of the original place
+	st := r.Status()
+	if st.Converged {
+		t.Fatal("still converged after host death")
+	}
+	if st.DriftEvents != 1 {
+		t.Fatalf("drift events %d", st.DriftEvents)
+	}
+	fc.finishBoots(r.mustSpec())
+	tick(r, clk, 1)
+	if fc.routed["video"] != "A" {
+		t.Fatalf("video routed to %q after failover", fc.routed["video"])
+	}
+	tick(r, clk, 1)
+	st = r.Status()
+	if !st.Converged {
+		t.Fatalf("not reconverged: drift=%v", st.Drift)
+	}
+	if st.LastConvergeSec <= 0 {
+		t.Fatalf("convergence latency %v", st.LastConvergeSec)
+	}
+	if fc.hosts["A"].Replicas[3] != 1 {
+		t.Fatalf("video replicas on A = %d", fc.hosts["A"].Replicas[3])
+	}
+}
+
+func TestPendingSuppressesDoubleBoot(t *testing.T) {
+	fc := newFakeCluster("A", "B", "C")
+	r, clk := newTestLoop(fc)
+	if _, _, err := r.Apply(chainSpec()); err != nil {
+		t.Fatal(err)
+	}
+	tick(r, clk, 1)
+	places := 0
+	for _, a := range fc.actions {
+		if strings.HasPrefix(a, "place") {
+			places++
+		}
+	}
+	if places != 3 {
+		t.Fatalf("%d places on first tick", places)
+	}
+	afterFirst := len(fc.actions)
+	// Boots have not landed; within the pending TTL no re-place fires.
+	tick(r, clk, 1)
+	for _, a := range fc.actions[afterFirst:] {
+		if strings.HasPrefix(a, "place") {
+			t.Fatalf("double boot: %v", fc.actions)
+		}
+	}
+	afterSecond := len(fc.actions)
+	// Past the TTL with still no replicas, the place retries.
+	tick(r, clk, 2)
+	retried := false
+	for _, a := range fc.actions[afterSecond:] {
+		if strings.HasPrefix(a, "place") {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatalf("no retry after pending TTL: %v", fc.actions)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	fc := newFakeCluster("A", "B", "C")
+	fc.failPlace = errors.New("no capacity")
+	r, clk := newTestLoop(fc)
+	if _, _, err := r.Apply(chainSpec()); err != nil {
+		t.Fatal(err)
+	}
+
+	countPlaces := func() int {
+		n := 0
+		for _, a := range fc.actions {
+			if a == "place fw@A" {
+				n++
+			}
+		}
+		return n
+	}
+	tick(r, clk, 1) // t=1: fails, backoff until t=2
+	if countPlaces() != 1 {
+		t.Fatalf("places %d", countPlaces())
+	}
+	tick(r, clk, 0.5) // t=1.5: inside backoff
+	if countPlaces() != 1 {
+		t.Fatalf("retried inside backoff window: %d", countPlaces())
+	}
+	tick(r, clk, 1) // t=2.5: retries, fails again, backoff 2s until t=4.5
+	if countPlaces() != 2 {
+		t.Fatalf("places %d, want 2", countPlaces())
+	}
+	tick(r, clk, 1.5) // t=4: still inside doubled backoff
+	if countPlaces() != 2 {
+		t.Fatalf("retried inside doubled window: %d", countPlaces())
+	}
+	tick(r, clk, 1) // t=5: third try
+	if countPlaces() != 3 {
+		t.Fatalf("places %d, want 3", countPlaces())
+	}
+	st := r.Status()
+	if st.ActionsFailed != 9 { // 3 services × 3 tries
+		t.Fatalf("failed actions %d", st.ActionsFailed)
+	}
+	if !strings.Contains(st.LastError, "no capacity") {
+		t.Fatalf("last error %q", st.LastError)
+	}
+
+	// Recovery: clear the failure, let boots land, loop converges and
+	// the backoff entries reset.
+	fc.failPlace = nil
+	tick(r, clk, 4)
+	fc.finishBoots(r.mustSpec())
+	tick(r, clk, 1)
+	tick(r, clk, 1)
+	if st := r.Status(); !st.Converged {
+		t.Fatalf("no recovery: %+v", st)
+	}
+}
+
+func TestQueueBound(t *testing.T) {
+	fc := newFakeCluster("A", "B", "C")
+	clk := &manualClock{}
+	// Depth 2: the first tick's drift (3 places + 3 set-bounds deduped
+	// into the places... places and bounds are separate keys → 6 raw,
+	// reroute withheld) overflows.
+	r := New(Config{IntervalSec: 1, QueueDepth: 2, PendingSec: 100}, fc, fc, clk)
+	if _, _, err := r.Apply(chainSpec()); err != nil {
+		t.Fatal(err)
+	}
+	tick(r, clk, 1)
+	st := r.Status()
+	if st.QueueDrops == 0 {
+		t.Fatal("no queue drops recorded")
+	}
+	if len(fc.actions) != 2 {
+		t.Fatalf("ran %d actions with depth 2: %v", len(fc.actions), fc.actions)
+	}
+	// The dropped work is re-derived: subsequent ticks still make
+	// progress (places suppressed by pending, bounds actions proceed).
+	tick(r, clk, 1)
+	if len(fc.actions) <= 2 {
+		t.Fatal("dropped drift never re-derived")
+	}
+}
+
+func TestApplyGenerationBumpAndBoundsDrift(t *testing.T) {
+	fc := newFakeCluster("A", "B", "C")
+	r, clk := newTestLoop(fc)
+	if _, _, err := r.Apply(chainSpec()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tick(r, clk, 1)
+		fc.finishBoots(r.mustSpec())
+	}
+	if !r.Status().Converged {
+		t.Fatal("setup did not converge")
+	}
+
+	// Generation 2 widens video's bounds without moving anything: the
+	// only drift is a set-bounds, and the loop reconverges.
+	s2 := chainSpec()
+	s2.Services[2].Scale = spec.Bounds{Min: 1, Max: 4}
+	gen, cs, err := r.Apply(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("generation %d", gen)
+	}
+	if len(cs.Bounds) != 1 || cs.Bounds[0].Service != "video" {
+		t.Fatalf("change set %s", cs)
+	}
+	if r.Status().Converged {
+		t.Fatal("new generation born converged")
+	}
+	before := len(fc.actions)
+	tick(r, clk, 1)
+	tick(r, clk, 1)
+	st := r.Status()
+	if !st.Converged || st.Generation != 2 {
+		t.Fatalf("gen 2 not converged: %+v", st)
+	}
+	if fc.bounds["video"] != (spec.Bounds{Min: 1, Max: 4}) {
+		t.Fatalf("bounds not actuated: %+v", fc.bounds["video"])
+	}
+	for _, a := range fc.actions[before:] {
+		if strings.HasPrefix(a, "place") || strings.HasPrefix(a, "retire") {
+			t.Fatalf("bounds-only generation moved replicas: %v", fc.actions[before:])
+		}
+	}
+
+	// An invalid spec is refused without touching the active generation.
+	bad := chainSpec()
+	bad.Services[0].Placement = []string{"nope"}
+	if _, _, err := r.Apply(bad); err == nil {
+		t.Fatal("invalid spec applied")
+	}
+	if _, g := r.Spec(); g != 2 {
+		t.Fatalf("generation moved to %d on refused apply", g)
+	}
+}
+
+func TestStrayReplicasRetired(t *testing.T) {
+	fc := newFakeCluster("A", "B", "C")
+	r, clk := newTestLoop(fc)
+	if _, _, err := r.Apply(chainSpec()); err != nil {
+		t.Fatal(err)
+	}
+	// Seed the desired replicas AND a stray ids replica on C.
+	fc.hosts["A"].Replicas[1] = 1
+	fc.hosts["B"].Replicas[2] = 1
+	fc.hosts["C"].Replicas[3] = 1
+	fc.hosts["C"].Replicas[2] = 1
+	tick(r, clk, 1)
+	if fc.hosts["C"].Replicas[2] != 0 {
+		t.Fatalf("stray ids replica survived: %v", fc.hosts["C"].Replicas)
+	}
+	tick(r, clk, 1)
+	if st := r.Status(); !st.Converged {
+		t.Fatalf("not converged after stray retire: %+v", st.Drift)
+	}
+}
+
+func TestStartStopTimerChain(t *testing.T) {
+	fc := newFakeCluster("A", "B", "C")
+	clk := &manualClock{}
+	r := New(Config{IntervalSec: 1}, fc, fc, clk)
+	if _, _, err := r.Apply(chainSpec()); err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	r.Start() // idempotent
+	// Fire the scheduled callbacks through virtual time (fixed horizon:
+	// each fired tick schedules its successor past it).
+	target := clk.now + 3
+	for clk.events.Len() > 0 && clk.events[0].at <= target {
+		e := heap.Pop(&clk.events).(clockEvent)
+		clk.now = e.at
+		e.fn()
+	}
+	if r.Status().Ticks == 0 {
+		t.Fatal("timer chain never ticked")
+	}
+	r.Stop()
+	ticks := r.Status().Ticks
+	for clk.events.Len() > 0 {
+		e := heap.Pop(&clk.events).(clockEvent)
+		clk.now = e.at
+		e.fn()
+	}
+	if r.Status().Ticks != ticks {
+		t.Fatal("ticks continued after Stop")
+	}
+}
+
+// TestReconcilerIsColdPath pins the package out of the packet path: no
+// file in internal/reconcile may carry the //sdnfv:hotpath directive —
+// the loop runs in control-plane time and must never be called per
+// packet (the lint fixture set enforces the callgraph side).
+func TestReconcilerIsColdPath(t *testing.T) {
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.TrimSpace(line) == "//sdnfv:hotpath" {
+				t.Errorf("%s:%d: reconcile code must stay cold-path (found //sdnfv:hotpath)", f, i+1)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"time"
@@ -31,6 +32,27 @@ func (r *Registry) Handler() http.Handler {
 		v, err := r.Show(req.Context(), req.URL.Path)
 		if err != nil {
 			code := http.StatusInternalServerError
+			if errors.Is(err, ErrUnknownPath) {
+				code = http.StatusNotFound
+			}
+			writeJSON(w, code, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("/apply/", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]any{"error": "actions require POST"})
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+			return
+		}
+		v, err := r.Apply(req.Context(), req.URL.Path, body)
+		if err != nil {
+			code := http.StatusUnprocessableEntity
 			if errors.Is(err, ErrUnknownPath) {
 				code = http.StatusNotFound
 			}

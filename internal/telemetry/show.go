@@ -57,6 +57,51 @@ func (r *Registry) MustRegisterShow(path string, fn ShowFunc) {
 	}
 }
 
+// ActionFunc handles one mutating control operation (an "/apply/..."
+// POST): it receives the request body and returns the JSON-serializable
+// outcome. Unlike ShowFuncs, actions change cluster state — the HTTP
+// surface only accepts them via POST.
+type ActionFunc func(ctx context.Context, body []byte) (any, error)
+
+// RegisterAction registers fn under path. The path must start with
+// "/apply/"; registering the same path twice returns ErrDuplicatePath.
+func (r *Registry) RegisterAction(path string, fn ActionFunc) error {
+	if !strings.HasPrefix(path, "/apply/") || len(path) == len("/apply/") {
+		return fmt.Errorf("telemetry: action path %q must start with /apply/ and name a target", path)
+	}
+	if fn == nil {
+		return fmt.Errorf("telemetry: nil action handler for %q", path)
+	}
+	path = strings.TrimRight(path, "/")
+	r.showMu.Lock()
+	defer r.showMu.Unlock()
+	if _, dup := r.actions[path]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicatePath, path)
+	}
+	r.actions[path] = fn
+	return nil
+}
+
+// MustRegisterAction is RegisterAction that panics on error.
+func (r *Registry) MustRegisterAction(path string, fn ActionFunc) {
+	if err := r.RegisterAction(path, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Apply runs the action registered under path with the given body.
+// Unregistered paths return an error wrapping ErrUnknownPath.
+func (r *Registry) Apply(ctx context.Context, path string, body []byte) (any, error) {
+	path = strings.TrimRight(path, "/")
+	r.showMu.Lock()
+	fn, ok := r.actions[path]
+	r.showMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPath, path)
+	}
+	return fn(ctx, body)
+}
+
 // Show runs the handler registered under path (trailing slashes are
 // ignored) and returns its snapshot. Unregistered paths return an
 // error wrapping ErrUnknownPath.

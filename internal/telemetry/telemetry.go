@@ -103,8 +103,9 @@ type Registry struct {
 	mu         sync.Mutex
 	collectors []Collector
 
-	showMu sync.Mutex
-	show   map[string]ShowFunc
+	showMu  sync.Mutex
+	show    map[string]ShowFunc
+	actions map[string]ActionFunc
 
 	// sharedMu serializes shared(); it is strictly above mu and showMu
 	// in the lock order (mk callbacks may register collectors and show
@@ -117,6 +118,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		show:       make(map[string]ShowFunc),
+		actions:    make(map[string]ActionFunc),
 		sharedVals: make(map[string]any),
 	}
 }
