@@ -13,6 +13,7 @@ package bench
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -577,6 +578,157 @@ func BenchmarkDataplaneSnapshot(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_dataplane.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// churnFlow returns the unique key and scope of churn-flow i. The low
+// 32 bits of i are embedded verbatim (uniqueness), the mixed bits give
+// the shard hash and port spread, and flows fan out over many service
+// scopes so copy-on-write clones stay per-scope-sized.
+func churnFlow(i uint64) (flowtable.ServiceID, packet.FlowKey) {
+	x := (i + 1) * 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	return flowtable.ServiceID(1 + i%256), packet.FlowKey{
+		SrcIP:   packet.IPv4(10, byte(i>>16), byte(i>>8), byte(i)),
+		DstIP:   packet.IPv4(10, 2, byte(i>>24), 1),
+		SrcPort: uint16(x >> 32), DstPort: 80, Proto: packet.ProtoUDP,
+	}
+}
+
+// BenchmarkFlowChurn holds the table at a steady state of >=1M live
+// flows with idle expiry armed and measures the churn cycle: a Zipf-ish
+// lookup phase keeps the popular head hot, the coarse clock advances,
+// the sweeper reaps the cold tail, and fresh flows replace the evicted
+// ones exactly — live count is invariant across rounds. After the
+// measured rounds the whole population is mass-expired and the heap
+// must shrink (right-sized map rebuilds), which is the bounded-memory
+// claim of the lifecycle design. Writes BENCH_flowchurn.json.
+func BenchmarkFlowChurn(b *testing.B) {
+	const (
+		liveFlows = 1 << 20 // steady-state live population (>=1M)
+		idle      = time.Second
+		tick      = idle / 4 // flows untouched for 4 rounds expire
+		touches   = 1 << 18  // Zipf-ish lookups per round
+		batch     = 8192
+	)
+	tb := flowtable.New()
+	tb.SetDefaultTimeouts(idle, 0)
+
+	addRange := func(from, to uint64) {
+		rules := make([]flowtable.Rule, 0, batch)
+		for i := from; i < to; i++ {
+			scope, key := churnFlow(i)
+			rules = append(rules, flowtable.Rule{
+				Scope: scope, Match: flowtable.ExactMatch(key),
+				Actions: []flowtable.Action{flowtable.Forward(1)},
+			})
+			if len(rules) == batch || i == to-1 {
+				if _, err := tb.AddBatch(rules); err != nil {
+					b.Fatal(err)
+				}
+				rules = rules[:0]
+			}
+		}
+	}
+	// Seed in quarters with the clock advancing between them, so the
+	// population starts age-staggered across the idle window and the
+	// cold tail begins expiring on the very first measured round.
+	total := uint64(0)
+	for q := 0; q < 4; q++ {
+		next := uint64(liveFlows) * uint64(q+1) / 4
+		addRange(total, next)
+		total = next
+		if q < 3 {
+			tb.Advance(tick)
+		}
+	}
+	if got := tb.Stats().Rules; got < liveFlows {
+		b.Fatalf("seeded %d live flows, want %d", got, liveFlows)
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heapSteady := ms.HeapAlloc
+
+	var touchNs, sweepNs int64
+	var lookups, churned uint64
+	rng := uint64(benchSeed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for r := 0; r < b.N; r++ {
+		// Zipf-ish touch phase: squared-uniform rank biased toward the
+		// newest flows, so a popular head stays hot while the cold tail
+		// ages out. Misses (already-expired tail picks) are legitimate.
+		t0 := time.Now()
+		for j := 0; j < touches; j++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			u := float64(rng>>11) / float64(1<<53)
+			i := total - 1 - uint64(u*u*float64(liveFlows))
+			scope, key := churnFlow(i)
+			_, _ = tb.Lookup(scope, key)
+		}
+		touchNs += time.Since(t0).Nanoseconds()
+		lookups += touches
+
+		tb.Advance(tick)
+		t0 = time.Now()
+		evicted := tb.Sweep()
+		sweepNs += time.Since(t0).Nanoseconds()
+
+		// Exact replacement: the live population is invariant.
+		addRange(total, total+uint64(len(evicted)))
+		total += uint64(len(evicted))
+		churned += 2 * uint64(len(evicted))
+	}
+	b.StopTimer()
+	live := tb.Stats().Rules
+	if live < liveFlows {
+		b.Fatalf("steady state slipped to %d live flows", live)
+	}
+	b.ReportMetric(float64(live), "live-flows")
+	if lookups > 0 {
+		b.ReportMetric(float64(touchNs)/float64(lookups), "lookup-ns")
+	}
+	if churned > 0 {
+		b.ReportMetric(float64(churned)/float64(b.N), "churned/round")
+	}
+
+	// Mass expiry: everything idles out, the sweeper rebuilds shard maps
+	// right-sized, and the heap must come back down.
+	tb.Advance(2 * idle)
+	for len(tb.Sweep()) > 0 {
+	}
+	if got := tb.Stats().Rules; got != 0 {
+		b.Fatalf("drain left %d rules", got)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	heapDrained := ms.HeapAlloc
+	if heapDrained > heapSteady/2 {
+		b.Fatalf("heap did not shrink after mass expiry: steady=%dMB drained=%dMB",
+			heapSteady>>20, heapDrained>>20)
+	}
+	st := tb.Stats()
+	if st.Adds != uint64(st.Rules)+st.Deleted+st.Evicted() {
+		b.Fatalf("lifecycle identity broken: %+v", st)
+	}
+
+	snap := benchSnapshot{Package: "flowchurn", Timestamp: time.Now().UTC(),
+		Results: []benchResult{
+			{Name: "LookupUnderChurn", NsPerOp: float64(touchNs) / float64(lookups), Ops: int(lookups)},
+			{Name: "SweepPerLiveFlow", NsPerOp: float64(sweepNs) / float64(uint64(b.N)*liveFlows), Ops: liveFlows},
+			{Name: "HeapBytesPerLiveFlow", NsPerOp: float64(heapSteady) / float64(liveFlows), Ops: liveFlows},
+		}}
+	if churned > 0 {
+		snap.Results = append(snap.Results, benchResult{
+			Name: "ChurnPerFlow", NsPerOp: float64(touchNs+sweepNs) / float64(churned), Ops: int(churned)})
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_flowchurn.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

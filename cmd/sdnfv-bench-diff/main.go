@@ -1,0 +1,117 @@
+// Command sdnfv-bench-diff compares two directories of committed
+// BENCH_*.json snapshots (see bench/README.md) and prints per-metric
+// deltas, so a PR's perf trajectory is reviewable as text instead of
+// eyeballed from raw -bench output:
+//
+//	sdnfv-bench-diff bench/pr9 bench/pr10
+//
+// Metrics are matched by (package, workload name). Workloads present on
+// only one side are listed as added/removed rather than failing the
+// run. The exit code reflects usage errors only — deltas never gate; CI
+// runs this as a non-blocking report step because absolute numbers move
+// with the runner hardware.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// benchResult mirrors the snapshot schema the bench harnesses emit.
+type benchResult struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Ops     int     `json:"ops"`
+}
+
+type benchSnapshot struct {
+	Package   string        `json:"package"`
+	Timestamp time.Time     `json:"timestamp"`
+	Results   []benchResult `json:"results"`
+}
+
+// metricKey identifies one workload across snapshot generations.
+type metricKey struct{ pkg, name string }
+
+// loadDir reads every BENCH_*.json under dir into a key→ns/op map.
+func loadDir(dir string) (map[metricKey]float64, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no BENCH_*.json snapshots in %s", dir)
+	}
+	out := map[metricKey]float64{}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var snap benchSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		for _, r := range snap.Results {
+			out[metricKey{snap.Package, r.Name}] = r.NsPerOp
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: sdnfv-bench-diff OLDDIR NEWDIR")
+		os.Exit(2)
+	}
+	oldM, err := loadDir(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdnfv-bench-diff:", err)
+		os.Exit(1)
+	}
+	newM, err := loadDir(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdnfv-bench-diff:", err)
+		os.Exit(1)
+	}
+
+	keys := map[metricKey]bool{}
+	for k := range oldM {
+		keys[k] = true
+	}
+	for k := range newM {
+		keys[k] = true
+	}
+	ordered := make([]metricKey, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].pkg != ordered[j].pkg {
+			return ordered[i].pkg < ordered[j].pkg
+		}
+		return ordered[i].name < ordered[j].name
+	})
+
+	fmt.Printf("%-12s %-24s %12s %12s %9s\n", "package", "workload", "old ns/op", "new ns/op", "delta")
+	for _, k := range ordered {
+		ov, haveOld := oldM[k]
+		nv, haveNew := newM[k]
+		switch {
+		case !haveOld:
+			fmt.Printf("%-12s %-24s %12s %12.1f %9s\n", k.pkg, k.name, "-", nv, "added")
+		case !haveNew:
+			fmt.Printf("%-12s %-24s %12.1f %12s %9s\n", k.pkg, k.name, ov, "-", "removed")
+		default:
+			delta := "0.0%"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			fmt.Printf("%-12s %-24s %12.1f %12.1f %9s\n", k.pkg, k.name, ov, nv, delta)
+		}
+	}
+}

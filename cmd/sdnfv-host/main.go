@@ -59,6 +59,8 @@ func main() {
 	autoScale := flag.Bool("autoscale", true, "autoscale the counter service from its queue telemetry")
 	scaleMin := flag.Int("scale-min", 1, "autoscale: minimum replicas")
 	scaleMax := flag.Int("scale-max", 3, "autoscale: maximum replicas")
+	flowIdle := flag.Duration("flow-idle", 0, "evict flow rules idle for this long (0 = never); starts the table sweeper")
+	flowHard := flag.Duration("flow-hard", 0, "evict flow rules this long after install regardless of traffic (0 = never)")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics and /state/... on this address (e.g. 127.0.0.1:9464; empty = off)")
 	specPath := flag.String("spec", "", "declarative deployment spec (JSON); boots the declared cluster under the reconcile loop instead of the imperative single-host setup")
 	var ports portio.PortFlags
@@ -76,6 +78,8 @@ func main() {
 			"controller": "spec mode runs its own in-process controller",
 			"port":       "spec mode wires ports from the spec's links",
 			"datapath":   "datapath ids come from the spec's host stanzas",
+			"flow-idle":  "flow timeouts come from the spec's flow_timeouts stanza",
+			"flow-hard":  "flow timeouts come from the spec's flow_timeouts stanza",
 		}
 		var conflict error
 		flag.Visit(func(f *flag.Flag) {
@@ -90,7 +94,10 @@ func main() {
 		return
 	}
 
-	cfg := dataplane.Config{PoolSize: 4096, TXThreads: 1}
+	cfg := dataplane.Config{
+		PoolSize: 4096, TXThreads: 1,
+		FlowIdleTimeout: *flowIdle, FlowHardTimeout: *flowHard,
+	}
 	if *ctlAddr != "" {
 		dialCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		client, err := control.DialAs(dialCtx, *ctlAddr, control.DatapathID(*datapath))

@@ -25,6 +25,7 @@ import (
 	"sdnfv/internal/cluster"
 	"sdnfv/internal/controller"
 	"sdnfv/internal/dataplane"
+	"sdnfv/internal/flowtable"
 	"sdnfv/internal/nf"
 	"sdnfv/internal/nfs"
 	"sdnfv/internal/orchestrator"
@@ -76,11 +77,27 @@ func runSpec(path string, packets, flows int, telemetryAddr string) {
 
 	fab := cluster.New()
 	hosts := map[string]*dataplane.Host{}
+	// Lifecycle: the spec-wide flow_timeouts stanza becomes every host
+	// table's install-time default; per-service stanzas override at that
+	// scope. Any stanza at all turns the background sweeper on.
+	flowIdle, flowHard := sp.FlowTimeouts.Durations()
+	var sweep time.Duration
+	if sp.HasFlowLifecycle() {
+		sweep = flowtable.DefaultSweepInterval
+	}
 	for _, name := range sp.HostNames() {
 		h := dataplane.NewHost(dataplane.Config{
 			PoolSize: 4096, RingSize: 1024, TXThreads: 1,
-			Control: ctl.Session(dps[name]),
+			Control:         ctl.Session(dps[name]),
+			FlowIdleTimeout: flowIdle, FlowHardTimeout: flowHard,
+			FlowSweepInterval: sweep,
 		})
+		for i := range sp.Services {
+			if ft := sp.Services[i].FlowTimeouts; ft != nil {
+				idle, hard := ft.Durations()
+				h.Table().SetScopeTimeouts(sp.Services[i].ID, idle, hard)
+			}
+		}
 		hosts[name] = h
 		if err := fab.AddHost(dps[name], name, h); err != nil {
 			log.Fatal(err)

@@ -49,12 +49,14 @@ type Config struct {
 type App struct {
 	cfg Config
 
-	mu        sync.Mutex
-	graphs    map[string]*graph.Graph
-	defGraph  string
-	msgLog    []LoggedMessage
-	policyKV  map[string]any
-	listeners []func(dp control.DatapathID, src flowtable.ServiceID, m control.Message)
+	mu           sync.Mutex
+	graphs       map[string]*graph.Graph
+	defGraph     string
+	msgLog       []LoggedMessage
+	policyKV     map[string]any
+	listeners    []func(dp control.DatapathID, src flowtable.ServiceID, m control.Message)
+	flowsRemoved uint64
+	removedSubs  []func(dp control.DatapathID, removals []control.FlowRemoved)
 
 	// deployment, when set, switches the application to multi-host mode:
 	// CompileFlow answers with the requesting datapath's slice of the
@@ -301,6 +303,39 @@ func (a *App) validateVertex(graphs []*graph.Graph, s flowtable.ServiceID) (bool
 		}
 	}
 	return false, fmt.Sprintf("service %s not in any graph", s)
+}
+
+// SubscribeFlowRemoved registers a listener for flow-removed
+// notifications forwarded by NF hosts when the data plane evicts
+// expired rules.
+func (a *App) SubscribeFlowRemoved(fn func(dp control.DatapathID, removals []control.FlowRemoved)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.removedSubs = append(a.removedSubs, fn)
+}
+
+// HandleFlowRemoved implements control.Northbound: the application tier
+// records eviction notices so the global flow→graph view stays honest —
+// a removed flow will raise a fresh PacketIn (and recompilation) if it
+// returns. Notices are advisory, so this never fails.
+func (a *App) HandleFlowRemoved(_ context.Context, dp control.DatapathID, removals []control.FlowRemoved) error {
+	a.mu.Lock()
+	a.flowsRemoved += uint64(len(removals))
+	subs := make([]func(control.DatapathID, []control.FlowRemoved), len(a.removedSubs))
+	copy(subs, a.removedSubs)
+	a.mu.Unlock()
+	for _, fn := range subs {
+		fn(dp, removals)
+	}
+	return nil
+}
+
+// FlowsRemoved returns the total number of flow-removed notices
+// accepted from all hosts.
+func (a *App) FlowsRemoved() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.flowsRemoved
 }
 
 // Messages returns a copy of the validated-message log.

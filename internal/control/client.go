@@ -317,6 +317,30 @@ func (c *Client) SendNFMessage(_ context.Context, src flowtable.ServiceID, m Mes
 	return nil
 }
 
+// NotifyFlowRemoved implements Southbound. Like SendNFMessage it is
+// fire-and-forget: the removals are framed and written in one batch and
+// no reply is awaited — eviction notices are advisory, and blocking the
+// sweeper goroutine on a controller round trip would stall eviction.
+func (c *Client) NotifyFlowRemoved(_ context.Context, removals []FlowRemoved) error {
+	if len(removals) == 0 {
+		return nil
+	}
+	var m openflow.FlowRemoved
+	m.Removals = make([]openflow.FlowRemovedEntry, len(removals))
+	for i, r := range removals {
+		m.Removals[i] = openflow.FlowRemovedEntry{
+			Scope:  r.Scope,
+			Match:  r.Match,
+			RuleID: r.RuleID,
+			Reason: uint8(r.Reason),
+		}
+	}
+	if err := c.send(m, c.nextXID()); err != nil {
+		return fmt.Errorf("%w: %v", ErrStopped, err)
+	}
+	return nil
+}
+
 // Stats implements Southbound with a StatsRequest round trip.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	xid, op, err := c.register(opStats)

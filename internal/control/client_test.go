@@ -190,6 +190,62 @@ func TestClientNFMessages(t *testing.T) {
 	}
 }
 
+func TestClientFlowRemovedWire(t *testing.T) {
+	// Full eviction-notice path across a real socket: Client
+	// NotifyFlowRemoved → controller serveConn → Session →
+	// app.HandleFlowRemoved, with the payload intact.
+	a := testApp(t)
+	ctl := controller.New(controller.Config{})
+	ctl.SetNorthbound(a)
+
+	type seen struct {
+		dp       control.DatapathID
+		removals []control.FlowRemoved
+	}
+	got := make(chan seen, 1)
+	a.SubscribeFlowRemoved(func(dp control.DatapathID, removals []control.FlowRemoved) {
+		got <- seen{dp, removals}
+	})
+	client := startWire(t, ctl)
+
+	sent := []control.FlowRemoved{
+		{Scope: 1, Match: flowtable.ExactMatch(testKey(4000)), RuleID: 77, Reason: control.RemovedIdleTimeout},
+		{Scope: 2, Match: flowtable.ExactMatch(testKey(4001)), RuleID: 78, Reason: control.RemovedHardTimeout},
+	}
+	if err := client.NotifyFlowRemoved(context.Background(), sent); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s.dp != 0 {
+			t.Fatalf("datapath = %v", s.dp)
+		}
+		if len(s.removals) != 2 {
+			t.Fatalf("removals = %+v", s.removals)
+		}
+		for i, r := range s.removals {
+			if r.Scope != sent[i].Scope || r.RuleID != sent[i].RuleID || r.Reason != sent[i].Reason {
+				t.Fatalf("removal %d = %+v want %+v", i, r, sent[i])
+			}
+			if !r.Match.IsExact() {
+				t.Fatalf("removal %d lost its match: %+v", i, r.Match)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flow-removed notice never reached the app")
+	}
+	if n := a.FlowsRemoved(); n != 2 {
+		t.Fatalf("app FlowsRemoved = %d", n)
+	}
+	// Empty batches are a no-op, not a frame.
+	if err := client.NotifyFlowRemoved(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := a.FlowsRemoved(); n != 2 {
+		t.Fatalf("empty batch changed the counter: %d", n)
+	}
+}
+
 func TestClientCloseUnblocks(t *testing.T) {
 	ctl := controller.New(controller.Config{ServiceTime: time.Second})
 	ctl.SetNorthbound(testApp(t))

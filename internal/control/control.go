@@ -119,6 +119,35 @@ type Features struct {
 // controller. Implementations must be safe for concurrent use: the Flow
 // Controller thread pipelines batches while the manager loop forwards
 // messages.
+// FlowRemovedReason says which timeout evicted a flow rule.
+type FlowRemovedReason uint8
+
+const (
+	// RemovedIdleTimeout: no packet hit the rule within its idle window.
+	RemovedIdleTimeout FlowRemovedReason = iota
+	// RemovedHardTimeout: the rule outlived its hard lifetime.
+	RemovedHardTimeout
+)
+
+// String renders the reason as its telemetry label.
+func (r FlowRemovedReason) String() string {
+	if r == RemovedHardTimeout {
+		return "hard"
+	}
+	return "idle"
+}
+
+// FlowRemoved describes one flow rule a datapath evicted by timeout —
+// the OpenFlow flow-removed notification, batched per sweep. The tuple
+// (Scope, Match) identifies which state to drop; RuleID is the
+// datapath-local rule identity for logging and correlation.
+type FlowRemoved struct {
+	Scope  flowtable.ServiceID
+	Match  flowtable.Match
+	RuleID uint64
+	Reason FlowRemovedReason
+}
+
 type Southbound interface {
 	// Resolve requests the rules for one new flow and blocks until the
 	// controller answers, ctx expires, or the endpoint stops.
@@ -133,6 +162,11 @@ type Southbound interface {
 	// ErrRejected; wire backends deliver asynchronously and may return
 	// nil before the verdict is known.
 	SendNFMessage(ctx context.Context, src flowtable.ServiceID, m Message) error
+	// NotifyFlowRemoved reports a batch of rules the datapath evicted by
+	// timeout (OpenFlow flow-removed), so the controller and application
+	// tiers can drop their side of the per-flow state. Notifications are
+	// fire-and-forget: wire backends may return nil before delivery.
+	NotifyFlowRemoved(ctx context.Context, removals []FlowRemoved) error
 	// Stats fetches the controller's counter snapshot.
 	Stats(ctx context.Context) (Stats, error)
 	// Features fetches the peer's identity.
@@ -155,6 +189,9 @@ type Northbound interface {
 	// emitted by an NF of service src on datapath dp. A policy refusal
 	// is reported as an error wrapping ErrRejected.
 	HandleNFMessage(ctx context.Context, dp DatapathID, src flowtable.ServiceID, m Message) error
+	// HandleFlowRemoved records a batch of timeout evictions reported by
+	// datapath dp, letting the application release per-flow bookkeeping.
+	HandleFlowRemoved(ctx context.Context, dp DatapathID, removals []FlowRemoved) error
 	// Policy returns the value stored for key by AppData messages.
 	Policy(key string) (any, bool)
 }
@@ -163,10 +200,11 @@ type Northbound interface {
 // and simulations. Nil fields degrade gracefully: Resolve reports
 // ErrNoCompiler, SendNFMessage discards, Stats/Features return zeros.
 type SouthboundFuncs struct {
-	ResolveFunc      func(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error)
-	SendNFMessageFun func(ctx context.Context, src flowtable.ServiceID, m Message) error
-	StatsFunc        func(ctx context.Context) (Stats, error)
-	FeaturesFunc     func(ctx context.Context) (Features, error)
+	ResolveFunc           func(ctx context.Context, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error)
+	SendNFMessageFun      func(ctx context.Context, src flowtable.ServiceID, m Message) error
+	NotifyFlowRemovedFunc func(ctx context.Context, removals []FlowRemoved) error
+	StatsFunc             func(ctx context.Context) (Stats, error)
+	FeaturesFunc          func(ctx context.Context) (Features, error)
 }
 
 // Resolve implements Southbound.
@@ -193,6 +231,14 @@ func (s SouthboundFuncs) SendNFMessage(ctx context.Context, src flowtable.Servic
 	return s.SendNFMessageFun(ctx, src, m)
 }
 
+// NotifyFlowRemoved implements Southbound; nil func discards.
+func (s SouthboundFuncs) NotifyFlowRemoved(ctx context.Context, removals []FlowRemoved) error {
+	if s.NotifyFlowRemovedFunc == nil {
+		return nil
+	}
+	return s.NotifyFlowRemovedFunc(ctx, removals)
+}
+
 // Stats implements Southbound.
 func (s SouthboundFuncs) Stats(ctx context.Context) (Stats, error) {
 	if s.StatsFunc == nil {
@@ -213,9 +259,10 @@ func (s SouthboundFuncs) Features(ctx context.Context) (Features, error) {
 // degrade gracefully: CompileFlow reports ErrNoCompiler, HandleNFMessage
 // accepts, Policy misses.
 type NorthboundFuncs struct {
-	CompileFlowFunc     func(ctx context.Context, dp DatapathID, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error)
-	HandleNFMessageFunc func(ctx context.Context, dp DatapathID, src flowtable.ServiceID, m Message) error
-	PolicyFunc          func(key string) (any, bool)
+	CompileFlowFunc       func(ctx context.Context, dp DatapathID, scope flowtable.ServiceID, key packet.FlowKey) ([]flowtable.Rule, error)
+	HandleNFMessageFunc   func(ctx context.Context, dp DatapathID, src flowtable.ServiceID, m Message) error
+	HandleFlowRemovedFunc func(ctx context.Context, dp DatapathID, removals []FlowRemoved) error
+	PolicyFunc            func(key string) (any, bool)
 }
 
 // CompileFlow implements Northbound.
@@ -232,6 +279,14 @@ func (n NorthboundFuncs) HandleNFMessage(ctx context.Context, dp DatapathID, src
 		return nil
 	}
 	return n.HandleNFMessageFunc(ctx, dp, src, m)
+}
+
+// HandleFlowRemoved implements Northbound; nil func accepts.
+func (n NorthboundFuncs) HandleFlowRemoved(ctx context.Context, dp DatapathID, removals []FlowRemoved) error {
+	if n.HandleFlowRemovedFunc == nil {
+		return nil
+	}
+	return n.HandleFlowRemovedFunc(ctx, dp, removals)
 }
 
 // Policy implements Northbound.

@@ -255,6 +255,12 @@ func (c *Controller) SendNFMessage(ctx context.Context, src flowtable.ServiceID,
 	return c.Session(0).SendNFMessage(ctx, src, m)
 }
 
+// NotifyFlowRemoved implements control.Southbound as the anonymous
+// datapath-0 session.
+func (c *Controller) NotifyFlowRemoved(ctx context.Context, removals []control.FlowRemoved) error {
+	return c.Session(0).NotifyFlowRemoved(ctx, removals)
+}
+
 // Stats implements control.Southbound with the controller-wide
 // aggregates across all sessions; see control.Stats for the counters'
 // exact semantics. Per-host counters live on each Session.
@@ -282,10 +288,11 @@ type Session struct {
 	c  *Controller
 	dp control.DatapathID
 
-	requests atomic.Uint64
-	rejected atomic.Uint64
-	flowMods atomic.Uint64
-	nfMsgs   atomic.Uint64
+	requests     atomic.Uint64
+	rejected     atomic.Uint64
+	flowMods     atomic.Uint64
+	nfMsgs       atomic.Uint64
+	flowsRemoved atomic.Uint64
 }
 
 // DatapathID returns the session's datapath identity.
@@ -368,6 +375,28 @@ func (s *Session) SendNFMessage(ctx context.Context, src flowtable.ServiceID, m 
 	}
 	return nb.HandleNFMessage(ctx, s.dp, src, m)
 }
+
+// NotifyFlowRemoved implements control.Southbound: the data plane's
+// eviction notices for this host. Each notice is counted against the
+// session and handed to the northbound tier so the application drops
+// its view of the flows; without a northbound the notices are counted
+// and dropped (they are advisory, like NF messages on a bare
+// controller).
+func (s *Session) NotifyFlowRemoved(ctx context.Context, removals []control.FlowRemoved) error {
+	if len(removals) == 0 {
+		return nil
+	}
+	s.flowsRemoved.Add(uint64(len(removals)))
+	nb := s.c.northbound()
+	if nb == nil {
+		return nil
+	}
+	return nb.HandleFlowRemoved(ctx, s.dp, removals)
+}
+
+// FlowsRemoved returns the number of flow-removed notices this session
+// has accepted from its host.
+func (s *Session) FlowsRemoved() uint64 { return s.flowsRemoved.Load() }
 
 // Stats implements control.Southbound with the session-scoped counters:
 // this host's share of the controller's load.
@@ -520,6 +549,20 @@ func (c *Controller) serveConn(conn net.Conn) error {
 					return err
 				}
 			}
+		case openflow.FlowRemoved:
+			// Eviction notices from the host's sweeper. Fire-and-forget on
+			// the wire (no reply frame), and cold enough to handle inline
+			// rather than through the worker pool.
+			removals := make([]control.FlowRemoved, len(m.Removals))
+			for i, e := range m.Removals {
+				removals[i] = control.FlowRemoved{
+					Scope:  e.Scope,
+					Match:  e.Match,
+					RuleID: e.RuleID,
+					Reason: control.FlowRemovedReason(e.Reason),
+				}
+			}
+			_ = sess.NotifyFlowRemoved(context.Background(), removals)
 		case openflow.FeaturesRequest:
 			f, _ := c.Features(context.Background())
 			if err := sendXID(openflow.FeaturesReply{

@@ -49,6 +49,17 @@ type Config struct {
 	// ResolveTimeout bounds each southbound resolution batch; zero
 	// means 30 s.
 	ResolveTimeout time.Duration
+	// FlowIdleTimeout / FlowHardTimeout are the table-wide default rule
+	// timeouts applied to exact-match rules installed with zero
+	// timeouts (see flowtable.SetDefaultTimeouts). Zero keeps the
+	// pre-lifecycle behaviour: rules never expire.
+	FlowIdleTimeout time.Duration
+	FlowHardTimeout time.Duration
+	// FlowSweepInterval is the background sweeper's tick. Zero means
+	// flowtable.DefaultSweepInterval; the sweeper only runs when at
+	// least one of the defaults above is set (per-rule timeouts from
+	// the controller still expire lazily on lookup without it).
+	FlowSweepInterval time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -264,7 +275,17 @@ func NewHost(cfg Config) *Host {
 	}
 	h.snapSeen = make([]atomic.Uint64, h.producerCount())
 	h.snap.Store(&routeSnap{svc: map[flowtable.ServiceID][]*Instance{}})
+	if cfg.FlowIdleTimeout != 0 || cfg.FlowHardTimeout != 0 {
+		h.table.SetDefaultTimeouts(cfg.FlowIdleTimeout, cfg.FlowHardTimeout)
+	}
 	return h
+}
+
+// sweeperEnabled reports whether Start should run the background
+// eviction sweeper: any lifecycle default (or an explicit interval)
+// opts the host in.
+func (h *Host) sweeperEnabled() bool {
+	return h.cfg.FlowIdleTimeout != 0 || h.cfg.FlowHardTimeout != 0 || h.cfg.FlowSweepInterval > 0
 }
 
 // Table exposes the host flow table (the NF Manager owns it; the SDN
@@ -883,6 +904,12 @@ func (h *Host) Start() error {
 	for _, inst := range h.instances {
 		inst.launch(h)
 	}
+	if h.sweeperEnabled() {
+		h.table.StartSweeper(flowtable.LifecycleConfig{
+			SweepInterval: h.cfg.FlowSweepInterval,
+			OnEvict:       h.onFlowEvicted,
+		})
+	}
 	return nil
 }
 
@@ -902,6 +929,9 @@ func (h *Host) Stop() {
 	}
 	snap := append([]*Instance(nil), h.instances...)
 	h.mu.Unlock()
+	// The sweeper goes first: once stopped, no eviction callback can
+	// race the ring drain below or fire against a half-stopped host.
+	h.table.StopSweeper()
 	h.stop.Store(true)
 	for _, inst := range snap {
 		inst.stop.Store(true)
@@ -1369,7 +1399,14 @@ func (h *Host) pumpControl() bool {
 //sdnfv:hotpath
 func (h *Host) resolveEntry(d *Desc) (e *flowtable.Entry, ok bool) {
 	if !h.cfg.DisableLookupCache && d.Entry != nil {
-		return d.Entry, true
+		if h.table.EntryLive(d.Entry) {
+			return d.Entry, true
+		}
+		// The cached entry's lease expired while the packet was in
+		// flight. Its key is still trusted (set at RX), so fall through
+		// to a fresh table lookup: a concurrent reinstall may have
+		// produced a live replacement, and a true miss returns nil.
+		d.Entry = nil
 	}
 	if h.cfg.DisableLookupCache {
 		// Without descriptor caching the TX thread pays the full cost:
@@ -1389,6 +1426,49 @@ func (h *Host) resolveEntry(d *Desc) (e *flowtable.Entry, ok bool) {
 		return nil, true
 	}
 	return e, true
+}
+
+// onFlowEvicted is the sweeper's eviction callback (cold path, sweeper
+// goroutine). It releases the engine-owned per-flow NF state of every
+// evicted exact-match flow — in per-flow mode each service hop holds a
+// rule AT its own scope, so the eviction at scope S names exactly the
+// replicas whose state is dead — and forwards the batch upstream as one
+// typed flow-removed notification so the controller session and the
+// application tier drop their view of the flows.
+func (h *Host) onFlowEvicted(evs []flowtable.Evicted) {
+	h.mu.Lock()
+	for _, ev := range evs {
+		if ev.Scope.IsPort() {
+			continue // port scopes carry no NF state
+		}
+		key, ok := ev.Match.ExactKey()
+		if !ok {
+			continue // wildcard rules are not per-flow state owners
+		}
+		for _, inst := range h.services[ev.Scope] {
+			inst.ctx.Flows.Delete(key)
+		}
+	}
+	h.mu.Unlock()
+	if h.cfg.Control == nil {
+		return
+	}
+	removals := make([]control.FlowRemoved, len(evs))
+	for i, ev := range evs {
+		reason := control.RemovedIdleTimeout
+		if ev.Reason == flowtable.EvictHard {
+			reason = control.RemovedHardTimeout
+		}
+		removals[i] = control.FlowRemoved{
+			Scope:  ev.Scope,
+			Match:  ev.Match,
+			RuleID: ev.ID,
+			Reason: reason,
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.ResolveTimeout)
+	defer cancel()
+	_ = h.cfg.Control.NotifyFlowRemoved(ctx, removals)
 }
 
 // dropUnparsed discards a descriptor whose packet bytes no longer parse.

@@ -1,0 +1,7 @@
+//go:build race
+
+package dataplane_test
+
+// raceEnabled reports whether the binary was built with the race
+// detector, whose instrumentation slows churn-heavy lifecycle tests.
+const raceEnabled = true

@@ -9,7 +9,7 @@ import (
 // numbers — who wins, by roughly what factor, and where crossovers fall.
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig1", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "micro", "scale", "cluster"}
+	want := []string{"fig1", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "micro", "scale", "cluster", "churn"}
 	have := map[string]bool{}
 	for _, n := range Names() {
 		have[n] = true
@@ -459,4 +459,32 @@ func TestWireShape(t *testing.T) {
 		}
 	}
 	t.Logf("in-process wire: %d/%d delivered, p50 %.0fus p95 %.0fus", r.Delivered, r.Sent, r.P50Us, r.P95Us)
+}
+
+func TestChurnShape(t *testing.T) {
+	r := Churn(1)
+	if !r.PlateauOK {
+		t.Fatalf("live rules did not plateau: peak=%d cap=%d", r.PeakLive, r.LiveCap)
+	}
+	if r.PeakLive >= r.TotalFlows {
+		t.Fatalf("peak live rules %d not below total distinct flows %d", r.PeakLive, r.TotalFlows)
+	}
+	if !r.DrainOK {
+		t.Fatalf("drain left rules=%d state=%d", r.FinalRules, r.FinalState)
+	}
+	if !r.IdentityOK {
+		t.Fatalf("lifecycle identity broken: adds=%d deleted=%d evicted=%d+%d rules=%d",
+			r.Adds, r.Deleted, r.EvictedIdle, r.EvictedHard, r.FinalRules)
+	}
+	if !r.NoticesOK {
+		t.Fatalf("flow-removed notices %d != evictions %d", r.Notices, r.EvictedIdle+r.EvictedHard)
+	}
+	if r.EvictedHard != 0 {
+		t.Fatalf("hard evictions %d with only idle timeouts armed", r.EvictedHard)
+	}
+	for _, want := range []string{"plateau: ", "drain: ", "accounting: ", "ok=true"} {
+		if !strings.Contains(r.Render(), want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
 }

@@ -10,6 +10,7 @@ package flowtable
 
 import (
 	"testing"
+	"time"
 
 	"sdnfv/internal/packet"
 )
@@ -49,5 +50,47 @@ func TestLookupZeroAlloc(t *testing.T) {
 		tb.LookupBatch(scopes, keys, entries)
 	}); n != 0 {
 		t.Errorf("LookupBatch allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestLookupWithExpiryZeroAlloc re-measures the budget with the flow
+// lifecycle armed: every rule carries idle+hard timeouts, the coarse
+// clock is running, and half the rules are already expired so the
+// expiry-as-miss path is exercised too. Both the touch (hit) path and
+// the expired (miss) path must stay allocation-free.
+func TestLookupWithExpiryZeroAlloc(t *testing.T) {
+	tb := New()
+	const flows = 64
+	keys := make([]packet.FlowKey, flows)
+	scopes := make([]ServiceID, flows)
+	entries := make([]*Entry, flows)
+	for i := range keys {
+		keys[i] = allocTestKey(i)
+		scopes[i] = Port(0)
+		idle := time.Hour
+		if i%2 == 1 {
+			idle = time.Millisecond // expired once the clock advances
+		}
+		if _, err := tb.Add(Rule{Scope: Port(0), Match: ExactMatch(keys[i]),
+			Actions: []Action{Out(1)}, IdleTimeout: idle, HardTimeout: 24 * time.Hour}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.Advance(time.Second)
+	if n := testing.AllocsPerRun(200, func() {
+		e, err := tb.Lookup(Port(0), keys[0])
+		if err != nil || e == nil {
+			t.Fatal("live rule missed")
+		}
+		if _, err := tb.Lookup(Port(0), keys[1]); err == nil {
+			t.Fatal("expired rule answered")
+		}
+	}); n != 0 {
+		t.Errorf("Lookup with expiry checks allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		tb.LookupBatch(scopes, keys, entries)
+	}); n != 0 {
+		t.Errorf("LookupBatch with expiry checks allocates %.1f/op, want 0", n)
 	}
 }

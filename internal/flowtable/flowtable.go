@@ -39,6 +39,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdnfv/internal/packet"
 )
@@ -208,6 +209,16 @@ func eqField[T comparable](a, b *T) bool {
 	return *a == *b
 }
 
+// ExactKey returns the single FlowKey an exact match selects, and false
+// for a match with any wildcarded field. Consumers of eviction
+// notifications use it to key per-flow state releases.
+func (m Match) ExactKey() (packet.FlowKey, bool) {
+	if !m.IsExact() {
+		return packet.FlowKey{}, false
+	}
+	return m.exactKey(), true
+}
+
 // exactKey converts an exact match to its FlowKey.
 func (m Match) exactKey() packet.FlowKey {
 	return packet.FlowKey{SrcIP: *m.SrcIP, DstIP: *m.DstIP, SrcPort: *m.SrcPort, DstPort: *m.DstPort, Proto: *m.Proto}
@@ -250,15 +261,44 @@ type Rule struct {
 	Parallel bool
 	// Priority breaks ties among equal-specificity wildcard rules.
 	Priority int
+	// IdleTimeout evicts the rule once no packet has hit it for this
+	// long (OpenFlow idle_timeout). Zero inherits the table default for
+	// exact-match rules (wildcards inherit nothing); negative opts out of
+	// any default — the rule never idles out.
+	IdleTimeout time.Duration
+	// HardTimeout evicts the rule this long after installation regardless
+	// of traffic (OpenFlow hard_timeout). Zero/negative as for IdleTimeout.
+	HardTimeout time.Duration
 }
 
 // Entry is the immutable resolved form of a rule returned by lookups.
 // Entries are never mutated after publication: rewriting a rule installs a
 // fresh Entry with the same ID, so a pointer obtained from Lookup remains
-// a consistent (if stale) snapshot forever.
+// a consistent (if stale) snapshot forever. The lifecycle fields are the
+// one exception to full immutability: life.lastHit is an atomic the
+// lookup path advances on every hit, shared across rewrites of the same
+// rule so a default change does not reset the idle clock.
 type Entry struct {
 	Rule
 	ID uint64 // table-assigned, stable for the rule's lifetime
+
+	// idleNs / hardAt are the precomputed expiry parameters against the
+	// table's coarse clock: idleNs is the idle window in nanoseconds and
+	// hardAt the absolute coarse-clock deadline (install time + hard
+	// timeout). Zero means "no such timeout" — the hot path rejects
+	// expiry with one comparison and never loads the clock.
+	idleNs int64
+	hardAt int64
+	// life holds the mutable last-hit clock; nil unless idleNs != 0.
+	life *entryLife
+}
+
+// entryLife is the mutable half of an entry's lifecycle, held behind a
+// pointer so entry rewrites (withDefault, RewriteDest) — which copy the
+// Entry struct — keep sharing one idle clock, and so Entry itself stays
+// copyable (no atomic embedded in a copied struct).
+type entryLife struct {
+	lastHit atomic.Int64
 }
 
 // Default returns the rule's default action (the first in the list).
@@ -312,6 +352,15 @@ type snapshot struct {
 	exact map[ServiceID]map[packet.FlowKey]*Entry
 	// wild[scope] -> wildcard entries, kept sorted most-specific-first
 	wild map[ServiceID][]*Entry
+
+	// privateExact / privateWild track which per-scope containers this
+	// (not-yet-published) snapshot already owns privately, so a batched
+	// write clones each scope once instead of once per rule — without
+	// this, installing a B-rule batch into an N-entry scope costs
+	// O(B·N) map copies instead of O(B+N). Only the writer building the
+	// snapshot touches these; readers never look at them.
+	privateExact map[ServiceID]bool
+	privateWild  map[ServiceID]bool
 }
 
 var emptySnapshot = &snapshot{}
@@ -335,21 +384,37 @@ func (s *snapshot) cloneTop() *snapshot {
 }
 
 // cloneExact replaces next's exact map for scope with a private copy and
-// returns it. next must already be a cloneTop result.
+// returns it, or returns the existing copy when this snapshot build
+// already privatized the scope. next must already be a cloneTop result.
 func (next *snapshot) cloneExact(scope ServiceID) map[packet.FlowKey]*Entry {
+	if next.privateExact[scope] {
+		return next.exact[scope]
+	}
 	em := make(map[packet.FlowKey]*Entry, len(next.exact[scope])+1)
 	for k, e := range next.exact[scope] {
 		em[k] = e
 	}
 	next.exact[scope] = em
+	if next.privateExact == nil {
+		next.privateExact = make(map[ServiceID]bool)
+	}
+	next.privateExact[scope] = true
 	return em
 }
 
 // cloneWild replaces next's wildcard slice for scope with a private copy
-// and returns it. next must already be a cloneTop result.
+// and returns it, or the existing copy when already privatized. next
+// must already be a cloneTop result.
 func (next *snapshot) cloneWild(scope ServiceID) []*Entry {
+	if next.privateWild[scope] {
+		return next.wild[scope]
+	}
 	ws := append([]*Entry(nil), next.wild[scope]...)
 	next.wild[scope] = ws
+	if next.privateWild == nil {
+		next.privateWild = make(map[ServiceID]bool)
+	}
+	next.privateWild[scope] = true
 	return ws
 }
 
@@ -361,6 +426,11 @@ type shard struct {
 	mu      sync.Mutex
 	lookups atomic.Uint64
 	misses  atomic.Uint64
+	// expired counts lookups that found an entry but rejected it as
+	// timed out (the lazy half of eviction): each bump marks an entry
+	// queued for the sweeper to reap. Data-path threads never delete —
+	// that would need the writer mutex — they only signal.
+	expired atomic.Uint64
 	_       [64]byte // keep neighbouring shards off this cache line
 }
 
@@ -372,6 +442,42 @@ type Table struct {
 	shards   [numShards]shard
 	nextID   atomic.Uint64
 	modifies atomic.Uint64
+
+	// now is the coarse lifecycle clock, in nanoseconds since the clock
+	// started: 0 until a sweeper runs or Advance is called, advanced by
+	// elapsed wall time per sweep tick. Expiry math on the lookup path is
+	// one atomic load plus integer compares against it — never a
+	// time.Now() syscall per packet.
+	now atomic.Int64
+
+	// Lifecycle counters (see Stats): rules created, explicitly deleted,
+	// and evicted by timeout, plus sweeper activity.
+	adds        atomic.Uint64
+	deletes     atomic.Uint64
+	evictedIdle atomic.Uint64
+	evictedHard atomic.Uint64
+	sweeps      atomic.Uint64
+	sweepNanos  atomic.Uint64
+
+	// Default timeouts applied at install time to exact-match rules that
+	// do not carry their own; per-scope overrides win over the
+	// table-wide pair. Guarded by defMu — only the writer path reads
+	// them, never Lookup.
+	defMu    sync.RWMutex
+	defIdle  time.Duration
+	defHard  time.Duration
+	scopeTOs map[ServiceID]timeoutPair
+
+	// sweeper goroutine state (see lifecycle.go).
+	sweepMu   sync.Mutex
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+}
+
+// timeoutPair is a per-scope default (idle, hard) timeout override.
+type timeoutPair struct {
+	idle time.Duration
+	hard time.Duration
 }
 
 // New returns an empty table.
@@ -450,15 +556,54 @@ func (t *Table) addLocked(next *snapshot, r Rule) uint64 {
 			e.ID = old.ID // replacement keeps identity
 		} else {
 			e.ID = t.nextID.Add(1)
+			t.adds.Add(1)
 		}
+		// A replacement arms fresh timers — reinstalling a rule is how
+		// OpenFlow flow-mods refresh a flow's lease.
+		t.armLife(e)
 		em[k] = e
 		return e.ID
 	}
 	e := &Entry{Rule: r, ID: t.nextID.Add(1)}
+	t.adds.Add(1)
+	t.armLife(e)
 	ws := append(next.cloneWild(r.Scope), e)
 	sortWild(ws)
 	next.wild[r.Scope] = ws
 	return e.ID
+}
+
+// armLife precomputes e's expiry parameters from its rule timeouts,
+// falling back to the table/scope defaults for exact-match rules. Called
+// on the writer path (shard mutex held) before e is published.
+func (t *Table) armLife(e *Entry) {
+	idle, hard := e.IdleTimeout, e.HardTimeout
+	if idle == 0 && hard == 0 && e.Match.IsExact() {
+		idle, hard = t.defaultTimeouts(e.Scope)
+	}
+	if idle <= 0 && hard <= 0 {
+		return
+	}
+	now := t.now.Load()
+	if hard > 0 {
+		e.hardAt = now + int64(hard)
+	}
+	if idle > 0 {
+		e.idleNs = int64(idle)
+		e.life = &entryLife{}
+		e.life.lastHit.Store(now)
+	}
+}
+
+// defaultTimeouts resolves the effective default (idle, hard) pair for
+// scope: the per-scope override when set, else the table-wide default.
+func (t *Table) defaultTimeouts(scope ServiceID) (idle, hard time.Duration) {
+	t.defMu.RLock()
+	defer t.defMu.RUnlock()
+	if p, ok := t.scopeTOs[scope]; ok {
+		return p.idle, p.hard
+	}
+	return t.defIdle, t.defHard
 }
 
 // sortWild keeps wildcard entries most-specific-first, ties broken by
@@ -485,6 +630,7 @@ func (t *Table) Delete(id uint64) error {
 					continue
 				}
 				t.modifies.Add(1)
+				t.deletes.Add(1)
 				next := cur.cloneTop()
 				nem := next.cloneExact(scope)
 				delete(nem, k)
@@ -502,6 +648,7 @@ func (t *Table) Delete(id uint64) error {
 					continue
 				}
 				t.modifies.Add(1)
+				t.deletes.Add(1)
 				next := cur.cloneTop()
 				nws := next.cloneWild(scope)
 				nws = append(nws[:i], nws[i+1:]...)
@@ -545,21 +692,89 @@ func lookupWild(snap *snapshot, scope ServiceID, k packet.FlowKey) *Entry {
 	return nil
 }
 
+// liveTouch reports whether e is still within its timeouts, advancing
+// its idle clock on a hit. The overwhelmingly common case — an entry
+// with no timeouts — costs two integer compares and never loads the
+// clock. The touch stores the coarse now only when it changed, so a
+// burst of hits within one tick writes the cache line once, not per
+// packet; concurrent writers all store the same value.
+//
+//sdnfv:hotpath
+func (t *Table) liveTouch(e *Entry) bool {
+	if e.hardAt == 0 && e.idleNs == 0 {
+		return true
+	}
+	now := t.now.Load()
+	if e.hardAt != 0 && now >= e.hardAt {
+		return false
+	}
+	if e.idleNs != 0 {
+		last := e.life.lastHit.Load()
+		if now-last >= e.idleNs {
+			return false
+		}
+		if last != now {
+			e.life.lastHit.Store(now)
+		}
+	}
+	return true
+}
+
+// EntryLive reports whether a previously returned entry is still within
+// its timeouts, touching its idle clock exactly as a table hit would.
+// The data plane uses it to validate descriptor-cached entries: a cached
+// pointer bypasses Lookup, so without this check an expired flow would
+// keep forwarding on stale state forever.
+//
+//sdnfv:hotpath
+func (t *Table) EntryLive(e *Entry) bool { return t.liveTouch(e) }
+
+// lookupWildLive scans the sorted wildcard entries for scope, skipping
+// expired ones so a dead specific rule falls through to the broader rule
+// beneath it. The second result reports whether any expired entry was
+// encountered (the lazy-eviction signal).
+//
+//sdnfv:hotpath
+func (t *Table) lookupWildLive(snap *snapshot, scope ServiceID, k packet.FlowKey) (*Entry, bool) {
+	sawExpired := false
+	for _, e := range snap.wild[scope] {
+		if !e.Match.Matches(k) {
+			continue
+		}
+		if t.liveTouch(e) {
+			return e, sawExpired
+		}
+		sawExpired = true
+	}
+	return nil, sawExpired
+}
+
 // Lookup resolves the entry governing a packet at scope with flow key k.
 // It is lock-free and allocation-free: one atomic snapshot load plus a map
 // probe on the exact-match hit path, safe for any number of concurrent
-// data-path threads alongside writers.
+// data-path threads alongside writers. An entry past its idle or hard
+// timeout is treated as a miss (and the expiry signalled to the sweeper);
+// the data-path thread never deletes, so the path stays lock-free.
 //
 //sdnfv:hotpath
 func (t *Table) Lookup(scope ServiceID, k packet.FlowKey) (*Entry, error) {
 	sh := &t.shards[shardIndex(scope)]
 	sh.lookups.Add(1)
 	snap := sh.snap.Load()
+	expired := false
 	if e, ok := snap.exact[scope][k]; ok {
-		return e, nil
+		if t.liveTouch(e) {
+			return e, nil
+		}
+		expired = true
 	}
-	if e := lookupWild(snap, scope, k); e != nil {
+	if e, exp := t.lookupWildLive(snap, scope, k); e != nil {
+		if expired || exp {
+			sh.expired.Add(1)
+		}
 		return e, nil
+	} else if expired || exp {
+		sh.expired.Add(1)
 	}
 	sh.misses.Add(1)
 	return nil, ErrNoMatch
@@ -574,7 +789,7 @@ func (t *Table) Lookup(scope ServiceID, k packet.FlowKey) (*Entry, error) {
 //
 //sdnfv:hotpath
 func (t *Table) LookupBatch(scopes []ServiceID, keys []packet.FlowKey, out []*Entry) int {
-	var nLookups, nMisses [numShards]uint32
+	var nLookups, nMisses, nExpired [numShards]uint32
 	hits := 0
 	var snap *snapshot
 	var lastScope ServiceID
@@ -586,8 +801,11 @@ func (t *Table) LookupBatch(scopes []ServiceID, keys []packet.FlowKey, out []*En
 			lastShard, lastScope = si, scope
 		}
 		nLookups[si]++
-		e := lookupSnap(snap, scope, keys[i])
+		e, expired := t.lookupLive(snap, scope, keys[i])
 		out[i] = e
+		if expired {
+			nExpired[si]++
+		}
 		if e != nil {
 			hits++
 		} else {
@@ -601,8 +819,28 @@ func (t *Table) LookupBatch(scopes []ServiceID, keys []packet.FlowKey, out []*En
 		if nMisses[si] > 0 {
 			t.shards[si].misses.Add(uint64(nMisses[si]))
 		}
+		if nExpired[si] > 0 {
+			t.shards[si].expired.Add(uint64(nExpired[si]))
+		}
 	}
 	return hits
+}
+
+// lookupLive is the expiry-aware form of lookupSnap: it resolves k
+// against one published snapshot, rejecting timed-out entries and
+// reporting whether any were encountered.
+//
+//sdnfv:hotpath
+func (t *Table) lookupLive(snap *snapshot, scope ServiceID, k packet.FlowKey) (*Entry, bool) {
+	expired := false
+	if e, ok := snap.exact[scope][k]; ok {
+		if t.liveTouch(e) {
+			return e, false
+		}
+		expired = true
+	}
+	e, exp := t.lookupWildLive(snap, scope, k)
+	return e, expired || exp
 }
 
 // UpdateDefault rewrites the default (first) action of rules at scope that
@@ -711,12 +949,24 @@ func (t *Table) specializeDefaultLocked(sh *shard, scope ServiceID, f Match, new
 	}
 	spec := gov.withDefault(newDefault)
 	next := sh.snap.Load().cloneTop()
+	if gov.Match.IsExact() {
+		// The governing rule IS the exact rule for f: rewrite it in
+		// place, keeping its ID and — because withDefault copies the
+		// entry — its lifecycle clock. A default change is not flow
+		// activity, so it must not refresh the idle lease.
+		t.modifies.Add(1)
+		next.cloneExact(scope)[key] = spec
+		sh.snap.Store(next)
+		return 1
+	}
 	t.addLocked(next, Rule{
-		Scope:    scope,
-		Match:    f,
-		Actions:  spec.Actions,
-		Parallel: gov.Parallel,
-		Priority: gov.Priority,
+		Scope:       scope,
+		Match:       f,
+		Actions:     spec.Actions,
+		Parallel:    gov.Parallel,
+		Priority:    gov.Priority,
+		IdleTimeout: gov.IdleTimeout,
+		HardTimeout: gov.HardTimeout,
 	})
 	sh.snap.Store(next)
 	return 1
@@ -897,20 +1147,56 @@ func (t *Table) Len() int {
 	return n
 }
 
-// Stats reports cumulative table activity.
+// Stats reports cumulative table activity. The lifecycle counters
+// satisfy the identity Adds == Rules + Deleted + Evicted: every rule
+// ever created is either still installed, was explicitly deleted, or was
+// evicted by a timeout — replacements keep their ID and count in
+// Modifies only.
 type Stats struct {
 	Lookups  uint64
 	Misses   uint64
 	Modifies uint64
 	Rules    int
+
+	// Adds counts rules created (new IDs assigned); replacements of an
+	// existing exact rule are not adds.
+	Adds uint64
+	// Deleted counts rules removed by an explicit Delete call.
+	Deleted uint64
+	// EvictedIdle / EvictedHard count rules reaped by the sweeper after
+	// their idle / hard timeout. Evicted is the sum.
+	EvictedIdle uint64
+	EvictedHard uint64
+	// ExpiredLookups counts lookups that observed (and rejected) a
+	// timed-out entry before the sweeper reaped it — the lazy half of
+	// eviction. These lookups also count in Misses unless a broader
+	// live rule answered.
+	ExpiredLookups uint64
+	// Sweeps counts background sweep passes; SweepNanos is their total
+	// duration, so SweepNanos/Sweeps is the mean sweep latency.
+	Sweeps     uint64
+	SweepNanos uint64
 }
+
+// Evicted returns the total number of timeout-evicted rules.
+func (s Stats) Evicted() uint64 { return s.EvictedIdle + s.EvictedHard }
 
 // Stats returns a snapshot of table counters.
 func (t *Table) Stats() Stats {
-	st := Stats{Modifies: t.modifies.Load(), Rules: t.Len()}
+	st := Stats{
+		Modifies:    t.modifies.Load(),
+		Rules:       t.Len(),
+		Adds:        t.adds.Load(),
+		Deleted:     t.deletes.Load(),
+		EvictedIdle: t.evictedIdle.Load(),
+		EvictedHard: t.evictedHard.Load(),
+		Sweeps:      t.sweeps.Load(),
+		SweepNanos:  t.sweepNanos.Load(),
+	}
 	for si := range t.shards {
 		st.Lookups += t.shards[si].lookups.Load()
 		st.Misses += t.shards[si].misses.Load()
+		st.ExpiredLookups += t.shards[si].expired.Load()
 	}
 	return st
 }

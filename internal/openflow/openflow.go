@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/nf"
@@ -49,6 +50,7 @@ const (
 	TypeBarrierRequest
 	TypeBarrierReply
 	TypeError
+	TypeFlowRemoved // datapath-initiated timeout eviction report (batched)
 )
 
 // String names the message type.
@@ -57,7 +59,7 @@ func (t MsgType) String() string {
 		"HELLO", "ECHO_REQUEST", "ECHO_REPLY", "FEATURES_REQUEST",
 		"FEATURES_REPLY", "PACKET_IN", "FLOW_MOD", "NF_MESSAGE",
 		"STATS_REQUEST", "STATS_REPLY", "BARRIER_REQUEST", "BARRIER_REPLY",
-		"ERROR",
+		"ERROR", "FLOW_REMOVED",
 	}
 	if int(t) < len(names) {
 		return names[t]
@@ -189,10 +191,46 @@ func (m FlowMod) encode(dst []byte) []byte {
 	}
 	dst = append(dst, flags)
 	dst = be16(dst, uint16(m.Rule.Priority))
+	// OpenFlow-style lifecycle leases, millisecond granularity on the
+	// wire, signed so the "never expire" opt-out (negative) survives the
+	// round trip.
+	dst = be32(dst, uint32(int32(m.Rule.IdleTimeout/time.Millisecond)))
+	dst = be32(dst, uint32(int32(m.Rule.HardTimeout/time.Millisecond)))
 	dst = append(dst, byte(len(m.Rule.Actions)))
 	for _, a := range m.Rule.Actions {
 		dst = append(dst, byte(a.Type))
 		dst = be16(dst, uint16(a.Dest))
+	}
+	return dst
+}
+
+// FlowRemoved reports rules the datapath evicted by idle/hard timeout —
+// the flow-removed notification of §3.3's OpenFlow lineage, batched per
+// sweep so a mass expiry costs one frame, not one per flow. Sent
+// datapath→controller; never solicited, never answered.
+type FlowRemoved struct {
+	Removals []FlowRemovedEntry
+}
+
+// FlowRemovedEntry is one evicted rule in a FlowRemoved batch. Reason is
+// 0 for idle timeout, 1 for hard timeout (matching
+// control.FlowRemovedReason).
+type FlowRemovedEntry struct {
+	Scope  flowtable.ServiceID
+	Match  flowtable.Match
+	RuleID uint64
+	Reason uint8
+}
+
+// Type implements Message.
+func (FlowRemoved) Type() MsgType { return TypeFlowRemoved }
+func (m FlowRemoved) encode(dst []byte) []byte {
+	dst = be16(dst, uint16(len(m.Removals)))
+	for _, r := range m.Removals {
+		dst = be16(dst, uint16(r.Scope))
+		dst = encodeMatch(dst, r.Match)
+		dst = be64(dst, r.RuleID)
+		dst = append(dst, r.Reason)
 	}
 	return dst
 }
@@ -462,9 +500,40 @@ func Decode(frame []byte) (Message, Header, error) {
 		return Barrier{Reply: true}, h, nil
 	case TypeError:
 		return decodeError(b, h)
+	case TypeFlowRemoved:
+		return decodeFlowRemoved(b, h)
 	default:
 		return nil, h, ErrBadType
 	}
+}
+
+func decodeFlowRemoved(b []byte, h Header) (Message, Header, error) {
+	if len(b) < 2 {
+		return nil, h, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	var m FlowRemoved
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return nil, h, ErrTruncated
+		}
+		var e FlowRemovedEntry
+		e.Scope = flowtable.ServiceID(binary.BigEndian.Uint16(b))
+		var err error
+		e.Match, b, err = decodeMatch(b[2:])
+		if err != nil {
+			return nil, h, err
+		}
+		if len(b) < 9 {
+			return nil, h, ErrTruncated
+		}
+		e.RuleID = binary.BigEndian.Uint64(b)
+		e.Reason = b[8]
+		b = b[9:]
+		m.Removals = append(m.Removals, e)
+	}
+	return m, h, nil
 }
 
 func decodeFeaturesReply(b []byte, h Header) (Message, Header, error) {
@@ -519,13 +588,15 @@ func decodeFlowMod(b []byte, h Header) (Message, Header, error) {
 	if err != nil {
 		return nil, h, err
 	}
-	if len(b) < 4 {
+	if len(b) < 12 {
 		return nil, h, ErrTruncated
 	}
 	m.Rule.Parallel = b[0]&1 == 1
 	m.Rule.Priority = int(binary.BigEndian.Uint16(b[1:]))
-	n := int(b[3])
-	b = b[4:]
+	m.Rule.IdleTimeout = time.Duration(int32(binary.BigEndian.Uint32(b[3:]))) * time.Millisecond
+	m.Rule.HardTimeout = time.Duration(int32(binary.BigEndian.Uint32(b[7:]))) * time.Millisecond
+	n := int(b[11])
+	b = b[12:]
 	if len(b) < 3*n {
 		return nil, h, ErrTruncated
 	}

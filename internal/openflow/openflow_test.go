@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"sdnfv/internal/flowtable"
 	"sdnfv/internal/nf"
@@ -68,11 +69,13 @@ func TestRoundtripPacketIn(t *testing.T) {
 func TestRoundtripFlowMod(t *testing.T) {
 	src := packet.IPv4(9, 9, 9, 9)
 	msg := FlowMod{Rule: flowtable.Rule{
-		Scope:    flowtable.ServiceID(12),
-		Match:    flowtable.Match{SrcIP: &src},
-		Actions:  []flowtable.Action{flowtable.Forward(13), flowtable.Out(1), flowtable.Drop()},
-		Parallel: true,
-		Priority: 42,
+		Scope:       flowtable.ServiceID(12),
+		Match:       flowtable.Match{SrcIP: &src},
+		Actions:     []flowtable.Action{flowtable.Forward(13), flowtable.Out(1), flowtable.Drop()},
+		Parallel:    true,
+		Priority:    42,
+		IdleTimeout: 1500 * time.Millisecond,
+		HardTimeout: time.Minute,
 	}}
 	got := roundtrip(t, msg).(FlowMod)
 	if got.Rule.Scope != msg.Rule.Scope || !got.Rule.Parallel || got.Rule.Priority != 42 {
@@ -83,6 +86,39 @@ func TestRoundtripFlowMod(t *testing.T) {
 	}
 	if got.Rule.Match.SrcIP == nil || *got.Rule.Match.SrcIP != src || got.Rule.Match.DstIP != nil {
 		t.Fatalf("match = %+v", got.Rule.Match)
+	}
+	if got.Rule.IdleTimeout != msg.Rule.IdleTimeout || got.Rule.HardTimeout != msg.Rule.HardTimeout {
+		t.Fatalf("timeouts = %v/%v", got.Rule.IdleTimeout, got.Rule.HardTimeout)
+	}
+}
+
+// TestFlowModTimeoutOptOutSurvivesWire: the negative never-expire
+// opt-out must round-trip (millisecond precision, signed on the wire).
+func TestFlowModTimeoutOptOutSurvivesWire(t *testing.T) {
+	msg := FlowMod{Rule: flowtable.Rule{
+		Scope:       3,
+		Actions:     []flowtable.Action{flowtable.Drop()},
+		IdleTimeout: -time.Millisecond,
+		HardTimeout: -time.Millisecond,
+	}}
+	got := roundtrip(t, msg).(FlowMod)
+	if got.Rule.IdleTimeout >= 0 || got.Rule.HardTimeout >= 0 {
+		t.Fatalf("opt-out lost: %v/%v", got.Rule.IdleTimeout, got.Rule.HardTimeout)
+	}
+}
+
+func TestRoundtripFlowRemoved(t *testing.T) {
+	key := packet.FlowKey{
+		SrcIP: packet.IPv4(1, 2, 3, 4), DstIP: packet.IPv4(5, 6, 7, 8),
+		SrcPort: 1234, DstPort: 80, Proto: 17,
+	}
+	msg := FlowRemoved{Removals: []FlowRemovedEntry{
+		{Scope: 9, Match: flowtable.ExactMatch(key), RuleID: 0xdeadbeefcafe, Reason: 0},
+		{Scope: flowtable.Port(1), Match: flowtable.MatchSrcIP(key.SrcIP), RuleID: 7, Reason: 1},
+	}}
+	got := roundtrip(t, msg).(FlowRemoved)
+	if !reflect.DeepEqual(got, msg) {
+		t.Fatalf("got %+v want %+v", got, msg)
 	}
 }
 
@@ -153,11 +189,13 @@ func TestConnFraming(t *testing.T) {
 
 // Property: FlowMod roundtrips preserve every action and wildcard shape.
 func TestFlowModRoundtripProperty(t *testing.T) {
-	f := func(scope uint16, nActs uint8, prio uint8, parallel bool, wildMask uint8) bool {
+	f := func(scope uint16, nActs uint8, prio uint8, parallel bool, wildMask uint8, idleMs int32, hardMs int32) bool {
 		r := flowtable.Rule{
-			Scope:    flowtable.ServiceID(scope),
-			Parallel: parallel,
-			Priority: int(prio),
+			Scope:       flowtable.ServiceID(scope),
+			Parallel:    parallel,
+			Priority:    int(prio),
+			IdleTimeout: time.Duration(idleMs) * time.Millisecond,
+			HardTimeout: time.Duration(hardMs) * time.Millisecond,
 		}
 		if wildMask&1 != 0 {
 			ip := packet.IPv4(1, 2, 3, 4)
@@ -181,6 +219,9 @@ func TestFlowModRoundtripProperty(t *testing.T) {
 		}
 		fm := got.(FlowMod)
 		if fm.Rule.Scope != r.Scope || fm.Rule.Parallel != r.Parallel || len(fm.Rule.Actions) != n {
+			return false
+		}
+		if fm.Rule.IdleTimeout != r.IdleTimeout || fm.Rule.HardTimeout != r.HardTimeout {
 			return false
 		}
 		return fm.Rule.Match.Specificity() == r.Match.Specificity()
@@ -234,6 +275,10 @@ func exemplarFor(t MsgType) Message {
 		return Barrier{Reply: true}
 	case TypeError:
 		return ErrorMsg{Code: ErrCodeQueueFull, Text: "full"}
+	case TypeFlowRemoved:
+		return FlowRemoved{Removals: []FlowRemovedEntry{
+			{Scope: 9, Match: flowtable.ExactMatch(key), RuleID: 0xbeef, Reason: 1},
+		}}
 	default:
 		return nil
 	}
@@ -242,7 +287,7 @@ func exemplarFor(t MsgType) Message {
 // TestRoundtripEveryMessageType encode/decodes one exemplar per wire
 // type and requires structural equality.
 func TestRoundtripEveryMessageType(t *testing.T) {
-	for mt := TypeHello; mt <= TypeError; mt++ {
+	for mt := TypeHello; mt <= TypeFlowRemoved; mt++ {
 		msg := exemplarFor(mt)
 		if msg == nil {
 			t.Fatalf("no exemplar for %s — extend exemplarFor alongside the protocol", mt)
@@ -279,6 +324,11 @@ func FuzzConnRecv(f *testing.F) {
 	f.Add([]byte{Version, 0x05, 0x00, 0x04, 0, 0, 0, 1, 9, 9, 9}) // length < header size
 	two := append(append([]byte{}, valid...), valid...)
 	f.Add(two) // back-to-back frames
+	removed, _ := Encode(FlowRemoved{Removals: []FlowRemovedEntry{
+		{Scope: flowtable.Port(2), RuleID: 99, Reason: 1},
+	}}, 5)
+	f.Add(removed)
+	f.Add(removed[:len(removed)-4]) // removal entry cut mid-ruleID
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := NewConn(readerConn{r: bytes.NewReader(data)})
 		for i := 0; i < 64; i++ {

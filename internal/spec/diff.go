@@ -64,6 +64,11 @@ type ChangeSet struct {
 	RemovedLinks    []LinkRef         `json:"removed_links,omitempty"`
 	IngressChanged  bool              `json:"ingress_changed,omitempty"`
 	EgressChanged   bool              `json:"egress_changed,omitempty"`
+	// FlowTimeoutsChanged is set when the spec-wide or any surviving
+	// service's flow_timeouts stanza differs. Timeouts apply at rule
+	// install time, so existing rules keep their old lease until they
+	// churn; the reconciler treats this as host-config drift.
+	FlowTimeoutsChanged bool `json:"flow_timeouts_changed,omitempty"`
 }
 
 // Empty reports whether the change set contains no changes.
@@ -73,7 +78,7 @@ func (c *ChangeSet) Empty() bool {
 		len(c.Placement) == 0 && len(c.Bounds) == 0 && len(c.NFs) == 0 &&
 		len(c.AddedEdges) == 0 && len(c.RemovedEdges) == 0 &&
 		len(c.AddedLinks) == 0 && len(c.RemovedLinks) == 0 &&
-		!c.IngressChanged && !c.EgressChanged
+		!c.IngressChanged && !c.EgressChanged && !c.FlowTimeoutsChanged
 }
 
 // Summary renders the change set as human-readable lines, one per
@@ -119,6 +124,9 @@ func (c *ChangeSet) Summary() []string {
 	}
 	if c.EgressChanged {
 		out = append(out, "~ egress port")
+	}
+	if c.FlowTimeoutsChanged {
+		out = append(out, "~ flow timeouts")
 	}
 	return out
 }
@@ -211,6 +219,9 @@ func Diff(oldSpec, newSpec *Spec) *ChangeSet {
 		if osv.NF != nsv.NF || osv.ReadOnly != nsv.ReadOnly {
 			c.NFs = append(c.NFs, NFChange{Service: name, From: nfLabel(osv), To: nfLabel(nsv)})
 		}
+		if !equalFlowTimeouts(osv.FlowTimeouts, nsv.FlowTimeouts) {
+			c.FlowTimeoutsChanged = true
+		}
 	}
 	for name, osv := range oldSvcs {
 		nsv, ok := newSvcs[name]
@@ -268,7 +279,19 @@ func Diff(oldSpec, newSpec *Spec) *ChangeSet {
 
 	c.IngressChanged = oldSpec.Ingress != newSpec.Ingress
 	c.EgressChanged = oldSpec.EgressPort != newSpec.EgressPort
+	if !equalFlowTimeouts(oldSpec.FlowTimeouts, newSpec.FlowTimeouts) {
+		c.FlowTimeoutsChanged = true
+	}
 	return c
+}
+
+// equalFlowTimeouts compares two optional stanzas by value; nil equals
+// only nil (an explicit all-zero stanza is a deliberate statement).
+func equalFlowTimeouts(a, b *FlowTimeouts) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
 }
 
 func nfLabel(sv Service) string {

@@ -23,6 +23,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"sdnfv/internal/control"
 	"sdnfv/internal/flowtable"
@@ -72,6 +73,50 @@ type Bounds struct {
 // Scaled reports whether the bounds leave the autoscaler room to act.
 func (b Bounds) Scaled() bool { return b.Max > b.Min }
 
+// FlowTimeouts are declarative flow-rule lifecycle defaults, in
+// milliseconds. They apply at install time to exact-match rules whose
+// FlowMods carry no explicit timeouts (see
+// flowtable.Table.SetDefaultTimeouts): idle_ms expires a rule that saw
+// no packet for the window, hard_ms expires it regardless of traffic.
+// Zero means unset (inherit, or never expire); -1 is the explicit
+// never-expire opt-out a per-service stanza uses to shadow a
+// table-wide default.
+type FlowTimeouts struct {
+	IdleMs int `json:"idle_ms,omitempty"`
+	HardMs int `json:"hard_ms,omitempty"`
+}
+
+// Durations converts the millisecond stanza to the flowtable's
+// duration-typed defaults, mapping the -1 opt-out to the negative
+// duration the table recognizes.
+func (f *FlowTimeouts) Durations() (idle, hard time.Duration) {
+	if f == nil {
+		return 0, 0
+	}
+	conv := func(ms int) time.Duration {
+		if ms < 0 {
+			return -time.Millisecond
+		}
+		return time.Duration(ms) * time.Millisecond
+	}
+	return conv(f.IdleMs), conv(f.HardMs)
+}
+
+func (f *FlowTimeouts) validate(where string) error {
+	if f == nil {
+		return nil
+	}
+	for _, v := range []struct {
+		name string
+		ms   int
+	}{{"idle_ms", f.IdleMs}, {"hard_ms", f.HardMs}} {
+		if v.ms < -1 {
+			return fmt.Errorf("%w: %s flow_timeouts.%s = %d (want >= -1; -1 opts out)", ErrInvalid, where, v.name, v.ms)
+		}
+	}
+	return nil
+}
+
 // Service is one vertex of the service graph: the Service-ID scope it
 // owns in the flow tables, the NF registry binding that implements it,
 // the hosts it may be placed on (preference order — the reconciler
@@ -83,6 +128,9 @@ type Service struct {
 	ReadOnly  bool                `json:"read_only,omitempty"`
 	Placement []string            `json:"placement"`
 	Scale     Bounds              `json:"scale,omitempty"`
+	// FlowTimeouts overrides the spec-wide lifecycle defaults for rules
+	// installed at this service's scope.
+	FlowTimeouts *FlowTimeouts `json:"flow_timeouts,omitempty"`
 }
 
 // Edge is one service-graph edge by endpoint name. From/To may name a
@@ -123,6 +171,24 @@ type Spec struct {
 	Ingress    IngressSpec `json:"ingress"`
 	EgressPort int         `json:"egress_port"`
 	Links      []Link      `json:"links,omitempty"`
+	// FlowTimeouts are the cluster-wide flow-rule lifecycle defaults
+	// applied to every host's table; per-service stanzas override them.
+	FlowTimeouts *FlowTimeouts `json:"flow_timeouts,omitempty"`
+}
+
+// HasFlowLifecycle reports whether any lifecycle stanza (spec-wide or
+// per-service) is present — hosts booted from such a spec must run the
+// background eviction sweeper.
+func (s *Spec) HasFlowLifecycle() bool {
+	if s.FlowTimeouts != nil {
+		return true
+	}
+	for i := range s.Services {
+		if s.Services[i].FlowTimeouts != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // Parse decodes a spec from JSON and validates it. Unknown fields are
@@ -249,6 +315,12 @@ func (s *Spec) Validate() error {
 		if sv.Scale.Min < 1 || sv.Scale.Max < sv.Scale.Min {
 			return fmt.Errorf("%w: service %q min=%d max=%d", ErrBounds, sv.Name, sv.Scale.Min, sv.Scale.Max)
 		}
+		if err := sv.FlowTimeouts.validate(fmt.Sprintf("service %q", sv.Name)); err != nil {
+			return err
+		}
+	}
+	if err := s.FlowTimeouts.validate("spec"); err != nil {
+		return err
 	}
 
 	if !hostNames[s.Ingress.Host] {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"sdnfv/internal/nf"
 )
@@ -121,6 +122,12 @@ func TestValidateRejections(t *testing.T) {
 		{"two defaults from one service", func(s *Spec) {
 			s.Edges = append(s.Edges, Edge{From: "ids", To: "firewall", Default: true})
 		}, ErrDuplicate},
+		{"spec flow idle below opt-out", func(s *Spec) {
+			s.FlowTimeouts = &FlowTimeouts{IdleMs: -2}
+		}, ErrInvalid},
+		{"service flow hard below opt-out", func(s *Spec) {
+			s.Services[1].FlowTimeouts = &FlowTimeouts{HardMs: -2}
+		}, ErrInvalid},
 		{"unreachable service", func(s *Spec) {
 			// ids loses its inbound edge: the graph validator refuses.
 			s.Edges[1].To = "video"
@@ -151,6 +158,78 @@ func TestValidateNormalizesZeroBounds(t *testing.T) {
 	}
 	if s.Services[0].Scale != (Bounds{Min: 1, Max: 1}) {
 		t.Fatalf("zero bounds normalized to %+v", s.Services[0].Scale)
+	}
+}
+
+// TestFlowTimeouts covers the lifecycle stanza end to end: validation,
+// the millisecond→duration mapping (including the -1 opt-out), the
+// sweeper trigger, JSON round-trip, and diff detection.
+func TestFlowTimeouts(t *testing.T) {
+	s := testSpec()
+	if s.HasFlowLifecycle() {
+		t.Fatal("bare spec claims a lifecycle stanza")
+	}
+	s.FlowTimeouts = &FlowTimeouts{IdleMs: 250, HardMs: 60_000}
+	s.Services[1].FlowTimeouts = &FlowTimeouts{IdleMs: -1}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasFlowLifecycle() {
+		t.Fatal("stanza present but HasFlowLifecycle is false")
+	}
+
+	idle, hard := s.FlowTimeouts.Durations()
+	if idle != 250*time.Millisecond || hard != time.Minute {
+		t.Fatalf("spec durations: idle=%v hard=%v", idle, hard)
+	}
+	// -1 maps to a negative duration: the table's explicit never-expire
+	// opt-out, distinct from 0 (inherit the default).
+	if oIdle, oHard := s.Services[1].FlowTimeouts.Durations(); oIdle >= 0 || oHard != 0 {
+		t.Fatalf("opt-out durations: idle=%v hard=%v", oIdle, oHard)
+	}
+	if nilIdle, nilHard := (*FlowTimeouts)(nil).Durations(); nilIdle != 0 || nilHard != 0 {
+		t.Fatalf("nil stanza durations: idle=%v hard=%v", nilIdle, nilHard)
+	}
+
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("flow timeouts did not survive the round trip:\n%+v\n%+v", s, back)
+	}
+	if c := Diff(s, back); !c.Empty() {
+		t.Fatalf("round trip produced a diff: %s", c)
+	}
+
+	// Diff flags stanza changes at both levels, and only then.
+	plain := testSpec()
+	if c := Diff(plain, s); !c.FlowTimeoutsChanged {
+		t.Fatalf("adding stanzas not flagged: %s", c)
+	}
+	tweaked := testSpec()
+	tweaked.FlowTimeouts = &FlowTimeouts{IdleMs: 250, HardMs: 60_000}
+	tweaked.Services[1].FlowTimeouts = &FlowTimeouts{IdleMs: -1}
+	if c := Diff(s, tweaked); c.FlowTimeoutsChanged {
+		t.Fatalf("identical stanzas flagged: %s", c)
+	}
+	tweaked.Services[1].FlowTimeouts = &FlowTimeouts{IdleMs: 500}
+	c := Diff(s, tweaked)
+	if !c.FlowTimeoutsChanged || c.Empty() {
+		t.Fatalf("per-service stanza change not flagged: %s", c)
+	}
+	found := false
+	for _, line := range c.Summary() {
+		if line == "~ flow timeouts" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("summary missing flow-timeouts line: %v", c.Summary())
 	}
 }
 

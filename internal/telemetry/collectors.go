@@ -31,6 +31,7 @@ const (
 	PathHosts     = "/state/dataplane/hosts"
 	PathReplicas  = "/state/dataplane/replicas"
 	PathPorts     = "/state/ports"
+	PathFlowtable = "/state/flowtable"
 	PathLinks     = "/state/cluster/links"
 	PathSessions  = "/state/control/sessions"
 	PathAutoscale = "/state/autoscale"
@@ -70,6 +71,7 @@ func RegisterHost(r *Registry, name string, dp control.DatapathID, h *dataplane.
 		r.MustRegisterShow(PathHosts, s.showHosts)
 		r.MustRegisterShow(PathReplicas, s.showReplicas)
 		r.MustRegisterShow(PathPorts, s.showPorts)
+		r.MustRegisterShow(PathFlowtable, s.showFlowtable)
 		return s
 	}).(*hostSet)
 	set.mu.Lock()
@@ -103,12 +105,29 @@ func (s *hostSet) collect() []Family {
 			{"sdnfv_flowtable_lookups_total", "Flow table lookups.", st.Table.Lookups},
 			{"sdnfv_flowtable_misses_total", "Flow table lookup misses.", st.Table.Misses},
 			{"sdnfv_flowtable_modifies_total", "Flow table rule modifications.", st.Table.Modifies},
+			{"sdnfv_flowtable_adds_total", "Flow table rules created (new rule IDs).", st.Table.Adds},
+			{"sdnfv_flowtable_deletes_total", "Flow table rules removed by explicit Delete.", st.Table.Deleted},
+			{"sdnfv_flowtable_expired_lookups_total", "Lookups that observed a timed-out entry before the sweeper reaped it.", st.Table.ExpiredLookups},
+			{"sdnfv_flowtable_sweeps_total", "Background eviction sweep passes.", st.Table.Sweeps},
+			{"sdnfv_flowtable_sweep_nanos_total", "Cumulative sweep-pass duration in nanoseconds.", st.Table.SweepNanos},
 		}
 		for _, c := range hostCounters {
 			b.counter(c.name, c.help, hl, float64(c.v))
 		}
+		for _, ev := range []struct {
+			reason string
+			v      uint64
+		}{
+			{"idle", st.Table.EvictedIdle},
+			{"hard", st.Table.EvictedHard},
+		} {
+			b.counter("sdnfv_flowtable_evictions_total",
+				"Rules evicted by the lifecycle sweeper, by timeout reason.",
+				append(append([]Label(nil), hl...), Label{"reason", ev.reason}), float64(ev.v))
+		}
 		b.gauge("sdnfv_host_pool_in_use", "Buffers currently allocated from the pool.", hl, float64(st.Pool.InUse))
 		b.gauge("sdnfv_flowtable_rules", "Rules currently installed in the flow table.", hl, float64(st.Table.Rules))
+		b.gauge("sdnfv_flowtable_entries", "Live entries in the flow table (alias of sdnfv_flowtable_rules for dashboards keyed on entries).", hl, float64(st.Table.Rules))
 
 		for _, rs := range st.Replicas {
 			rl := []Label{
@@ -187,6 +206,44 @@ func (s *hostSet) showReplicas(context.Context) (any, error) {
 				OverflowDrops: rs.OverflowDrops, ServiceTimeNs: rs.ServiceTimeNs,
 			})
 		}
+	}
+	return out, nil
+}
+
+// showFlowtable is the /state/flowtable handler: one row per host with
+// the table's full lifecycle accounting — live entries, lazy vs swept
+// eviction counters, and mean sweep latency.
+func (s *hostSet) showFlowtable(context.Context) (any, error) {
+	type flowtableState struct {
+		Host           string `json:"host"`
+		Datapath       string `json:"datapath"`
+		Entries        int    `json:"entries"`
+		Adds           uint64 `json:"adds"`
+		Deleted        uint64 `json:"deleted"`
+		EvictedIdle    uint64 `json:"evicted_idle"`
+		EvictedHard    uint64 `json:"evicted_hard"`
+		ExpiredLookups uint64 `json:"expired_lookups"`
+		Lookups        uint64 `json:"lookups"`
+		Misses         uint64 `json:"misses"`
+		Modifies       uint64 `json:"modifies"`
+		Sweeps         uint64 `json:"sweeps"`
+		MeanSweepNs    uint64 `json:"mean_sweep_ns"`
+	}
+	out := []flowtableState{}
+	for _, e := range s.snapshot() {
+		st := e.host.Stats().Table
+		var mean uint64
+		if st.Sweeps > 0 {
+			mean = st.SweepNanos / st.Sweeps
+		}
+		out = append(out, flowtableState{
+			Host: e.name, Datapath: e.dp.String(),
+			Entries: st.Rules, Adds: st.Adds, Deleted: st.Deleted,
+			EvictedIdle: st.EvictedIdle, EvictedHard: st.EvictedHard,
+			ExpiredLookups: st.ExpiredLookups,
+			Lookups:        st.Lookups, Misses: st.Misses, Modifies: st.Modifies,
+			Sweeps: st.Sweeps, MeanSweepNs: mean,
+		})
 	}
 	return out, nil
 }

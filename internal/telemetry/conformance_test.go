@@ -7,6 +7,7 @@
 package telemetry_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
@@ -196,6 +197,109 @@ func TestLiveHostScrape(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("%s: %d", telemetry.PathReplicas, resp.StatusCode)
+	}
+}
+
+// TestFlowLifecycleMetricsScrape boots a host whose flow table evicts
+// idle rules and checks the lifecycle metric surface end to end: the
+// strict parser accepts the exposition, the entries gauge tracks the
+// live rule count through install and eviction, the evictions counter
+// carries the reason label, the sweeper counters move, and the
+// /state/flowtable show endpoint serves the same snapshot.
+func TestFlowLifecycleMetricsScrape(t *testing.T) {
+	h := dataplane.NewHost(dataplane.Config{
+		PoolSize: 256, TXThreads: 1,
+		FlowSweepInterval: 2 * time.Millisecond,
+	})
+	h.BindDefault(func(int, []byte, *dataplane.Desc) {})
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterHost(reg, "h0", 0x1, h)
+	srv, err := telemetry.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const rules = 8
+	for i := 0; i < rules; i++ {
+		key := packet.FlowKey{
+			SrcIP: packet.IPv4(10, 0, 0, byte(i+1)), DstIP: packet.IPv4(10, 0, 1, 1),
+			SrcPort: uint16(1000 + i), DstPort: 80, Proto: packet.ProtoUDP,
+		}
+		mustAddRule(t, h, flowtable.Rule{Scope: flowtable.ServiceID(5), Match: flowtable.ExactMatch(key),
+			Actions: []flowtable.Action{flowtable.Out(1)}, IdleTimeout: 20 * time.Millisecond})
+	}
+
+	sel := map[string]string{"host": "h0", "datapath": "dp:0x1"}
+	first := scrapeHTTP(t, srv.Addr())
+	if v, ok := first.Value("sdnfv_flowtable_entries", sel); !ok || v != rules {
+		t.Fatalf("entries gauge = %v (found %v), want %d", v, ok, rules)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for h.Stats().Table.Rules != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rules never evicted: %+v", h.Stats().Table)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	second := scrapeHTTP(t, srv.Addr())
+	if regs := telemetry.CounterRegressions(first, second); len(regs) != 0 {
+		t.Fatalf("counters regressed between scrapes: %v", regs)
+	}
+	if v, ok := second.Value("sdnfv_flowtable_entries", sel); !ok || v != 0 {
+		t.Fatalf("entries gauge after eviction = %v (found %v), want 0", v, ok)
+	}
+	withReason := func(reason string) map[string]string {
+		m := map[string]string{"reason": reason}
+		for k, v := range sel {
+			m[k] = v
+		}
+		return m
+	}
+	idle, ok := second.Value("sdnfv_flowtable_evictions_total", withReason("idle"))
+	if !ok || idle != rules {
+		t.Fatalf("evictions{reason=idle} = %v (found %v), want %d", idle, ok, rules)
+	}
+	if hard, ok := second.Value("sdnfv_flowtable_evictions_total", withReason("hard")); !ok || hard != 0 {
+		t.Fatalf("evictions{reason=hard} = %v (found %v), want 0", hard, ok)
+	}
+	if v, ok := second.Value("sdnfv_flowtable_sweeps_total", sel); !ok || v == 0 {
+		t.Fatalf("sweeps counter = %v (found %v), want > 0", v, ok)
+	}
+	if _, ok := second.Value("sdnfv_flowtable_sweep_nanos_total", sel); !ok {
+		t.Fatal("sweep nanos counter missing")
+	}
+	if v, ok := second.Value("sdnfv_flowtable_adds_total", sel); !ok || v != rules {
+		t.Fatalf("adds counter = %v (found %v), want %d", v, ok, rules)
+	}
+
+	// The show endpoint reports the same lifecycle snapshot.
+	resp, err := http.Get("http://" + srv.Addr() + telemetry.PathFlowtable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %d", telemetry.PathFlowtable, resp.StatusCode)
+	}
+	var states []struct {
+		Host        string `json:"host"`
+		Entries     int    `json:"entries"`
+		EvictedIdle uint64 `json:"evicted_idle"`
+		Sweeps      uint64 `json:"sweeps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&states); err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0].Host != "h0" || states[0].Entries != 0 ||
+		states[0].EvictedIdle != rules || states[0].Sweeps == 0 {
+		t.Fatalf("show snapshot = %+v", states)
 	}
 }
 
